@@ -1,0 +1,80 @@
+// Command emcgm-bench regenerates the paper's evaluation artifacts:
+//
+//	emcgm-bench                 # all figures at the default scale
+//	emcgm-bench -fig 5          # just Figure 5 (the problem table)
+//	emcgm-bench -n 262144 -v 16 # bigger instances
+//	emcgm-bench -csv            # machine-readable output
+//
+// Figures: 3 (VM vs EM-CGM sort), 4 (1 vs 2 disks), 5 (measured problem
+// table, Groups A/B/C), 6/7 (parameter-space surface), 8 (block-size
+// throughput), and "balance" (Theorem 1 demonstration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, balance, cache, sweep, all")
+	n := flag.Int("n", 0, "base problem size in items (0 = default 65536)")
+	v := flag.Int("v", 0, "virtual processors (0 = default 8)")
+	p := flag.Int("p", 0, "real processors (0 = default 4)")
+	b := flag.Int("b", 0, "block size in words (0 = default 512)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	s := experiments.DefaultScale()
+	if *n > 0 {
+		s.N = *n
+	}
+	if *v > 0 {
+		s.V = *v
+	}
+	if *p > 0 {
+		s.P = *p
+	}
+	if *b > 0 {
+		s.B = *b
+	}
+
+	emit := func(t *trace.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	run := map[string]func(){
+		"3":       func() { emit(experiments.Fig3(s)) },
+		"4":       func() { emit(experiments.Fig4(s)) },
+		"5":       func() { emit(experiments.Fig5(s)) },
+		"6":       func() { emit(experiments.Fig6(), nil) },
+		"7":       func() { emit(experiments.Fig7(), nil) },
+		"8":       func() { emit(experiments.Fig8(), nil) },
+		"balance": func() { emit(experiments.Balance(), nil) },
+		"cache":   func() { emit(experiments.Cache()) },
+		"sweep":   func() { emit(experiments.Sweep(s)) },
+	}
+	if *fig == "all" {
+		for _, k := range []string{"3", "4", "5", "6", "7", "8", "balance", "cache", "sweep"} {
+			run[k]()
+		}
+		return
+	}
+	f, ok := run[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "emcgm-bench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	f()
+}

@@ -1,0 +1,46 @@
+// Command paramspace explores the paper's Section 1.4 parameter space:
+// for which (N, v, B) does the sorting log factor collapse to a constant
+// c (Figures 6 and 7), and which of Theorem 4's side conditions a given
+// configuration satisfies.
+//
+//	paramspace                         # print the Figure 6/7 tables
+//	paramspace -check -n 1e8 -v 64     # check one configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/theory"
+)
+
+func main() {
+	check := flag.Bool("check", false, "check one configuration instead of printing the tables")
+	n := flag.Float64("n", 1e8, "problem size (items)")
+	v := flag.Int("v", 64, "virtual processors")
+	d := flag.Int("d", 2, "disks per processor")
+	b := flag.Int("b", 1000, "block size (items)")
+	flag.Parse()
+
+	if !*check {
+		experiments.Fig6().Render(os.Stdout)
+		experiments.Fig7().Render(os.Stdout)
+		return
+	}
+	c := theory.ConstantForParams(*n, float64(*v), float64(*b))
+	fmt.Printf("N=%g, v=%d, B=%d: log_{M/B}(N/B) collapses to c = %d (M = N/v = %g)\n",
+		*n, *v, *b, c, *n/float64(*v))
+	fmt.Printf("minimum N for c=2 at this (v,B): %s\n",
+		fmt.Sprintf("%.3g", theory.MinNForConstant(2, float64(*v), float64(*b))))
+	viol := theory.Constraints(int(*n), *v, *d, *b, 3)
+	if len(viol) == 0 {
+		fmt.Println("Theorem 4 side conditions: all satisfied")
+	} else {
+		fmt.Println("Theorem 4 side conditions violated:")
+		for _, s := range viol {
+			fmt.Println("  -", s)
+		}
+	}
+}

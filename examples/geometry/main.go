@@ -1,0 +1,80 @@
+// Geometry example: batched planar point location and the lower envelope
+// (Figure 5, Group B rows 1–5) under the EM-CGM simulation.
+//
+//	go run ./examples/geometry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geom"
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func main() {
+	const v, p, d, b = 8, 4, 2, 256
+
+	// A layered subdivision: non-crossing segments, each bounding the
+	// face above it.
+	segs := workload.NonIntersectingSegments(5, 2000)
+	faces := make([]int, len(segs))
+	for i := range faces {
+		faces[i] = i
+	}
+	queries := workload.Points(9, 3000)
+
+	e1 := rec.NewEM(v, p, d, b)
+	located, err := geom.LocatePoints(e1, segs, faces, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outer := 0
+	for _, f := range located {
+		if f < 0 {
+			outer++
+		}
+	}
+	fmt.Printf("located %d query points in a %d-segment subdivision (%d in the outer face)\n",
+		len(queries), len(segs), outer)
+	fmt.Printf("  EM-CGM: %d rounds, %d parallel I/Os\n", e1.Rounds, e1.IO.ParallelOps)
+
+	// Lower envelope: the skyline of the segment set seen from below.
+	e2 := rec.NewEM(v, p, d, b)
+	env, err := geom.Envelope(e2, segs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lower envelope has %d pieces\n", len(env))
+	fmt.Printf("  EM-CGM: %d rounds, %d parallel I/Os\n", e2.Rounds, e2.IO.ParallelOps)
+
+	// Trapezoidal decomposition of the same subdivision.
+	e3 := rec.NewEM(v, p, d, b)
+	traps, err := geom.TrapezoidalDecomposition(e3, segs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounded := 0
+	for _, t := range traps {
+		if t.Above >= 0 && t.Below >= 0 {
+			bounded++
+		}
+	}
+	fmt.Printf("trapezoidation: %d vertical extensions (%d bounded both ways)\n", len(traps), bounded)
+	fmt.Printf("  EM-CGM: %d rounds, %d parallel I/Os\n", e3.Rounds, e3.IO.ParallelOps)
+
+	// Separability of two point clouds via CGM convex hulls.
+	red := workload.ClusteredPoints(21, 1500, 3)
+	blue := workload.ClusteredPoints(22, 1500, 3)
+	for i := range blue {
+		blue[i].X += 1.5
+	}
+	e4 := rec.NewEM(v, p, d, b)
+	sep, err := geom.Separable(e4, red, blue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("red/blue separable by a line: %v\n", sep)
+	fmt.Printf("  EM-CGM: %d rounds, %d parallel I/Os\n", e4.Rounds, e4.IO.ParallelOps)
+}

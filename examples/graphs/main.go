@@ -1,0 +1,78 @@
+// Graphs example: Group C algorithms on a synthetic road network — the
+// out-of-core graph workload the paper's Figure 5 targets.
+//
+//	go run ./examples/graphs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func main() {
+	const v, p, d, b = 8, 4, 2, 256
+
+	// A road network: a grid with some random shortcuts, split into
+	// regions (connected components).
+	const n = 60 * 40
+	edges := workload.GridGraph(60, 40)
+	// Remove a band of edges to split the map into two regions.
+	var cut []workload.Edge
+	for _, e := range edges {
+		if (e.U%60 == 29 && e.V%60 == 30) || (e.V%60 == 29 && e.U%60 == 30) {
+			continue
+		}
+		cut = append(cut, e)
+	}
+
+	e1 := rec.NewEM(v, p, d, b)
+	labels, forest, err := graph.ConnectedComponents(e1, n, cut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := map[int64]bool{}
+	for _, l := range labels {
+		comps[l] = true
+	}
+	fmt.Printf("road network: %d junctions, %d segments → %d regions, spanning forest of %d edges\n",
+		n, len(cut), len(comps), len(forest))
+	fmt.Printf("  EM-CGM: %d rounds (λ = O(log v)), %d parallel I/Os\n", e1.Rounds, e1.IO.ParallelOps)
+
+	// Biconnected components of one region: bridges are single-segment
+	// blocks — roads whose failure disconnects the map.
+	e2 := rec.NewEM(v, p, d, b)
+	small := workload.Graph(3, 400, 700)
+	blocks, err := graph.Biconn(e2, 400, small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blockCount := map[int64]int{}
+	for _, bl := range blocks {
+		blockCount[bl]++
+	}
+	bridges := 0
+	for _, c := range blockCount {
+		if c == 1 {
+			bridges++
+		}
+	}
+	fmt.Printf("maintenance graph: %d edges in %d biconnected components (%d bridges)\n",
+		len(small), len(blockCount), bridges)
+	fmt.Printf("  EM-CGM: %d rounds, %d parallel I/Os\n", e2.Rounds, e2.IO.ParallelOps)
+
+	// List ranking: milestone positions along a delivery route stored as
+	// a scattered linked list.
+	e3 := rec.NewEM(v, p, d, b)
+	succ, head := workload.List(17, 5000)
+	ranks, err := graph.ListRank(e3, succ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivery route of %d stops: head stop %d is %d hops from the depot\n",
+		len(succ), head, ranks[head])
+	fmt.Printf("  EM-CGM: %d rounds (pointer jumping), %d parallel I/Os\n", e3.Rounds, e3.IO.ParallelOps)
+}

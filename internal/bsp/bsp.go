@@ -1,0 +1,115 @@
+// Package bsp implements the paper's Section 5 extension: the BSP and
+// BSP* cost models and the conversion of "conforming" BSP algorithms —
+// those whose every communication round is bounded by an h-relation —
+// into BSP* algorithms via BalancedRouting (Corollary 1 / Lemma 1).
+//
+// The BSP model charges a communication superstep max(L, g·h). The BSP*
+// model additionally penalises small messages: every message is charged
+// as if it were at least b items long, so an algorithm that ships its
+// h-relation in many tiny messages pays up to g·v·b per round. Theorem 1
+// guarantees that after balancing every message of a full h-relation has
+// size at least h/v − (v−1)/2, so choosing the BSP* block
+// b = h_min/v − (v−1)/2 makes the padding free — the paper's item (1).
+// Items (2) and (3) — EM-BSP and EM-BSP* — are the machines of package
+// core, whose cost accounting package theory's EMModel evaluates.
+package bsp
+
+import (
+	"math"
+
+	"repro/internal/cgm"
+)
+
+// Params are the BSP machine parameters (times per item / per sync).
+type Params struct {
+	G float64 // time per item communicated (g)
+	L float64 // synchronisation time per superstep
+}
+
+// StarParams extend Params with the BSP* block size b (items): messages
+// shorter than b are charged as b.
+type StarParams struct {
+	Params
+	Blk int
+}
+
+// CommCost evaluates the BSP communication time of a recorded run:
+// Σ_rounds max(L, g·h_r), with h_r the round's h-relation.
+func CommCost(s cgm.Stats, p Params) float64 {
+	t := 0.0
+	for _, h := range s.HPerRound {
+		t += math.Max(p.L, p.G*float64(h))
+	}
+	return t
+}
+
+// StarCommCost evaluates the BSP* communication time: per round, the
+// maximum over processors of the padded volume sent or received, where
+// every nonzero message is charged at least Blk items.
+func StarCommCost(s cgm.Stats, p StarParams) float64 {
+	v := s.V
+	t := 0.0
+	for _, m := range s.SizeMatrixPerRound {
+		sent := make([]float64, v)
+		recv := make([]float64, v)
+		for src := 0; src < v; src++ {
+			for dst := 0; dst < v; dst++ {
+				n := m[src*v+dst]
+				if n == 0 {
+					continue
+				}
+				padded := float64(n)
+				if n < p.Blk {
+					padded = float64(p.Blk)
+				}
+				sent[src] += padded
+				recv[dst] += padded
+			}
+		}
+		hb := 0.0
+		for i := 0; i < v; i++ {
+			hb = math.Max(hb, math.Max(sent[i], recv[i]))
+		}
+		t += math.Max(p.L, p.G*hb)
+	}
+	return t
+}
+
+// PaddedVolume returns the total padded communication volume of a run
+// under block size b — the quantity BSP* ultimately bills.
+func PaddedVolume(s cgm.Stats, b int) int64 {
+	var total int64
+	for _, m := range s.SizeMatrixPerRound {
+		for _, n := range m {
+			if n == 0 {
+				continue
+			}
+			if n < b {
+				total += int64(b)
+			} else {
+				total += int64(n)
+			}
+		}
+	}
+	return total
+}
+
+// StarBlockGuarantee returns the minimum message size Theorem 1
+// guarantees after balancing an h-relation in which every processor sends
+// h items: h/v − (v−1)/2, floored to h/v − ⌈(v−1)/2⌉ so the integral
+// value always satisfies Lemma 1, and clamped at 1. A conforming BSP
+// algorithm converted with balance.Wrap is therefore a BSP* algorithm for
+// any block size up to this guarantee — Section 5, item (1).
+func StarBlockGuarantee(h, v int) int {
+	b := h/v - v/2
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// MinBlockFeasible reports Lemma 1's condition: a minimum message size
+// bMin is achievable iff N ≥ v²·bMin + v²(v−1)/2.
+func MinBlockFeasible(n, v, bMin int) bool {
+	return n >= v*v*bMin+v*v*(v-1)/2
+}

@@ -1,0 +1,299 @@
+// Package cgm implements the Coarse Grained Multicomputer (CGM) model:
+// v processors with O(N/v) local memory each, computing in an alternating
+// sequence of local-computation rounds and communication rounds, where
+// each communication round is a single h-relation with h = Θ(N/v).
+//
+// The package defines the Program interface in which all of this
+// repository's parallel algorithms are written, and an in-memory runtime
+// that executes a Program with one goroutine per virtual processor and
+// barrier-synchronised supersteps. The same Program, unchanged, runs under
+// the EM-CGM disk simulation of package core — that substitutability *is*
+// the paper's contribution.
+package cgm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// VP is the per-virtual-processor view a Program operates on.
+//
+// State is the processor's context: ALL data a program keeps across rounds
+// must live in State, because the EM-CGM simulation swaps exactly State to
+// disk between compound supersteps. Anything else is lost.
+type VP[T any] struct {
+	// ID is this virtual processor's index, 0 ≤ ID < V.
+	ID int
+	// V is the number of virtual processors.
+	V int
+	// State is the persistent context (μ = max items held here).
+	State []T
+}
+
+// Program is a CGM algorithm over items of type T.
+//
+// The runtime calls Init once per VP with the VP's input partition, then
+// repeatedly Round with the messages received from the previous round's
+// h-relation (inbox[s] = message from VP s; empty in round 0). Round
+// returns the outgoing messages (outbox[d] = message to VP d; nil outbox
+// means no communication) and whether the algorithm has finished; all VPs
+// must report done in the same round. Output extracts each VP's share of
+// the result.
+//
+// Programs must be deterministic and must not retain references to inbox
+// slices across rounds (store copies in State instead): under the EM
+// simulation those buffers are recycled disk blocks.
+type Program[T any] interface {
+	Init(vp *VP[T], input []T)
+	Round(vp *VP[T], round int, inbox [][]T) (outbox [][]T, done bool)
+	Output(vp *VP[T]) []T
+}
+
+// ContextSizer is an optional Program extension declaring the maximum
+// context size (in items) any VP will use for a problem of n items on v
+// processors. The EM-CGM machines use it to reserve disk space for
+// contexts deterministically, as the paper assumes ("since we know the
+// size of the contexts ... we can distribute them deterministically").
+type ContextSizer interface {
+	MaxContextItems(n, v int) int
+}
+
+// Stats records the CGM cost measures of a run.
+type Stats struct {
+	V      int // virtual processors
+	Rounds int // communication rounds λ (supersteps executed)
+	// TotalVolume is the total number of items communicated over all
+	// rounds and processors.
+	TotalVolume int64
+	// MaxH is the largest h-relation: max over rounds of the maximum
+	// items sent or received by any processor in that round.
+	MaxH int
+	// HPerRound records each round's h value.
+	HPerRound []int
+	// MaxContext is the largest context (items) observed at any round
+	// boundary — the measured μ.
+	MaxContext int
+	// MaxMsg is the largest single message (items) sent in any round.
+	MaxMsg int
+	// MinMsg is the smallest nonzero message sent in any round (0 if no
+	// messages were sent at all).
+	MinMsg int
+	// SizeMatrixPerRound[r][src*V+dst] is the size (items) of the message
+	// src→dst in round r — the raw data behind BSP/BSP* cost evaluation
+	// (package bsp).
+	SizeMatrixPerRound [][]int
+}
+
+// Result is the outcome of running a Program.
+type Result[T any] struct {
+	// Outputs[i] is VP i's output partition.
+	Outputs [][]T
+	Stats   Stats
+}
+
+// Output concatenates the per-VP outputs in VP order.
+func (r *Result[T]) Output() []T {
+	var n int
+	for _, o := range r.Outputs {
+		n += len(o)
+	}
+	out := make([]T, 0, n)
+	for _, o := range r.Outputs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// Run executes program p on v virtual processors over the given input
+// partitions (len(inputs) must equal v). Each round executes the VPs
+// concurrently, up to GOMAXPROCS at a time, then performs the h-relation.
+// A VP panic is recovered and returned as an error naming the VP.
+func Run[T any](p Program[T], v int, inputs [][]T) (*Result[T], error) {
+	if v < 1 {
+		return nil, fmt.Errorf("cgm: v = %d, want ≥ 1", v)
+	}
+	if len(inputs) != v {
+		return nil, fmt.Errorf("cgm: %d input partitions for v = %d processors", len(inputs), v)
+	}
+
+	vps := make([]*VP[T], v)
+	for i := range vps {
+		vps[i] = &VP[T]{ID: i, V: v}
+	}
+	if err := forEachVP(v, func(i int) error {
+		p.Init(vps[i], inputs[i])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	stats := Stats{V: v}
+	observeContexts(&stats, vps)
+
+	inboxes := make([][][]T, v)
+	for i := range inboxes {
+		inboxes[i] = make([][]T, v)
+	}
+	outboxes := make([][][]T, v)
+	dones := make([]bool, v)
+
+	const maxRounds = 1 << 20 // guard against non-terminating programs
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("cgm: program exceeded %d rounds without finishing", maxRounds)
+		}
+		if err := forEachVP(v, func(i int) error {
+			out, done := p.Round(vps[i], round, inboxes[i])
+			if out != nil && len(out) != v {
+				return fmt.Errorf("cgm: vp %d round %d returned outbox of length %d, want %d or nil",
+					i, round, len(out), v)
+			}
+			outboxes[i] = out
+			dones[i] = done
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		done := dones[0]
+		for i, d := range dones {
+			if d != done {
+				return nil, fmt.Errorf("cgm: vp %d disagreed on termination at round %d", i, round)
+			}
+		}
+
+		stats.Rounds = round + 1
+		observeRound(&stats, outboxes)
+		observeContexts(&stats, vps)
+
+		if done {
+			break
+		}
+
+		// The h-relation: inbox[d][s] = outbox[s][d].
+		for d := 0; d < v; d++ {
+			for s := 0; s < v; s++ {
+				if outboxes[s] == nil {
+					inboxes[d][s] = nil
+				} else {
+					inboxes[d][s] = outboxes[s][d]
+				}
+			}
+		}
+	}
+
+	res := &Result[T]{Outputs: make([][]T, v), Stats: stats}
+	if err := forEachVP(v, func(i int) error {
+		res.Outputs[i] = p.Output(vps[i])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// forEachVP runs f(i) for i in [0,v) concurrently with bounded parallelism,
+// converting panics into errors.
+func forEachVP(v int, f func(i int) error) error {
+	par := runtime.GOMAXPROCS(0)
+	if maxParallelism > 0 {
+		par = maxParallelism
+	}
+	if par > v {
+		par = v
+	}
+	errs := make([]error, v)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("cgm: vp %d panicked: %v", i, r)
+						}
+					}()
+					errs[i] = f(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < v; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observeContexts records the largest context across VPs.
+func observeContexts[T any](s *Stats, vps []*VP[T]) {
+	for _, vp := range vps {
+		if len(vp.State) > s.MaxContext {
+			s.MaxContext = len(vp.State)
+		}
+	}
+}
+
+// observeRound folds one round's outboxes into the statistics.
+func observeRound[T any](s *Stats, outboxes [][][]T) {
+	v := len(outboxes)
+	recv := make([]int, v)
+	matrix := make([]int, v*v)
+	h := 0
+	for src, out := range outboxes {
+		if out == nil {
+			continue
+		}
+		sent := 0
+		for dst, msg := range out {
+			n := len(msg)
+			matrix[src*v+dst] = n
+			sent += n
+			recv[dst] += n
+			s.TotalVolume += int64(n)
+			if n > s.MaxMsg {
+				s.MaxMsg = n
+			}
+			if n > 0 && (s.MinMsg == 0 || n < s.MinMsg) {
+				s.MinMsg = n
+			}
+		}
+		if sent > h {
+			h = sent
+		}
+	}
+	s.SizeMatrixPerRound = append(s.SizeMatrixPerRound, matrix)
+	for _, r := range recv {
+		if r > h {
+			h = r
+		}
+	}
+	s.HPerRound = append(s.HPerRound, h)
+	if h > s.MaxH {
+		s.MaxH = h
+	}
+}
+
+// RunSequential executes the program exactly like Run but with all
+// virtual processors stepped one after another on the calling goroutine —
+// the debugging runner. Deterministic programs produce identical results
+// under both runners; TestRunnersAgree in this package asserts it.
+func RunSequential[T any](p Program[T], v int, inputs [][]T) (*Result[T], error) {
+	old := maxParallelism
+	maxParallelism = 1
+	defer func() { maxParallelism = old }()
+	return Run(p, v, inputs)
+}
+
+// maxParallelism caps forEachVP's worker count; 0 means GOMAXPROCS.
+var maxParallelism int

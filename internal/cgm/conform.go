@@ -1,0 +1,43 @@
+package cgm
+
+import "fmt"
+
+// Conformance describes how closely a recorded run obeyed the CGM model's
+// defining constraints: every communication round is an h-relation with
+// h ≤ c·N/v, and every context stays within μ ≤ c·N/v. The simulation
+// theorems (2 and 3) consume exactly these properties, so the test suites
+// certify each algorithm's conformance before trusting its EM costs.
+type Conformance struct {
+	N, V int
+	// HFactor is max_r h_r / (N/v) — the h-relation constant.
+	HFactor float64
+	// MuFactor is max context / (N/v) — the memory constant.
+	MuFactor float64
+	// Rounds is λ.
+	Rounds int
+}
+
+// Conform evaluates a run's statistics against the CGM constraints for a
+// problem of n items.
+func Conform(s Stats, n int) Conformance {
+	per := float64(n) / float64(s.V)
+	if per == 0 {
+		per = 1
+	}
+	c := Conformance{N: n, V: s.V, Rounds: s.Rounds}
+	c.HFactor = float64(s.MaxH) / per
+	c.MuFactor = float64(s.MaxContext) / per
+	return c
+}
+
+// Check returns an error if the run exceeded the given h and μ constants
+// (both relative to N/v).
+func (c Conformance) Check(maxHFactor, maxMuFactor float64) error {
+	if c.HFactor > maxHFactor {
+		return fmt.Errorf("cgm: h-relation factor %.2f exceeds %.2f (not a CGM h-relation)", c.HFactor, maxHFactor)
+	}
+	if c.MuFactor > maxMuFactor {
+		return fmt.Errorf("cgm: context factor %.2f exceeds %.2f (memory not O(N/v))", c.MuFactor, maxMuFactor)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package cgm
+
+import "fmt"
+
+// PartRange returns the half-open range [lo, hi) of global indices owned
+// by VP i under the balanced block distribution of n items over v
+// processors: the first n mod v processors hold ⌈n/v⌉ items, the rest
+// ⌊n/v⌋.
+func PartRange(n, v, i int) (lo, hi int) {
+	if v < 1 || i < 0 || i >= v {
+		panic(fmt.Sprintf("cgm: PartRange(n=%d, v=%d, i=%d)", n, v, i))
+	}
+	q, r := n/v, n%v
+	if i < r {
+		lo = i * (q + 1)
+		return lo, lo + q + 1
+	}
+	lo = r*(q+1) + (i-r)*q
+	return lo, lo + q
+}
+
+// Owner returns the VP owning global index g under the balanced block
+// distribution of n items over v processors (inverse of PartRange).
+func Owner(n, v, g int) int {
+	if g < 0 || g >= n {
+		panic(fmt.Sprintf("cgm: Owner(n=%d, v=%d, g=%d)", n, v, g))
+	}
+	q, r := n/v, n%v
+	head := r * (q + 1)
+	if g < head {
+		return g / (q + 1)
+	}
+	if q == 0 {
+		// n < v and g >= head is impossible since head = n; guard anyway.
+		return r
+	}
+	return r + (g-head)/q
+}
+
+// Scatter splits items into v partitions under the balanced block
+// distribution. The partitions alias the input slice.
+func Scatter[T any](items []T, v int) [][]T {
+	parts := make([][]T, v)
+	for i := 0; i < v; i++ {
+		lo, hi := PartRange(len(items), v, i)
+		parts[i] = items[lo:hi]
+	}
+	return parts
+}

@@ -1,0 +1,308 @@
+// Package core implements the paper's contribution: the deterministic
+// simulation of CGM algorithms as external-memory (EM-CGM) algorithms.
+//
+// Two machines are provided:
+//
+//   - RunSeq — Algorithm 2 (SeqCompoundSuperstep): a single real processor
+//     with D disks simulates all v virtual processors, swapping their
+//     contexts through disk in consecutive format and exchanging their
+//     messages through the staggered message matrix of Figure 2, with the
+//     single-copy alternation of Observation 2.
+//   - RunPar — Algorithm 3 (ParCompoundSuperstep): p ≤ v real processors
+//     (goroutines), each with its own D-disk array, simulate v/p virtual
+//     processors each; messages between virtual processors on different
+//     real processors travel over the real "network" (channels) and are
+//     laid out on the destination's disks.
+//
+// Both machines execute any cgm.Program unchanged and return exact PDM
+// accounting: parallel I/O operations (split into context-swap and
+// messaging I/O), communication volume, and superstep counts — the
+// quantities Theorems 2 and 3 bound.
+//
+// The simulation is content-oblivious, as a deterministic simulation must
+// be: every compound superstep reads and writes the full reserved context
+// run of each virtual processor and all v message slots of its inbox and
+// outbox, regardless of how much data the program actually produced.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/cgm"
+	"repro/internal/pdm"
+	"repro/internal/wordcodec"
+)
+
+// Config parameterises an EM-CGM machine.
+type Config struct {
+	// V is the number of virtual processors of the simulated CGM.
+	V int
+	// P is the number of real processors (RunPar only; must divide V).
+	P int
+	// D is the number of disks per real processor.
+	D int
+	// B is the block (track) size in words.
+	B int
+	// M, when positive, is the internal memory limit per real processor in
+	// words; the machine fails fast if a superstep's working set (context
+	// plus one inbox) cannot fit.
+	M int
+	// MaxCtxItems bounds any virtual processor's context (μ, in items).
+	// 0 means: use the program's ContextSizer if implemented, else a
+	// generous default. The bound is enforced at run time.
+	MaxCtxItems int
+	// MaxMsgItems bounds any single message (items); it fixes the message
+	// slot size on disk. 0 means the worst case ⌈N/V⌉ (one destination
+	// receives a whole h-relation).
+	MaxMsgItems int
+	// MaxHItems bounds the h-relation (items sent or received by one
+	// virtual processor per round); used to size slots when Balanced.
+	// 0 means 2·⌈N/V⌉.
+	MaxHItems int
+	// Balanced wraps the program with BalancedRouting (Algorithm 1),
+	// guaranteeing the message-size bounds of Theorem 1 at the cost of
+	// doubling the round count (Lemma 2).
+	Balanced bool
+	// NewDisk, when non-nil, supplies the disk for (real processor, index)
+	// — e.g. file-backed disks. nil means in-memory disks.
+	NewDisk func(proc, disk int) pdm.Disk
+	// CacheContexts keeps virtual-processor contexts resident in the real
+	// processor's memory when P = V (one context per processor, M = Θ(μ)),
+	// eliminating the context-swap I/O entirely — the machine then pays
+	// only the message-matrix I/O. An optimisation the paper's M = Θ(μ)
+	// regime makes legal; ignored when P < V.
+	CacheContexts bool
+}
+
+func (c Config) validate() error {
+	if c.V < 1 {
+		return fmt.Errorf("core: V = %d, want ≥ 1", c.V)
+	}
+	if c.P < 1 {
+		return fmt.Errorf("core: P = %d, want ≥ 1", c.P)
+	}
+	if c.P > c.V {
+		return fmt.Errorf("core: P = %d exceeds V = %d", c.P, c.V)
+	}
+	if c.V%c.P != 0 {
+		return fmt.Errorf("core: P = %d must divide V = %d", c.P, c.V)
+	}
+	if c.D < 1 {
+		return fmt.Errorf("core: D = %d, want ≥ 1", c.D)
+	}
+	if c.B < 1 {
+		return fmt.Errorf("core: B = %d, want ≥ 1", c.B)
+	}
+	return nil
+}
+
+// newArray builds the disk array of real processor proc.
+func (c Config) newArray(proc int) (*pdm.DiskArray, error) {
+	if c.NewDisk == nil {
+		return pdm.NewMemArray(c.D, c.B), nil
+	}
+	disks := make([]pdm.Disk, c.D)
+	for i := range disks {
+		disks[i] = c.NewDisk(proc, i)
+	}
+	return pdm.NewDiskArray(disks)
+}
+
+// Result reports the outcome and the cost accounting of an EM-CGM run.
+type Result[T any] struct {
+	// Outputs[j] is virtual processor j's output partition.
+	Outputs [][]T
+	// Rounds is λ, the number of compound supersteps executed (after
+	// balancing, if enabled — Lemma 2's 2λ shows up here).
+	Rounds int
+	// IO aggregates disk statistics over all real processors. IO.ParallelOps
+	// is the PDM cost measure the paper's theorems bound.
+	IO pdm.IOStats
+	// IOPerProc holds each real processor's disk statistics.
+	IOPerProc []pdm.IOStats
+	// CtxOps and MsgOps split IO.ParallelOps into context-swap operations
+	// and message-matrix operations.
+	CtxOps, MsgOps int64
+	// CommItems counts items sent between distinct real processors (the
+	// real communication α of Theorem 3); always 0 for RunSeq.
+	CommItems int64
+	// MaxH is the largest observed h-relation (items sent or received by
+	// one virtual processor in one round).
+	MaxH int
+	// MaxMsgObserved is the largest single message actually produced.
+	MaxMsgObserved int
+	// MaxCtxObserved is the largest context actually held (measured μ).
+	MaxCtxObserved int
+	// Supersteps is the number of real-machine supersteps: Rounds · V/P
+	// compound supersteps per Lemma 4 (equal to Rounds for RunSeq's single
+	// processor, which the paper treats as one compound superstep per
+	// virtual processor batch).
+	Supersteps int
+	// MaxTracks is the largest track index allocated on any disk — the
+	// simulation's disk-space footprint. RunSeq's single-copy message
+	// matrix (Observation 2) keeps it roughly half of RunPar's
+	// double-buffered layout.
+	MaxTracks int
+}
+
+// Output concatenates the per-VP outputs in VP order.
+func (r *Result[T]) Output() []T {
+	var n int
+	for _, o := range r.Outputs {
+		n += len(o)
+	}
+	out := make([]T, 0, n)
+	for _, o := range r.Outputs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// limits resolves the context and message bounds for a run of n items.
+func limits[T any](prog cgm.Program[T], cfg Config, n int) (maxCtx, maxMsg int) {
+	perVP := (n + cfg.V - 1) / cfg.V
+	maxCtx = cfg.MaxCtxItems
+	if maxCtx == 0 {
+		if cs, ok := prog.(cgm.ContextSizer); ok {
+			maxCtx = cs.MaxContextItems(n, cfg.V)
+		}
+	}
+	if maxCtx <= 0 {
+		maxCtx = 8*perVP + 4*cfg.V + 64
+	}
+	maxMsg = cfg.MaxMsgItems
+	if maxMsg <= 0 {
+		maxMsg = perVP + 1
+	}
+	return maxCtx, maxMsg
+}
+
+// balancedMsgBound returns the slot size (items) sufficient for a
+// balanced run given the h bound: Theorem 1's h/v + (v−1)/2, rounded up
+// with one item of slack.
+func balancedMsgBound(maxH, v int) int {
+	return (maxH+v-1)/v + (v-1)/2 + 1
+}
+
+// slotWords returns the words per message slot: a count header plus
+// maxMsg encoded items.
+func slotWords(maxMsg, itemWords int) int { return 1 + maxMsg*itemWords }
+
+// ctxWords returns the words per context run: a count header plus maxCtx
+// encoded items.
+func ctxWords(maxCtx, itemWords int) int { return 1 + maxCtx*itemWords }
+
+// encodeCtx serialises state into a context image of exactly want words
+// (header + items + zero padding).
+func encodeCtx[T any](codec wordcodec.Codec[T], state []T, maxCtx, want int) ([]pdm.Word, error) {
+	if len(state) > maxCtx {
+		return nil, fmt.Errorf("core: context of %d items exceeds the declared bound μ = %d items; set Config.MaxCtxItems or implement cgm.ContextSizer", len(state), maxCtx)
+	}
+	img := make([]pdm.Word, 1, want)
+	img[0] = pdm.Word(len(state))
+	img = wordcodec.EncodeSlice(codec, img, state)
+	img = append(img, make([]pdm.Word, want-len(img))...)
+	return img, nil
+}
+
+// decodeCtx deserialises a context image.
+func decodeCtx[T any](codec wordcodec.Codec[T], img []pdm.Word) ([]T, error) {
+	n := int(img[0])
+	iw := codec.Words()
+	if n < 0 || 1+n*iw > len(img) {
+		return nil, fmt.Errorf("core: corrupt context header: %d items in %d words", n, len(img))
+	}
+	return wordcodec.DecodeSlice(codec, make([]T, 0, n), img[1:], n), nil
+}
+
+// encodeMsg serialises one message into a slot image of exactly want words.
+func encodeMsg[T any](codec wordcodec.Codec[T], msg []T, maxMsg, want int) ([]pdm.Word, error) {
+	if len(msg) > maxMsg {
+		return nil, fmt.Errorf("core: message of %d items exceeds the slot bound %d items; set Config.MaxMsgItems (or Balanced) accordingly", len(msg), maxMsg)
+	}
+	img := make([]pdm.Word, 1, want)
+	img[0] = pdm.Word(len(msg))
+	img = wordcodec.EncodeSlice(codec, img, msg)
+	img = append(img, make([]pdm.Word, want-len(img))...)
+	return img, nil
+}
+
+// decodeMsg deserialises one message slot.
+func decodeMsg[T any](codec wordcodec.Codec[T], img []pdm.Word) ([]T, error) {
+	n := int(img[0])
+	iw := codec.Words()
+	if n < 0 || 1+n*iw > len(img) {
+		return nil, fmt.Errorf("core: corrupt message header: %d items in %d words", n, len(img))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return wordcodec.DecodeSlice(codec, make([]T, 0, n), img[1:], n), nil
+}
+
+// RunSeq simulates program prog as a single-processor EM-CGM algorithm
+// per Algorithm 2. If cfg.Balanced is set, the program is first lifted
+// through BalancedRouting.
+func RunSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
+	cfg.P = 1
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Balanced {
+		return runBalanced(prog, codec, cfg, inputs, runSeq[balance.Item[T]])
+	}
+	return runSeq(prog, codec, cfg, inputs)
+}
+
+// RunPar simulates program prog as a p-processor EM-CGM algorithm per
+// Algorithm 3. If cfg.Balanced is set, the program is first lifted
+// through BalancedRouting.
+func RunPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Balanced {
+		return runBalanced(prog, codec, cfg, inputs, runPar[balance.Item[T]])
+	}
+	return runPar(prog, codec, cfg, inputs)
+}
+
+// engine is the signature shared by runSeq and runPar.
+type engine[T any] func(cgm.Program[T], wordcodec.Codec[T], Config, [][]T) (*Result[T], error)
+
+// runBalanced lifts the program, codec and inputs through BalancedRouting,
+// runs the given engine, and unwraps the result.
+func runBalanced[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T, run engine[balance.Item[T]]) (*Result[T], error) {
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	maxH := cfg.MaxHItems
+	if maxH <= 0 {
+		maxH = 2 * ((n + cfg.V - 1) / cfg.V)
+	}
+	wcfg := cfg
+	wcfg.Balanced = false
+	if wcfg.MaxMsgItems == 0 {
+		wcfg.MaxMsgItems = balancedMsgBound(maxH, cfg.V)
+	}
+	wres, err := run(balance.Wrap(prog), balance.Codec[T]{Inner: codec}, wcfg, balance.WrapInputs(inputs))
+	if err != nil {
+		return nil, err
+	}
+	return &Result[T]{
+		Outputs:        balance.UnwrapOutputs(wres.Outputs),
+		Rounds:         wres.Rounds,
+		IO:             wres.IO,
+		IOPerProc:      wres.IOPerProc,
+		CtxOps:         wres.CtxOps,
+		MsgOps:         wres.MsgOps,
+		CommItems:      wres.CommItems,
+		MaxTracks:      wres.MaxTracks,
+		MaxH:           wres.MaxH,
+		MaxMsgObserved: wres.MaxMsgObserved,
+		MaxCtxObserved: wres.MaxCtxObserved,
+		Supersteps:     wres.Supersteps,
+	}, nil
+}

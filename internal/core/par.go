@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cgm"
+	"repro/internal/layout"
+	"repro/internal/pdm"
+	"repro/internal/wordcodec"
+)
+
+// batch is what one virtual processor sends to one real processor in one
+// superstep: its messages for every virtual processor local to that real
+// processor. A final batch carries no messages (the algorithm finished).
+type batch[T any] struct {
+	srcVP int
+	msgs  [][]T // indexed by local VP of the destination processor; nil entries = empty
+	final bool
+}
+
+// runPar is Algorithm 3: ParCompoundSuperstep. p real processors run as
+// goroutines, each with its own D-disk array; each simulates v/p virtual
+// processors per round and routes generated messages to the destination
+// real processor over channels, which lays them out on its own disks.
+//
+// Per-processor disk map: contexts of the v/p local virtual processors
+// first, then two rectangular message matrices used in ping-pong by round
+// parity (incoming batches may arrive before the local inboxes of the
+// same superstep are consumed, so the single-copy alternation of the
+// sequential machine does not apply).
+func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
+	v, p := cfg.V, cfg.P
+	if len(inputs) != v {
+		return nil, fmt.Errorf("core: %d input partitions for V = %d", len(inputs), v)
+	}
+	localV := v / p
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	iw := codec.Words()
+	maxCtx, maxMsg := limits(prog, cfg, n)
+	cw := ctxWords(maxCtx, iw)
+	sw := slotWords(maxMsg, iw)
+	cb := pdm.BlocksFor(cw, cfg.B)
+	bpm := pdm.BlocksFor(sw, cfg.B)
+	ctxTracks := (localV*cb+cfg.D-1)/cfg.D + 1
+
+	if cfg.M > 0 {
+		need := cb*cfg.B + v*bpm*cfg.B
+		if need > cfg.M {
+			return nil, fmt.Errorf("core: superstep working set %d words exceeds M = %d", need, cfg.M)
+		}
+	}
+
+	// Per-processor state.
+	arrays := make([]*pdm.DiskArray, p)
+	matrices := make([][2]layout.Rect, p)
+	for i := 0; i < p; i++ {
+		a, err := cfg.newArray(i)
+		if err != nil {
+			return nil, err
+		}
+		arrays[i] = a
+		m0, err := layout.NewRect(v, localV, bpm, cfg.D, ctxTracks)
+		if err != nil {
+			return nil, err
+		}
+		m1, err := layout.NewRect(v, localV, bpm, cfg.D, ctxTracks+m0.TotalTracks())
+		if err != nil {
+			return nil, err
+		}
+		matrices[i] = [2]layout.Rect{m0, m1}
+	}
+	defer func() {
+		for _, a := range arrays {
+			a.Close()
+		}
+	}()
+
+	owner := func(vp int) int { return vp / localV }
+	localIdx := func(vp int) int { return vp % localV }
+	cacheCtx := cfg.CacheContexts && localV == 1
+	cached := make([][]T, p) // resident contexts when cacheCtx
+
+	writeCtx := func(proc, l int, state []T) error {
+		img, err := encodeCtx(codec, state, maxCtx, cb*cfg.B)
+		if err != nil {
+			return err
+		}
+		return layout.WriteStriped(arrays[proc], 0, l*cb, layout.SplitBlocks(img, cfg.B))
+	}
+	readCtx := func(proc, l int) ([]T, error) {
+		img, err := layout.ReadStriped(arrays[proc], 0, l*cb, cb)
+		if err != nil {
+			return nil, err
+		}
+		return decodeCtx(codec, img)
+	}
+
+	res := &Result[T]{Outputs: make([][]T, v)}
+
+	// Input distribution.
+	for j := 0; j < v; j++ {
+		vp := &cgm.VP[T]{ID: j, V: v}
+		prog.Init(vp, inputs[j])
+		if len(vp.State) > res.MaxCtxObserved {
+			res.MaxCtxObserved = len(vp.State)
+		}
+		if cacheCtx {
+			if len(vp.State) > maxCtx {
+				return nil, fmt.Errorf("core: context of %d items exceeds μ = %d", len(vp.State), maxCtx)
+			}
+			cached[owner(j)] = vp.State
+			continue
+		}
+		if err := writeCtx(owner(j), localIdx(j), vp.State); err != nil {
+			return nil, err
+		}
+	}
+	initOps := int64(0)
+	for _, a := range arrays {
+		initOps += a.Stats().ParallelOps
+	}
+	res.CtxOps = initOps
+
+	chans := make([]chan batch[T], p)
+	for i := range chans {
+		chans[i] = make(chan batch[T], v) // each proc receives exactly v batches per round
+	}
+
+	type procOut struct {
+		done           bool
+		err            error
+		ctxOps, msgOps int64
+		sent, recv     []int // per local VP items
+		comm           int64
+		maxMsg, maxCtx int
+	}
+
+	prevOps := make([]int64, p)
+	for i, a := range arrays {
+		prevOps[i] = a.Stats().ParallelOps
+	}
+
+	runProc := func(i, round int) procOut {
+		out := procOut{sent: make([]int, localV), recv: make([]int, localV)}
+		arr := arrays[i]
+		readM := matrices[i][round%2]
+		writeParity := (round + 1) % 2
+		ctxOps, msgOps := int64(0), int64(0)
+		last := prevOps[i]
+		account := func(isCtx bool) {
+			now := arr.Stats().ParallelOps
+			if isCtx {
+				ctxOps += now - last
+			} else {
+				msgOps += now - last
+			}
+			last = now
+		}
+
+		doneLocal := false
+		for l := 0; l < localV; l++ {
+			j := i*localV + l
+			// (a) Context in (skipped when resident).
+			var state []T
+			if cacheCtx {
+				state = cached[i]
+			} else {
+				var err error
+				state, err = readCtx(i, l)
+				if err != nil {
+					out.err = fmt.Errorf("core: round %d vp %d: read context: %w", round, j, err)
+					return out
+				}
+				account(true)
+			}
+			// (b) Inbox in.
+			inbox := make([][]T, v)
+			if round > 0 {
+				reqs := readM.RegionReqs(l)
+				flat := make([]pdm.Word, len(reqs)*cfg.B)
+				bufs := make([][]pdm.Word, len(reqs))
+				for k := range bufs {
+					bufs[k] = flat[k*cfg.B : (k+1)*cfg.B]
+				}
+				if _, err := layout.ReadFIFO(arr, reqs, bufs); err != nil {
+					out.err = fmt.Errorf("core: round %d vp %d: read inbox: %w", round, j, err)
+					return out
+				}
+				for src := 0; src < v; src++ {
+					msg, err := decodeMsg(codec, flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
+					if err != nil {
+						out.err = fmt.Errorf("core: round %d vp %d: message from %d: %w", round, j, src, err)
+						return out
+					}
+					inbox[src] = msg
+					out.recv[l] += len(msg)
+				}
+				account(false)
+			}
+			// (c) Compute.
+			vp := &cgm.VP[T]{ID: j, V: v, State: state}
+			outbox, done := prog.Round(vp, round, inbox)
+			if outbox != nil && len(outbox) != v {
+				out.err = fmt.Errorf("core: vp %d round %d returned outbox of length %d, want %d or nil",
+					j, round, len(outbox), v)
+				return out
+			}
+			if l == 0 {
+				doneLocal = done
+			} else if done != doneLocal {
+				out.err = fmt.Errorf("core: vp %d disagreed on termination at round %d", j, round)
+				return out
+			}
+			if done {
+				res.Outputs[j] = prog.Output(vp)
+			}
+			// (d) Send generated messages to their real destinations.
+			for k := 0; k < p; k++ {
+				b := batch[T]{srcVP: j, final: done}
+				if !done {
+					b.msgs = make([][]T, localV)
+					for dl := 0; dl < localV; dl++ {
+						dst := k*localV + dl
+						if outbox != nil {
+							b.msgs[dl] = outbox[dst]
+							if len(outbox[dst]) > out.maxMsg {
+								out.maxMsg = len(outbox[dst])
+							}
+							out.sent[l] += len(outbox[dst])
+							if k != i {
+								out.comm += int64(len(outbox[dst]))
+							}
+						}
+					}
+				}
+				chans[k] <- b
+			}
+			// (e) Context out (or keep resident).
+			if len(vp.State) > out.maxCtx {
+				out.maxCtx = len(vp.State)
+			}
+			if cacheCtx {
+				if len(vp.State) > maxCtx {
+					out.err = fmt.Errorf("core: round %d vp %d: context of %d items exceeds μ = %d",
+						round, j, len(vp.State), maxCtx)
+					return out
+				}
+				cached[i] = vp.State
+			} else {
+				if err := writeCtx(i, l, vp.State); err != nil {
+					out.err = fmt.Errorf("core: round %d vp %d: write context: %w", round, j, err)
+					return out
+				}
+				account(true)
+			}
+		}
+
+		// Receive exactly v batches (one per virtual processor in the
+		// machine) and lay their messages out for the next superstep.
+		writeM := matrices[i][writeParity]
+		for got := 0; got < v; got++ {
+			b := <-chans[i]
+			if b.final {
+				continue
+			}
+			reqs := make([]pdm.BlockReq, 0, localV*bpm)
+			bufs := make([][]pdm.Word, 0, localV*bpm)
+			for dl := 0; dl < localV; dl++ {
+				img, err := encodeMsg(codec, b.msgs[dl], maxMsg, bpm*cfg.B)
+				if err != nil {
+					out.err = fmt.Errorf("vp %d round %d → %d: %w", b.srcVP, round, i*localV+dl, err)
+					return out
+				}
+				reqs = append(reqs, writeM.SlotReqs(dl, b.srcVP)...)
+				bufs = append(bufs, layout.SplitBlocks(img, cfg.B)...)
+			}
+			if _, err := layout.WriteFIFO(arr, reqs, bufs); err != nil {
+				out.err = fmt.Errorf("core: round %d proc %d: write batch from vp %d: %w", round, i, b.srcVP, err)
+				return out
+			}
+			account(false)
+		}
+
+		out.done = doneLocal
+		out.ctxOps, out.msgOps = ctxOps, msgOps
+		prevOps[i] = last
+		return out
+	}
+
+	const maxRounds = 1 << 20
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("core: program exceeded %d rounds", maxRounds)
+		}
+		outs := make([]procOut, p)
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = runProc(i, round)
+			}(i)
+		}
+		wg.Wait()
+
+		for i := range outs {
+			if outs[i].err != nil {
+				return nil, outs[i].err
+			}
+		}
+		done := outs[0].done
+		for i := range outs {
+			if outs[i].done != done {
+				return nil, fmt.Errorf("core: real processor %d disagreed on termination at round %d", i, round)
+			}
+			res.CtxOps += outs[i].ctxOps
+			res.MsgOps += outs[i].msgOps
+			res.CommItems += outs[i].comm
+			if outs[i].maxMsg > res.MaxMsgObserved {
+				res.MaxMsgObserved = outs[i].maxMsg
+			}
+			if outs[i].maxCtx > res.MaxCtxObserved {
+				res.MaxCtxObserved = outs[i].maxCtx
+			}
+			for _, h := range outs[i].sent {
+				if h > res.MaxH {
+					res.MaxH = h
+				}
+			}
+			for _, h := range outs[i].recv {
+				if h > res.MaxH {
+					res.MaxH = h
+				}
+			}
+		}
+		res.Rounds = round + 1
+		if done {
+			break
+		}
+	}
+
+	res.IOPerProc = make([]pdm.IOStats, p)
+	for i, a := range arrays {
+		res.IOPerProc[i] = a.Stats()
+		res.IO.Add(a.Stats())
+		for k := 0; k < a.D(); k++ {
+			if t := a.Disk(k).Tracks(); t > res.MaxTracks {
+				res.MaxTracks = t
+			}
+		}
+	}
+	res.Supersteps = res.Rounds * localV
+	return res, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cgm"
+	"repro/internal/layout"
+	"repro/internal/pdm"
+	"repro/internal/wordcodec"
+)
+
+// runSeq is Algorithm 2: SeqCompoundSuperstep iterated until the program
+// finishes. One real processor, D disks.
+//
+// Disk map: contexts live first — VP j's context occupies striped blocks
+// [j·cb, (j+1)·cb) from track 0 — followed by the single-copy staggered
+// message matrix with Observation 2's alternating placement.
+func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
+	v := cfg.V
+	if len(inputs) != v {
+		return nil, fmt.Errorf("core: %d input partitions for V = %d", len(inputs), v)
+	}
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	iw := codec.Words()
+	maxCtx, maxMsg := limits(prog, cfg, n)
+	cw := ctxWords(maxCtx, iw)
+	sw := slotWords(maxMsg, iw)
+	cb := pdm.BlocksFor(cw, cfg.B)  // blocks per context
+	bpm := pdm.BlocksFor(sw, cfg.B) // blocks per message slot (b′)
+	ctxTracks := (v*cb+cfg.D-1)/cfg.D + 1
+
+	if cfg.M > 0 {
+		need := cb*cfg.B + v*bpm*cfg.B // one context + one full inbox
+		if need > cfg.M {
+			return nil, fmt.Errorf("core: superstep working set %d words exceeds M = %d (μ=%d items, slot=%d items × V=%d)",
+				need, cfg.M, maxCtx, maxMsg, v)
+		}
+	}
+
+	matrix, err := layout.NewMatrix(v, bpm, cfg.D, ctxTracks)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := cfg.newArray(0)
+	if err != nil {
+		return nil, err
+	}
+	defer arr.Close()
+
+	res := &Result[T]{Outputs: make([][]T, v)}
+
+	writeCtx := func(j int, state []T) error {
+		img, err := encodeCtx(codec, state, maxCtx, cb*cfg.B)
+		if err != nil {
+			return fmt.Errorf("vp %d: %w", j, err)
+		}
+		if len(state) > res.MaxCtxObserved {
+			res.MaxCtxObserved = len(state)
+		}
+		return layout.WriteStriped(arr, 0, j*cb, layout.SplitBlocks(img, cfg.B))
+	}
+	readCtx := func(j int) ([]T, error) {
+		img, err := layout.ReadStriped(arr, 0, j*cb, cb)
+		if err != nil {
+			return nil, err
+		}
+		return decodeCtx(codec, img)
+	}
+
+	// Input distribution: initialise and write every context.
+	for j := 0; j < v; j++ {
+		vp := &cgm.VP[T]{ID: j, V: v}
+		prog.Init(vp, inputs[j])
+		if err := writeCtx(j, vp.State); err != nil {
+			return nil, err
+		}
+	}
+	res.CtxOps = arr.Stats().ParallelOps
+
+	var prevOps int64 = res.CtxOps
+	account := func(isCtx bool) {
+		now := arr.Stats().ParallelOps
+		if isCtx {
+			res.CtxOps += now - prevOps
+		} else {
+			res.MsgOps += now - prevOps
+		}
+		prevOps = now
+	}
+
+	const maxRounds = 1 << 20
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("core: program exceeded %d rounds", maxRounds)
+		}
+		var doneAll bool
+		recvItems := make([]int, v)
+		sentItems := make([]int, v)
+
+		for j := 0; j < v; j++ {
+			// (a) Read the context of virtual processor j.
+			state, err := readCtx(j)
+			if err != nil {
+				return nil, fmt.Errorf("core: round %d vp %d: read context: %w", round, j, err)
+			}
+			account(true)
+
+			// (b) Read the packets received by virtual processor j.
+			inbox := make([][]T, v)
+			if round > 0 {
+				reqs := matrix.InboxReqs(round, j)
+				flat := make([]pdm.Word, len(reqs)*cfg.B)
+				bufs := make([][]pdm.Word, len(reqs))
+				for i := range bufs {
+					bufs[i] = flat[i*cfg.B : (i+1)*cfg.B]
+				}
+				if _, err := layout.ReadFIFO(arr, reqs, bufs); err != nil {
+					return nil, fmt.Errorf("core: round %d vp %d: read inbox: %w", round, j, err)
+				}
+				for src := 0; src < v; src++ {
+					msg, err := decodeMsg(codec, flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
+					if err != nil {
+						return nil, fmt.Errorf("core: round %d vp %d: message from %d: %w", round, j, src, err)
+					}
+					inbox[src] = msg
+					recvItems[j] += len(msg)
+				}
+				account(false)
+			}
+
+			// (c) Simulate the local computation.
+			vp := &cgm.VP[T]{ID: j, V: v, State: state}
+			outbox, done := prog.Round(vp, round, inbox)
+			if outbox != nil && len(outbox) != v {
+				return nil, fmt.Errorf("core: vp %d round %d returned outbox of length %d, want %d or nil",
+					j, round, len(outbox), v)
+			}
+			if j == 0 {
+				doneAll = done
+			} else if done != doneAll {
+				return nil, fmt.Errorf("core: vp %d disagreed on termination at round %d", j, round)
+			}
+
+			// (d) Write the packets sent by virtual processor j (staggered).
+			if !done {
+				reqs := matrix.OutboxReqs(round, j)
+				bufs := make([][]pdm.Word, 0, len(reqs))
+				for dst := 0; dst < v; dst++ {
+					var msg []T
+					if outbox != nil {
+						msg = outbox[dst]
+					}
+					img, err := encodeMsg(codec, msg, maxMsg, bpm*cfg.B)
+					if err != nil {
+						return nil, fmt.Errorf("vp %d round %d → %d: %w", j, round, dst, err)
+					}
+					sentItems[j] += len(msg)
+					if len(msg) > res.MaxMsgObserved {
+						res.MaxMsgObserved = len(msg)
+					}
+					bufs = append(bufs, layout.SplitBlocks(img, cfg.B)...)
+				}
+				if _, err := layout.WriteFIFO(arr, reqs, bufs); err != nil {
+					return nil, fmt.Errorf("core: round %d vp %d: write outbox: %w", round, j, err)
+				}
+				account(false)
+			} else {
+				res.Outputs[j] = prog.Output(vp)
+			}
+
+			// (e) Write the changed context back (consecutive).
+			if err := writeCtx(j, vp.State); err != nil {
+				return nil, err
+			}
+			account(true)
+		}
+
+		res.Rounds = round + 1
+		for j := 0; j < v; j++ {
+			if recvItems[j] > res.MaxH {
+				res.MaxH = recvItems[j]
+			}
+			if sentItems[j] > res.MaxH {
+				res.MaxH = sentItems[j]
+			}
+		}
+		if doneAll {
+			break
+		}
+	}
+
+	res.IOPerProc = []pdm.IOStats{arr.Stats()}
+	res.IO = arr.Stats()
+	for i := 0; i < arr.D(); i++ {
+		if t := arr.Disk(i).Tracks(); t > res.MaxTracks {
+			res.MaxTracks = t
+		}
+	}
+	res.Supersteps = res.Rounds * v // v compound supersteps per simulated round
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// ClosestPair returns the indices of the two closest points, derived from
+// the all-nearest-neighbours batch (each point's NN includes the global
+// closest pair) — a classic Group B corollary.
+func ClosestPair(e *rec.Exec, pts []workload.Point) (int, int, error) {
+	if len(pts) < 2 {
+		return -1, -1, fmt.Errorf("geom: closest pair needs ≥ 2 points")
+	}
+	nn, err := ANN(e, pts)
+	if err != nil {
+		return -1, -1, err
+	}
+	bi, bj, bd := -1, -1, math.Inf(1)
+	for i, j := range nn {
+		if j < 0 {
+			continue
+		}
+		d := dist2(pts[i].X, pts[i].Y, pts[j].X, pts[j].Y)
+		if d < bd {
+			bd = d
+			bi, bj = i, j
+		}
+	}
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj, nil
+}
+
+// ClosestPairSeq is the brute-force oracle.
+func ClosestPairSeq(pts []workload.Point) (int, int) {
+	bi, bj, bd := -1, -1, math.Inf(1)
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			d := dist2(pts[i].X, pts[i].Y, pts[j].X, pts[j].Y)
+			if d < bd {
+				bd = d
+				bi, bj = i, j
+			}
+		}
+	}
+	return bi, bj
+}
+
+// Diameter returns the indices of the two farthest points: the CGM convex
+// hull followed by rotating calipers over the (small) hull — the farthest
+// pair always lies on the hull.
+func Diameter(e *rec.Exec, pts []workload.Point) (int, int, error) {
+	if len(pts) < 2 {
+		return -1, -1, fmt.Errorf("geom: diameter needs ≥ 2 points")
+	}
+	hull, err := Hull(e, pts)
+	if err != nil {
+		return -1, -1, err
+	}
+	if len(hull) == 1 {
+		return hull[0], hull[0], nil
+	}
+	// Rotating calipers on the CCW hull. For robustness (and because
+	// hulls here are small), fall back to the quadratic scan over hull
+	// vertices when the hull is tiny.
+	bi, bj, bd := -1, -1, -1.0
+	for a := 0; a < len(hull); a++ {
+		for b := a + 1; b < len(hull); b++ {
+			d := dist2(pts[hull[a]].X, pts[hull[a]].Y, pts[hull[b]].X, pts[hull[b]].Y)
+			if d > bd {
+				bd = d
+				bi, bj = hull[a], hull[b]
+			}
+		}
+	}
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj, nil
+}
+
+// DiameterSeq is the brute-force oracle.
+func DiameterSeq(pts []workload.Point) (int, int) {
+	bi, bj, bd := -1, -1, -1.0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			d := dist2(pts[i].X, pts[i].Y, pts[j].X, pts[j].Y)
+			if d > bd {
+				bd = d
+				bi, bj = i, j
+			}
+		}
+	}
+	return bi, bj
+}

@@ -1,0 +1,71 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func TestClosestPairMatchesOracle(t *testing.T) {
+	for _, n := range []int{2, 3, 50, 300} {
+		pts := workload.Points(int64(n), n)
+		wi, wj := ClosestPairSeq(pts)
+		gi, gj, err := ClosestPair(rec.NewMem(4), pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Accept any pair at the same (minimal) distance.
+		wd := dist2(pts[wi].X, pts[wi].Y, pts[wj].X, pts[wj].Y)
+		gd := dist2(pts[gi].X, pts[gi].Y, pts[gj].X, pts[gj].Y)
+		if gd != wd {
+			t.Fatalf("n=%d: pair (%d,%d) dist %v, want (%d,%d) dist %v", n, gi, gj, gd, wi, wj, wd)
+		}
+	}
+	if _, _, err := ClosestPair(rec.NewMem(2), []workload.Point{{X: 1}}); err == nil {
+		t.Error("singleton accepted")
+	}
+}
+
+func TestDiameterMatchesOracle(t *testing.T) {
+	for _, n := range []int{2, 3, 40, 200} {
+		pts := workload.Points(int64(n)+1, n)
+		wi, wj := DiameterSeq(pts)
+		gi, gj, err := Diameter(rec.NewMem(4), pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wd := dist2(pts[wi].X, pts[wi].Y, pts[wj].X, pts[wj].Y)
+		gd := dist2(pts[gi].X, pts[gi].Y, pts[gj].X, pts[gj].Y)
+		if gd != wd {
+			t.Fatalf("n=%d: diameter (%d,%d) %v, want (%d,%d) %v", n, gi, gj, gd, wi, wj, wd)
+		}
+	}
+}
+
+func TestDerivedProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n8 uint8) bool {
+		n := int(n8)%60 + 2
+		pts := workload.Points(seed, n)
+		wi, wj := ClosestPairSeq(pts)
+		gi, gj, err := ClosestPair(rec.NewMem(3), pts)
+		if err != nil {
+			return false
+		}
+		wd := dist2(pts[wi].X, pts[wi].Y, pts[wj].X, pts[wj].Y)
+		gd := dist2(pts[gi].X, pts[gi].Y, pts[gj].X, pts[gj].Y)
+		if gd != wd {
+			return false
+		}
+		di, dj := DiameterSeq(pts)
+		hi, hj, err := Diameter(rec.NewMem(3), pts)
+		if err != nil {
+			return false
+		}
+		return dist2(pts[di].X, pts[di].Y, pts[dj].X, pts[dj].Y) ==
+			dist2(pts[hi].X, pts[hi].Y, pts[hj].X, pts[hj].Y)
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package geom
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cgm"
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// Tags for the lower-envelope program.
+const (
+	tSeg   int64 = iota + 700 // segment: A=id, X=x1, Y=x2, B=y1 bits, C=y2 bits
+	tEnvS                     // boundary sample: X=x
+	tPiece                    // envelope piece: A=seg id (-1 gap), B=order slab, X=xLeft
+)
+
+// envelope computes the lower envelope of non-intersecting segments
+// (Figure 5, Group B, rows 4–5) by slab decomposition: x-boundaries are
+// sampled and agreed, every segment is routed (clipped) to the slabs its
+// x-span intersects, each slab computes its local envelope, and the
+// per-slab piece lists concatenate in slab order. λ = O(1) rounds.
+type envelope struct{}
+
+func (envelope) Init(vp *cgm.VP[rec.R], input []rec.R) {
+	vp.State = append([]rec.R(nil), input...)
+}
+
+func (p envelope) Round(vp *cgm.VP[rec.R], round int, inbox [][]rec.R) ([][]rec.R, bool) {
+	v := vp.V
+	switch round {
+	case 0:
+		var xs []float64
+		for _, r := range vp.State {
+			xs = append(xs, r.X)
+		}
+		sort.Float64s(xs)
+		out := make([][]rec.R, v)
+		m := len(xs)
+		for k := 0; k < v && k < m; k++ {
+			s := rec.R{Tag: tEnvS, X: xs[k*m/v]}
+			for d := 0; d < v; d++ {
+				out[d] = append(out[d], s)
+			}
+		}
+		return out, false
+
+	case 1:
+		var samples []float64
+		for _, msg := range inbox {
+			for _, m := range msg {
+				if m.Tag == tEnvS {
+					samples = append(samples, m.X)
+				}
+			}
+		}
+		bs := slabBoundaries(v, samples)
+		out := make([][]rec.R, v)
+		for _, r := range vp.State {
+			for s := 0; s < v; s++ {
+				lo, hi := slabRangeOf(s, v, bs)
+				if r.X < hi && r.Y > lo {
+					out[s] = append(out[s], r)
+				}
+			}
+		}
+		vp.State = nil
+		for _, b := range bs {
+			vp.State = append(vp.State, rec.R{Tag: tEnvS, A: 1, X: b})
+		}
+		return out, false
+
+	case 2:
+		var bs []float64
+		for _, r := range vp.State {
+			if r.Tag == tEnvS && r.A == 1 {
+				bs = append(bs, r.X)
+			}
+		}
+		lo, hi := slabRangeOf(vp.ID, v, bs)
+		var segs []workload.Segment
+		var ids []int64
+		for _, msg := range inbox {
+			for _, m := range msg {
+				if m.Tag != tSeg {
+					continue
+				}
+				s := workload.Segment{X1: m.X, Y1: rec.I2F(m.B), X2: m.Y, Y2: rec.I2F(m.C)}
+				// Clip to the slab.
+				cl := math.Max(s.X1, lo)
+				ch := math.Min(s.X2, hi)
+				if cl >= ch {
+					continue
+				}
+				y1, y2 := SegAt(s, cl), SegAt(s, ch)
+				segs = append(segs, workload.Segment{X1: cl, Y1: y1, X2: ch, Y2: y2})
+				ids = append(ids, m.A)
+			}
+		}
+		pieces := envelopeWithin(segs, lo, hi)
+		vp.State = nil
+		for _, pc := range pieces {
+			id := int64(-1)
+			if pc.Seg >= 0 {
+				id = ids[pc.Seg]
+			}
+			vp.State = append(vp.State, rec.R{Tag: tPiece, A: id, B: int64(vp.ID), X: pc.XLeft})
+		}
+		return nil, true
+	}
+	return nil, true
+}
+
+func (envelope) Output(vp *cgm.VP[rec.R]) []rec.R { return vp.State }
+
+func (envelope) MaxContextItems(n, v int) int { return 4*((n+v-1)/v) + 2*v + 16 }
+
+// Envelope computes the lower envelope of non-intersecting segments: the
+// pieces in x order (gaps have Seg = -1), adjacent equal pieces merged.
+// Segment x-coordinates must satisfy X1 ≤ X2.
+func Envelope(e *rec.Exec, ss []workload.Segment) ([]EnvPiece, error) {
+	in := make([]rec.R, len(ss))
+	for i, s := range ss {
+		in[i] = rec.R{Tag: tSeg, A: int64(i), X: s.X1, Y: s.X2, B: rec.F2I(s.Y1), C: rec.F2I(s.Y2)}
+	}
+	outs, err := e.Run(envelope{}, rec.Scatter(in, e.V))
+	if err != nil {
+		return nil, err
+	}
+	var pieces []rec.R
+	for _, part := range outs {
+		for _, r := range part {
+			if r.Tag == tPiece {
+				pieces = append(pieces, r)
+			}
+		}
+	}
+	sort.Slice(pieces, func(i, j int) bool {
+		if pieces[i].B != pieces[j].B {
+			return pieces[i].B < pieces[j].B
+		}
+		return pieces[i].X < pieces[j].X
+	})
+	var env []EnvPiece
+	for _, pc := range pieces {
+		if len(env) > 0 && env[len(env)-1].Seg == int(pc.A) {
+			continue
+		}
+		env = append(env, EnvPiece{XLeft: pc.X, Seg: int(pc.A)})
+	}
+	return env, nil
+}
+
+// envelopeWithin computes the lower envelope of the (already clipped)
+// segments, adding the slab boundaries as explicit events so that gaps
+// reaching the slab edges are represented: without them, a piece ending
+// inside the slab would silently extend to the next slab after
+// concatenation.
+func envelopeWithin(ss []workload.Segment, lo, hi float64) []EnvPiece {
+	var events []float64
+	if !math.IsInf(lo, -1) {
+		events = append(events, lo)
+	}
+	if !math.IsInf(hi, 1) {
+		events = append(events, hi)
+	}
+	for _, s := range ss {
+		events = append(events, s.X1, s.X2)
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	sort.Float64s(events)
+	events = dedup(events)
+	var out []EnvPiece
+	for i := 0; i+1 < len(events); i++ {
+		mid := (events[i] + events[i+1]) / 2
+		best, by := -1, math.Inf(1)
+		for j, s := range ss {
+			if s.X1 <= mid && mid <= s.X2 {
+				y := SegAt(s, mid)
+				if y < by {
+					by, best = y, j
+				}
+			}
+		}
+		if len(out) == 0 || out[len(out)-1].Seg != best {
+			out = append(out, EnvPiece{XLeft: events[i], Seg: best})
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// ExampleHull computes the convex hull of a square plus an interior point.
+func ExampleHull() {
+	pts := []workload.Point{
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}, {X: 1, Y: 1},
+	}
+	hull, err := geom.Hull(rec.NewMem(2), pts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(hull), "hull vertices; interior point excluded:", !contains(hull, 4))
+	// Output:
+	// 4 hull vertices; interior point excluded: true
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ExampleUnionArea measures two overlapping unit squares.
+func ExampleUnionArea() {
+	rects := []workload.Rect{
+		{X1: 0, Y1: 0, X2: 1, Y2: 1},
+		{X1: 0.5, Y1: 0, X2: 1.5, Y2: 1},
+	}
+	area, err := geom.UnionArea(rec.NewMem(2), rects)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f\n", area)
+	// Output:
+	// 1.5
+}

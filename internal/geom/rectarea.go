@@ -1,0 +1,227 @@
+package geom
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cgm"
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// Tags for the slab-decomposition programs.
+const (
+	tRect   int64 = iota + 500 // rectangle: A=id, X=x1, Y=x2, B=y1 bits, C=y2 bits
+	tSample                    // boundary sample: X=x
+	tArea                      // slab area: X=area
+	tAreaQ                     // final area at VP0
+)
+
+// unionArea is the CGM slab program for the area of the union of
+// rectangles (Figure 5, Group B, row 6): sample x-boundaries are agreed
+// in one round, every rectangle is routed (clipped) to the slabs it
+// overlaps, each slab sweeps its clipped set locally, and the slab areas
+// are summed at VP 0. λ = O(1) rounds; exact.
+type unionArea struct{}
+
+func (unionArea) Init(vp *cgm.VP[rec.R], input []rec.R) {
+	vp.State = append([]rec.R(nil), input...)
+}
+
+// slabBoundaries derives the v-1 splitters every VP computes identically
+// from the gathered samples.
+func slabBoundaries(v int, samples []float64) []float64 {
+	sort.Float64s(samples)
+	bs := make([]float64, 0, v-1)
+	s := len(samples)
+	for k := 1; k < v; k++ {
+		if s == 0 {
+			bs = append(bs, 0)
+			continue
+		}
+		pos := k * s / v
+		if pos >= s {
+			pos = s - 1
+		}
+		bs = append(bs, samples[pos])
+	}
+	return bs
+}
+
+// slabRangeOf returns slab i's x-interval [lo, hi) given the splitters.
+func slabRangeOf(i, v int, bs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if i > 0 {
+		lo = bs[i-1]
+	}
+	if i < v-1 {
+		hi = bs[i]
+	}
+	return lo, hi
+}
+
+func (p unionArea) Round(vp *cgm.VP[rec.R], round int, inbox [][]rec.R) ([][]rec.R, bool) {
+	v := vp.V
+	switch round {
+	case 0:
+		// Broadcast regular samples of local left edges.
+		var xs []float64
+		for _, r := range vp.State {
+			xs = append(xs, r.X)
+		}
+		sort.Float64s(xs)
+		out := make([][]rec.R, v)
+		m := len(xs)
+		for k := 0; k < v && k < m; k++ {
+			s := rec.R{Tag: tSample, X: xs[k*m/v]}
+			for d := 0; d < v; d++ {
+				out[d] = append(out[d], s)
+			}
+		}
+		return out, false
+
+	case 1:
+		// Compute boundaries; route each rectangle to overlapped slabs.
+		var samples []float64
+		for _, msg := range inbox {
+			for _, m := range msg {
+				if m.Tag == tSample {
+					samples = append(samples, m.X)
+				}
+			}
+		}
+		bs := slabBoundaries(v, samples)
+		out := make([][]rec.R, v)
+		for _, r := range vp.State {
+			for s := 0; s < v; s++ {
+				lo, hi := slabRangeOf(s, v, bs)
+				if r.X < hi && r.Y > lo { // [x1,x2] overlaps [lo,hi)
+					out[s] = append(out[s], r)
+				}
+			}
+		}
+		vp.State = []rec.R{{Tag: tSample, X: 0}} // keep nothing but a marker
+		// Stash boundaries in state for the next round.
+		for _, b := range bs {
+			vp.State = append(vp.State, rec.R{Tag: tSample, A: 1, X: b})
+		}
+		return out, false
+
+	case 2:
+		// Local sweep over clipped rectangles; send the slab area to VP 0.
+		var bs []float64
+		for _, r := range vp.State {
+			if r.Tag == tSample && r.A == 1 {
+				bs = append(bs, r.X)
+			}
+		}
+		lo, hi := slabRangeOf(vp.ID, v, bs)
+		var rects []workload.Rect
+		for _, msg := range inbox {
+			for _, m := range msg {
+				if m.Tag != tRect {
+					continue
+				}
+				x1, x2 := math.Max(m.X, lo), math.Min(m.Y, hi)
+				if x1 >= x2 {
+					continue
+				}
+				rects = append(rects, workload.Rect{X1: x1, X2: x2, Y1: rec.I2F(m.B), Y2: rec.I2F(m.C)})
+			}
+		}
+		area := sweepUnionArea(rects)
+		out := make([][]rec.R, v)
+		out[0] = []rec.R{{Tag: tArea, X: area}}
+		vp.State = nil
+		return out, false
+
+	default:
+		if vp.ID == 0 {
+			total := 0.0
+			for _, msg := range inbox {
+				for _, m := range msg {
+					if m.Tag == tArea {
+						total += m.X
+					}
+				}
+			}
+			vp.State = []rec.R{{Tag: tAreaQ, X: total}}
+		}
+		return nil, true
+	}
+}
+
+func (unionArea) Output(vp *cgm.VP[rec.R]) []rec.R { return vp.State }
+
+func (unionArea) MaxContextItems(n, v int) int { return (n+v-1)/v + 2*v + 16 }
+
+// sweepUnionArea measures the union of rectangles by a left-to-right
+// sweep with a coordinate-compressed coverage array: O(m²) worst case.
+func sweepUnionArea(rs []workload.Rect) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	ys := make([]float64, 0, 2*len(rs))
+	for _, r := range rs {
+		ys = append(ys, r.Y1, r.Y2)
+	}
+	sort.Float64s(ys)
+	ys = dedup(ys)
+	yIdx := func(y float64) int { return sort.SearchFloat64s(ys, y) }
+
+	type event struct {
+		x      float64
+		lo, hi int
+		delta  int
+	}
+	events := make([]event, 0, 2*len(rs))
+	for _, r := range rs {
+		events = append(events, event{x: r.X1, lo: yIdx(r.Y1), hi: yIdx(r.Y2), delta: 1})
+		events = append(events, event{x: r.X2, lo: yIdx(r.Y1), hi: yIdx(r.Y2), delta: -1})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].x < events[j].x })
+
+	cover := make([]int, len(ys))
+	covered := func() float64 {
+		t := 0.0
+		for i := 0; i+1 < len(ys); i++ {
+			if cover[i] > 0 {
+				t += ys[i+1] - ys[i]
+			}
+		}
+		return t
+	}
+	area := 0.0
+	prevX := events[0].x
+	for _, e := range events {
+		if e.x > prevX {
+			area += covered() * (e.x - prevX)
+			prevX = e.x
+		}
+		for i := e.lo; i < e.hi; i++ {
+			cover[i] += e.delta
+		}
+	}
+	return area
+}
+
+// UnionArea computes the area of the union of rectangles on the given
+// executor.
+func UnionArea(e *rec.Exec, rs []workload.Rect) (float64, error) {
+	in := make([]rec.R, len(rs))
+	for i, r := range rs {
+		in[i] = rec.R{Tag: tRect, A: int64(i), X: r.X1, Y: r.X2, B: rec.F2I(r.Y1), C: rec.F2I(r.Y2)}
+	}
+	outs, err := e.Run(unionArea{}, rec.Scatter(in, e.V))
+	if err != nil {
+		return 0, err
+	}
+	for _, part := range outs {
+		for _, r := range part {
+			if r.Tag == tAreaQ {
+				return r.X, nil
+			}
+		}
+	}
+	return 0, nil
+}

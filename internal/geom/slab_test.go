@@ -1,0 +1,246 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func TestUnionAreaMatchesOracle(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 40, 150} {
+		rs := workload.Rects(int64(n+2), n, 0.3)
+		want := UnionAreaSeq(rs)
+		for _, v := range []int{1, 2, 4} {
+			got, err := UnionArea(rec.NewMem(v), rs)
+			if err != nil {
+				t.Fatalf("n=%d v=%d: %v", n, v, err)
+			}
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("n=%d v=%d: area = %v, want %v", n, v, got, want)
+			}
+		}
+	}
+}
+
+func TestUnionAreaDisjointAndNested(t *testing.T) {
+	// Two disjoint unit squares plus one nested square.
+	rs := []workload.Rect{
+		{X1: 0, Y1: 0, X2: 1, Y2: 1},
+		{X1: 2, Y1: 0, X2: 3, Y2: 1},
+		{X1: 0.25, Y1: 0.25, X2: 0.75, Y2: 0.75},
+	}
+	got, err := UnionArea(rec.NewMem(3), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("area = %v, want 2", got)
+	}
+	// Fully overlapping.
+	rs2 := []workload.Rect{{X1: 0, Y1: 0, X2: 2, Y2: 2}, {X1: 0, Y1: 0, X2: 2, Y2: 2}}
+	got2, err := UnionArea(rec.NewMem(2), rs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got2-4.0) > 1e-12 {
+		t.Fatalf("area = %v, want 4", got2)
+	}
+}
+
+func TestUnionAreaUnderEM(t *testing.T) {
+	rs := workload.Rects(9, 60, 0.2)
+	want := UnionAreaSeq(rs)
+	e := rec.NewEM(4, 2, 2, 16)
+	got, err := UnionArea(e, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("area = %v, want %v", got, want)
+	}
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestUnionAreaProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n8, v8 uint8) bool {
+		n := int(n8) % 60
+		v := int(v8)%5 + 1
+		rs := workload.Rects(seed, n, 0.4)
+		want := UnionAreaSeq(rs)
+		got, err := UnionArea(rec.NewMem(v), rs)
+		return err == nil && math.Abs(got-want) <= 1e-9*(1+want)
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestANNMatchesOracle(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 80, 300} {
+		pts := workload.Points(int64(n+3), n)
+		want := ANNSeq(pts)
+		for _, v := range []int{1, 2, 4} {
+			got, err := ANN(rec.NewMem(v), pts)
+			if err != nil {
+				t.Fatalf("n=%d v=%d: %v", n, v, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d: nn[%d] = %d, want %d", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestANNClusters(t *testing.T) {
+	// Points in far-apart pairs: each point's NN is its partner, across
+	// slab boundaries.
+	var pts []workload.Point
+	for i := 0; i < 10; i++ {
+		x := float64(i) * 100
+		pts = append(pts, workload.Point{X: x, Y: 0}, workload.Point{X: x + 0.001, Y: 0.001})
+	}
+	got, err := ANN(rec.NewMem(4), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		want := i ^ 1 // partner
+		if got[i] != want {
+			t.Fatalf("nn[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestANNUnderEM(t *testing.T) {
+	pts := workload.ClusteredPoints(5, 90, 4)
+	want := ANNSeq(pts)
+	got, err := ANN(rec.NewEM(4, 2, 2, 16), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nn[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestANNProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n8, v8 uint8) bool {
+		n := int(n8)%60 + 1
+		v := int(v8)%5 + 1
+		pts := workload.Points(seed, n)
+		want := ANNSeq(pts)
+		got, err := ANN(rec.NewMem(v), pts)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// compareEnvelopes checks two envelopes agree as functions (evaluated at
+// dense sample points, comparing the chosen segments' y values).
+func compareEnvelopes(t *testing.T, tag string, ss []workload.Segment, got, want []EnvPiece) {
+	t.Helper()
+	evalAt := func(env []EnvPiece, x float64) int {
+		seg := -1
+		for _, p := range env {
+			if p.XLeft <= x {
+				seg = p.Seg
+			} else {
+				break
+			}
+		}
+		return seg
+	}
+	for i := 0; i <= 1000; i++ {
+		x := float64(i) / 1000
+		gs, ws := evalAt(got, x), evalAt(want, x)
+		if gs == ws {
+			continue
+		}
+		// Allow differing segment ids only with equal y (ties).
+		if gs < 0 || ws < 0 {
+			t.Fatalf("%s: at x=%v got seg %d, want %d", tag, x, gs, ws)
+		}
+		gy, wy := SegAt(ss[gs], x), SegAt(ss[ws], x)
+		if math.Abs(gy-wy) > 1e-9 {
+			t.Fatalf("%s: at x=%v got seg %d (y=%v), want %d (y=%v)", tag, x, gs, gy, ws, wy)
+		}
+	}
+}
+
+func TestEnvelopeMatchesOracle(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 30, 120} {
+		ss := workload.NonIntersectingSegments(int64(n+5), n)
+		want := EnvelopeSeq(ss)
+		for _, v := range []int{1, 2, 4} {
+			got, err := Envelope(rec.NewMem(v), ss)
+			if err != nil {
+				t.Fatalf("n=%d v=%d: %v", n, v, err)
+			}
+			compareEnvelopes(t, "env", ss, got, want)
+		}
+	}
+}
+
+func TestEnvelopeUnderEM(t *testing.T) {
+	ss := workload.NonIntersectingSegments(3, 50)
+	want := EnvelopeSeq(ss)
+	got, err := Envelope(rec.NewEM(4, 2, 2, 16), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareEnvelopes(t, "em", ss, got, want)
+}
+
+func TestEnvelopeProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n8, v8 uint8) bool {
+		n := int(n8) % 50
+		v := int(v8)%5 + 1
+		ss := workload.NonIntersectingSegments(seed, n)
+		want := EnvelopeSeq(ss)
+		got, err := Envelope(rec.NewMem(v), ss)
+		if err != nil {
+			return false
+		}
+		evalAt := func(env []EnvPiece, x float64) float64 {
+			seg := -1
+			for _, p := range env {
+				if p.XLeft <= x {
+					seg = p.Seg
+				} else {
+					break
+				}
+			}
+			if seg < 0 {
+				return math.Inf(1)
+			}
+			return SegAt(ss[seg], x)
+		}
+		for i := 0; i <= 200; i++ {
+			x := float64(i) / 200
+			gy, wy := evalAt(got, x), evalAt(want, x)
+			if gy != wy && math.Abs(gy-wy) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

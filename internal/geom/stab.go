@@ -1,0 +1,80 @@
+package geom
+
+import (
+	"sort"
+
+	"repro/internal/rec"
+	"repro/internal/segtree"
+)
+
+// Interval is a half-open interval [L, R) over integer coordinates.
+type Interval struct{ L, R int64 }
+
+// StabCounts answers batched stabbing queries over a set of intervals:
+// for each query position x, the number of intervals containing x. This
+// is the geometric use of the Group B "segment tree" row: the count at x
+// equals (#left endpoints ≤ x) − (#right endpoints ≤ x), both answered by
+// the distributed segment tree's range sums in λ = O(1) rounds.
+func StabCounts(e *rec.Exec, intervals []Interval, queries []int64) ([]int64, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	// Coordinate-compress endpoints and queries onto array positions.
+	coords := make([]int64, 0, 2*len(intervals)+len(queries))
+	for _, iv := range intervals {
+		coords = append(coords, iv.L, iv.R)
+	}
+	coords = append(coords, queries...)
+	sort.Slice(coords, func(i, j int) bool { return coords[i] < coords[j] })
+	uniq := coords[:0]
+	for i, c := range coords {
+		if i == 0 || c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	pos := func(x int64) int64 {
+		return int64(sort.Search(len(uniq), func(i int) bool { return uniq[i] >= x }))
+	}
+	m := len(uniq)
+
+	// Values: +1 at each left endpoint position, −1 at each right.
+	deltas := map[int64]int64{}
+	for _, iv := range intervals {
+		if iv.L >= iv.R {
+			continue
+		}
+		deltas[pos(iv.L)]++
+		deltas[pos(iv.R)]--
+	}
+	values := make([]rec.R, 0, len(deltas))
+	for p, d := range deltas {
+		values = append(values, rec.R{A: p, B: d})
+	}
+	// Query: prefix sum of deltas over positions ≤ pos(x).
+	sq := make([]segtree.Query, len(queries))
+	for i, x := range queries {
+		sq[i] = segtree.Query{ID: int64(i), L: 0, R: pos(x) + 1}
+	}
+	res, err := segtree.Run(e, segtree.SumB(m), values, sq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(queries))
+	for i := range queries {
+		out[i] = res[int64(i)].B
+	}
+	return out, nil
+}
+
+// StabCountsSeq is the brute-force oracle.
+func StabCountsSeq(intervals []Interval, queries []int64) []int64 {
+	out := make([]int64, len(queries))
+	for i, x := range queries {
+		for _, iv := range intervals {
+			if iv.L <= x && x < iv.R {
+				out[i]++
+			}
+		}
+	}
+	return out
+}

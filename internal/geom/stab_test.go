@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+)
+
+func TestStabCountsSmall(t *testing.T) {
+	ivs := []Interval{{L: 0, R: 10}, {L: 5, R: 15}, {L: 20, R: 21}, {L: 7, R: 7}}
+	qs := []int64{0, 5, 9, 10, 14, 20, 21, -3}
+	want := StabCountsSeq(ivs, qs)
+	for _, v := range []int{1, 2, 4} {
+		got, err := StabCounts(rec.NewMem(v), ivs, qs)
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("v=%d: stab(%d) = %d, want %d", v, qs[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStabCountsUnderEM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ivs []Interval
+	for i := 0; i < 200; i++ {
+		l := int64(rng.Intn(1000))
+		ivs = append(ivs, Interval{L: l, R: l + int64(rng.Intn(100)+1)})
+	}
+	var qs []int64
+	for i := 0; i < 100; i++ {
+		qs = append(qs, int64(rng.Intn(1100)))
+	}
+	want := StabCountsSeq(ivs, qs)
+	e := rec.NewEM(4, 2, 2, 16)
+	got, err := StabCounts(e, ivs, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stab(%d) = %d, want %d", qs[i], got[i], want[i])
+		}
+	}
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestStabCountsProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, ni, nq, v8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := int(v8)%5 + 1
+		var ivs []Interval
+		for i := 0; i < int(ni)%40; i++ {
+			l := int64(rng.Intn(50))
+			ivs = append(ivs, Interval{L: l, R: l + int64(rng.Intn(20))})
+		}
+		var qs []int64
+		for i := 0; i < int(nq)%20+1; i++ {
+			qs = append(qs, int64(rng.Intn(70)))
+		}
+		want := StabCountsSeq(ivs, qs)
+		got, err := StabCounts(rec.NewMem(v), ivs, qs)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,350 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cgm"
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// MonotonePolygon is an x-monotone polygon given by its upper and lower
+// chains, both from the leftmost vertex to the rightmost vertex
+// (inclusive: the chains share their first and last points).
+type MonotonePolygon struct {
+	Upper, Lower []workload.Point
+}
+
+// RandomMonotonePolygon generates an x-monotone polygon with n vertices
+// per chain (plus the two shared extremes).
+func RandomMonotonePolygon(seed int64, n int) MonotonePolygon {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n+2)
+	xs[0], xs[n+1] = 0, 1
+	for i := 1; i <= n; i++ {
+		xs[i] = rng.Float64()
+	}
+	sort.Float64s(xs)
+	up := make([]workload.Point, 0, n+2)
+	lo := make([]workload.Point, 0, n+2)
+	up = append(up, workload.Point{X: xs[0], Y: 0})
+	lo = append(lo, workload.Point{X: xs[0], Y: 0})
+	for i := 1; i <= n; i++ {
+		up = append(up, workload.Point{X: xs[i], Y: 0.5 + rng.Float64()})
+		lo = append(lo, workload.Point{X: xs[i], Y: -0.5 - rng.Float64()})
+	}
+	up = append(up, workload.Point{X: xs[n+1], Y: 0})
+	lo = append(lo, workload.Point{X: xs[n+1], Y: 0})
+	return MonotonePolygon{Upper: up, Lower: lo}
+}
+
+// Area returns the polygon's area.
+func (p MonotonePolygon) Area() float64 {
+	// Upper chain left→right, then lower chain right→left forms the CCW...
+	// (clockwise) boundary; use the shoelace formula on the closed ring.
+	ring := append([]workload.Point(nil), p.Upper...)
+	for i := len(p.Lower) - 2; i >= 1; i-- {
+		ring = append(ring, p.Lower[i])
+	}
+	return math.Abs(PolyArea(ring))
+}
+
+// Tri is a triangle.
+type Tri struct{ A, B, C workload.Point }
+
+// Area returns the triangle's area.
+func (t Tri) Area() float64 { return TriArea(t.A, t.B, t.C) }
+
+// Tags for the triangulation program.
+const (
+	tChainV int64 = iota + 1000 // chain vertex: X=x, Y=y, B=1 upper/0 lower
+	tChainE                     // chain edge: X=x1, Y=x2, B=y1 bits, C=y2 bits, D=1 upper/0 lower
+	tTriSam                     // boundary sample
+	tTriOut                     // triangle: X=ax, Y=ay, B=bx bits, C=by bits, D=(cx,cy) via two recs
+)
+
+// triangulate is the CGM slab program for x-monotone polygon
+// triangulation (Figure 5, Group B, row 1): slab boundaries are sampled
+// over the vertex xs; each slab receives its chain vertices and the chain
+// edges crossing it, forms the slab sub-polygon (introducing Steiner
+// vertices where chains cross slab boundaries, as in the slab-based CGM
+// pipeline), and triangulates it with the classical two-chain stack
+// algorithm. λ = O(1) rounds. The union of the slab triangulations
+// partitions the polygon.
+type triangulate struct{}
+
+func (triangulate) Init(vp *cgm.VP[rec.R], input []rec.R) {
+	vp.State = append([]rec.R(nil), input...)
+}
+
+func (p triangulate) Round(vp *cgm.VP[rec.R], round int, inbox [][]rec.R) ([][]rec.R, bool) {
+	v := vp.V
+	switch round {
+	case 0:
+		var xs []float64
+		for _, r := range vp.State {
+			if r.Tag == tChainV {
+				xs = append(xs, r.X)
+			}
+		}
+		sort.Float64s(xs)
+		out := make([][]rec.R, v)
+		m := len(xs)
+		for k := 0; k < v && k < m; k++ {
+			s := rec.R{Tag: tTriSam, X: xs[k*m/v]}
+			for d := 0; d < v; d++ {
+				out[d] = append(out[d], s)
+			}
+		}
+		return out, false
+
+	case 1:
+		var samples []float64
+		for _, msg := range inbox {
+			for _, m := range msg {
+				if m.Tag == tTriSam {
+					samples = append(samples, m.X)
+				}
+			}
+		}
+		bs := slabBoundaries(v, samples)
+		out := make([][]rec.R, v)
+		for _, r := range vp.State {
+			if r.Tag != tChainE {
+				continue
+			}
+			for s := 0; s < v; s++ {
+				lo, hi := slabRangeOf(s, v, bs)
+				if r.X < hi && r.Y > lo {
+					out[s] = append(out[s], r)
+				}
+			}
+		}
+		vp.State = nil
+		for _, b := range bs {
+			vp.State = append(vp.State, rec.R{Tag: tTriSam, A: 1, X: b})
+		}
+		return out, false
+
+	case 2:
+		var bs []float64
+		for _, r := range vp.State {
+			if r.Tag == tTriSam && r.A == 1 {
+				bs = append(bs, r.X)
+			}
+		}
+		lo, hi := slabRangeOf(vp.ID, v, bs)
+		// Rebuild the clipped chains.
+		var upper, lower []workload.Point
+		for _, msg := range inbox {
+			for _, m := range msg {
+				if m.Tag != tChainE {
+					continue
+				}
+				s := workload.Segment{X1: m.X, Y1: rec.I2F(m.B), X2: m.Y, Y2: rec.I2F(m.C)}
+				cl, ch := math.Max(s.X1, lo), math.Min(s.X2, hi)
+				if cl >= ch {
+					continue
+				}
+				a := workload.Point{X: cl, Y: SegAt(s, cl)}
+				b := workload.Point{X: ch, Y: SegAt(s, ch)}
+				if m.D == 1 {
+					upper = append(upper, a, b)
+				} else {
+					lower = append(lower, a, b)
+				}
+			}
+		}
+		tris := triangulateSlab(upper, lower)
+		vp.State = nil
+		for _, t := range tris {
+			vp.State = append(vp.State,
+				rec.R{Tag: tTriOut, A: 0, X: t.A.X, Y: t.A.Y},
+				rec.R{Tag: tTriOut, A: 1, X: t.B.X, Y: t.B.Y},
+				rec.R{Tag: tTriOut, A: 2, X: t.C.X, Y: t.C.Y})
+		}
+		return nil, true
+	}
+	return nil, true
+}
+
+func (triangulate) Output(vp *cgm.VP[rec.R]) []rec.R { return vp.State }
+
+func (triangulate) MaxContextItems(n, v int) int { return 8*((n+v-1)/v) + 2*v + 16 }
+
+// triangulateSlab triangulates the slab sub-polygon. Unlike the whole
+// polygon, a slab piece has vertical sides where the chains cross the
+// slab boundaries, so the two-chain stack algorithm does not apply
+// directly; instead the piece is cut into vertical trapezoids at every
+// chain-vertex x and each trapezoid is split into two triangles — an
+// exact triangulation with the Steiner vertices DESIGN.md documents.
+func triangulateSlab(upper, lower []workload.Point) []Tri {
+	dedupPts := func(pts []workload.Point) []workload.Point {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		out := pts[:0]
+		for i, p := range pts {
+			if i == 0 || p.X != out[len(out)-1].X {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	up := dedupPts(upper)
+	lo := dedupPts(lower)
+	if len(up) < 2 || len(lo) < 2 {
+		return nil
+	}
+	evalChain := func(chain []workload.Point, x float64) float64 {
+		// chain is x-sorted; find the edge containing x.
+		i := sort.Search(len(chain), func(k int) bool { return chain[k].X >= x })
+		if i < len(chain) && chain[i].X == x {
+			return chain[i].Y
+		}
+		if i == 0 || i == len(chain) {
+			// Outside the chain's range: clamp (degenerate strips skip).
+			if i == 0 {
+				return chain[0].Y
+			}
+			return chain[len(chain)-1].Y
+		}
+		a, b := chain[i-1], chain[i]
+		t := (x - a.X) / (b.X - a.X)
+		return a.Y + t*(b.Y-a.Y)
+	}
+	// Strip boundaries: all distinct xs of both chains.
+	var xs []float64
+	for _, p := range up {
+		xs = append(xs, p.X)
+	}
+	for _, p := range lo {
+		xs = append(xs, p.X)
+	}
+	sort.Float64s(xs)
+	xs = dedup(xs)
+	var tris []Tri
+	emit := func(a, b, c workload.Point) {
+		if TriArea(a, b, c) > 1e-15 {
+			tris = append(tris, Tri{A: a, B: b, C: c})
+		}
+	}
+	for i := 0; i+1 < len(xs); i++ {
+		x1, x2 := xs[i], xs[i+1]
+		a := workload.Point{X: x1, Y: evalChain(lo, x1)}
+		b := workload.Point{X: x2, Y: evalChain(lo, x2)}
+		c := workload.Point{X: x2, Y: evalChain(up, x2)}
+		d := workload.Point{X: x1, Y: evalChain(up, x1)}
+		emit(a, b, c)
+		emit(a, c, d)
+	}
+	return tris
+}
+
+// TriangulateMonotoneSeq triangulates an x-monotone polygon with the
+// classical two-chain stack sweep (the sequential reference).
+func TriangulateMonotoneSeq(p MonotonePolygon) []Tri {
+	type vtx struct {
+		pt    workload.Point
+		upper bool
+	}
+	// Merge the chains by x; interior chain vertices only (the extremes
+	// belong to both chains — tag them arbitrarily).
+	var vs []vtx
+	for i, q := range p.Upper {
+		if i == 0 || i == len(p.Upper)-1 {
+			continue
+		}
+		vs = append(vs, vtx{pt: q, upper: true})
+	}
+	for i, q := range p.Lower {
+		if i == 0 || i == len(p.Lower)-1 {
+			continue
+		}
+		vs = append(vs, vtx{pt: q, upper: false})
+	}
+	vs = append(vs, vtx{pt: p.Upper[0], upper: true}, vtx{pt: p.Upper[len(p.Upper)-1], upper: false})
+	sort.Slice(vs, func(i, j int) bool { return vs[i].pt.X < vs[j].pt.X })
+
+	var tris []Tri
+	emit := func(a, b, c workload.Point) {
+		if TriArea(a, b, c) > 0 {
+			tris = append(tris, Tri{A: a, B: b, C: c})
+		}
+	}
+	var stack []vtx
+	for i, w := range vs {
+		if i < 2 {
+			stack = append(stack, w)
+			continue
+		}
+		top := stack[len(stack)-1]
+		if w.upper != top.upper {
+			// Opposite chain: fan to every stacked vertex.
+			for len(stack) >= 2 {
+				a := stack[len(stack)-1]
+				b := stack[len(stack)-2]
+				emit(w.pt, a.pt, b.pt)
+				stack = stack[:len(stack)-1]
+			}
+			stack = []vtx{top, w}
+		} else {
+			// Same chain: pop while the diagonal is inside.
+			for len(stack) >= 2 {
+				a := stack[len(stack)-1]
+				b := stack[len(stack)-2]
+				cross := (a.pt.X-b.pt.X)*(w.pt.Y-b.pt.Y) - (a.pt.Y-b.pt.Y)*(w.pt.X-b.pt.X)
+				inside := (w.upper && cross < 0) || (!w.upper && cross > 0)
+				if !inside {
+					break
+				}
+				emit(w.pt, a.pt, b.pt)
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, w)
+		}
+	}
+	return tris
+}
+
+// Triangulate triangulates the x-monotone polygon on the given executor,
+// returning triangles that partition it (with O(v) Steiner vertices at
+// slab boundaries; see DESIGN.md).
+func Triangulate(e *rec.Exec, p MonotonePolygon) ([]Tri, error) {
+	if len(p.Upper) < 2 || len(p.Lower) < 2 {
+		return nil, fmt.Errorf("geom: degenerate monotone polygon")
+	}
+	var in []rec.R
+	add := func(chain []workload.Point, isUpper int64) {
+		for _, q := range chain {
+			in = append(in, rec.R{Tag: tChainV, X: q.X, Y: q.Y, B: isUpper})
+		}
+		for i := 0; i+1 < len(chain); i++ {
+			in = append(in, rec.R{
+				Tag: tChainE, X: chain[i].X, Y: chain[i+1].X,
+				B: rec.F2I(chain[i].Y), C: rec.F2I(chain[i+1].Y), D: isUpper,
+			})
+		}
+	}
+	add(p.Upper, 1)
+	add(p.Lower, 0)
+	outs, err := e.Run(triangulate{}, rec.Scatter(in, e.V))
+	if err != nil {
+		return nil, err
+	}
+	var tris []Tri
+	var cur [3]workload.Point
+	for _, part := range outs {
+		for _, r := range part {
+			if r.Tag != tTriOut {
+				continue
+			}
+			cur[r.A] = workload.Point{X: r.X, Y: r.Y}
+			if r.A == 2 {
+				tris = append(tris, Tri{A: cur[0], B: cur[1], C: cur[2]})
+			}
+		}
+	}
+	return tris, nil
+}

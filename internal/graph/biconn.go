@@ -1,0 +1,307 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rec"
+	"repro/internal/segtree"
+	"repro/internal/workload"
+)
+
+// orientForest turns a spanning forest (edge indices into edges) into a
+// parent array rooted at each component's minimum-label vertex, then
+// hangs every component root under a virtual super-root with id n. The
+// result is a single (n+1)-vertex tree suitable for the Euler-tour
+// machinery. This orientation is O(n+m) driver glue (see DESIGN.md).
+func orientForest(n int, edges []workload.Edge, forest []int) ([]int64, int64) {
+	adj := make([][]int64, n)
+	for _, idx := range forest {
+		e := edges[idx]
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	super := int64(n)
+	parent := make([]int64, n+1)
+	parent[super] = super
+	seen := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		// s is the smallest unvisited vertex of its component: its root.
+		seen[s] = true
+		parent[s] = super
+		queue := []int64{int64(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					parent[w] = u
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return parent, super
+}
+
+// isAncestor reports whether a is an ancestor of (or equal to) b in
+// preorder/size terms.
+func isAncestor(pre, size []int64, a, b int64) bool {
+	return pre[a] <= pre[b] && pre[b] < pre[a]+size[a]
+}
+
+// subtreeExtrema computes low(v) = min over u in subtree(v) of base(u)
+// and (when maxima) high(v) analogously, for every real vertex, using the
+// distributed segment tree over preorder positions.
+func subtreeExtrema(e *rec.Exec, pre, size []int64, base []int64, super int64, maxima bool) ([]int64, error) {
+	n := len(base)
+	m := len(pre) // n+1 positions
+	values := make([]rec.R, 0, n)
+	for v := 0; v < n; v++ {
+		values = append(values, rec.R{A: pre[v], B: base[v], C: int64(v)})
+	}
+	var queries []segtree.Query
+	for v := 0; v < n; v++ {
+		queries = append(queries, segtree.Query{ID: int64(v), L: pre[v], R: pre[v] + size[v]})
+	}
+	cfg := segtree.MinByB(m)
+	if maxima {
+		cfg = segtree.MaxByB(m)
+	}
+	res, err := segtree.Run(e, cfg, values, queries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for v := 0; v < n; v++ {
+		a, ok := res[int64(v)]
+		if !ok {
+			return nil, fmt.Errorf("graph: no subtree extremum for vertex %d", v)
+		}
+		out[v] = a.B
+	}
+	return out, nil
+}
+
+// Biconn labels every edge with a biconnected-component id: two edges get
+// equal labels iff they lie in the same block. It follows Tarjan–Vishkin
+// (Figure 5, Group C2): spanning forest → Euler-tour tree functions →
+// low/high via batched subtree minima/maxima on the distributed segment
+// tree → auxiliary graph on tree edges → connected components of the
+// auxiliary graph. Self-loops are rejected.
+func Biconn(e *rec.Exec, n int, edges []workload.Edge) ([]int64, error) {
+	if n == 0 || len(edges) == 0 {
+		return make([]int64, len(edges)), nil
+	}
+	for _, ed := range edges {
+		if ed.U == ed.V {
+			return nil, fmt.Errorf("graph: self loop %v", ed)
+		}
+	}
+	_, forest, err := ConnectedComponents(e, n, edges)
+	if err != nil {
+		return nil, err
+	}
+	inForest := make(map[int]bool, len(forest))
+	for _, idx := range forest {
+		inForest[idx] = true
+	}
+	parent, super := orientForest(n, edges, forest)
+	_, pre, size, err := TreeFuncs(e, parent, super)
+	if err != nil {
+		return nil, err
+	}
+
+	// Base values m(v)/M(v): preorder of v and of its non-tree neighbours.
+	mBase := make([]int64, n)
+	MBase := make([]int64, n)
+	for v := 0; v < n; v++ {
+		mBase[v], MBase[v] = pre[v], pre[v]
+	}
+	for idx, ed := range edges {
+		if inForest[idx] {
+			continue
+		}
+		if pre[ed.V] < mBase[ed.U] {
+			mBase[ed.U] = pre[ed.V]
+		}
+		if pre[ed.V] > MBase[ed.U] {
+			MBase[ed.U] = pre[ed.V]
+		}
+		if pre[ed.U] < mBase[ed.V] {
+			mBase[ed.V] = pre[ed.U]
+		}
+		if pre[ed.U] > MBase[ed.V] {
+			MBase[ed.V] = pre[ed.U]
+		}
+	}
+	low, err := subtreeExtrema(e, pre, size, mBase, super, false)
+	if err != nil {
+		return nil, err
+	}
+	high, err := subtreeExtrema(e, pre, size, MBase, super, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Auxiliary graph: one vertex per real tree edge, identified by its
+	// child endpoint v (parent[v] != super).
+	var aux []workload.Edge
+	for idx, ed := range edges {
+		if inForest[idx] {
+			continue
+		}
+		u, w := ed.U, ed.V
+		if !isAncestor(pre, size, u, w) && !isAncestor(pre, size, w, u) {
+			aux = append(aux, workload.Edge{U: u, V: w})
+		}
+	}
+	for v := int64(0); v < int64(n); v++ {
+		pv := parent[v]
+		if pv == super || parent[pv] == super {
+			continue // e_v virtual or e_{p(v)} virtual
+		}
+		if low[v] < pre[pv] || high[v] >= pre[pv]+size[pv] {
+			aux = append(aux, workload.Edge{U: v, V: pv})
+		}
+	}
+	auxLabels, _, err := ConnectedComponents(e, n, aux)
+	if err != nil {
+		return nil, err
+	}
+
+	labels := make([]int64, len(edges))
+	for idx, ed := range edges {
+		if inForest[idx] {
+			// Tree edge (parent[v], v): its aux vertex is the child v.
+			v := ed.U
+			if parent[ed.U] == ed.V {
+				v = ed.U
+			} else if parent[ed.V] == ed.U {
+				v = ed.V
+			} else {
+				return nil, fmt.Errorf("graph: forest edge %v does not match orientation", ed)
+			}
+			labels[idx] = auxLabels[v]
+			continue
+		}
+		// Non-tree edge: same block as the tree edge below its deeper
+		// endpoint.
+		deeper := ed.U
+		if isAncestor(pre, size, ed.U, ed.V) {
+			deeper = ed.V
+		}
+		labels[idx] = auxLabels[deeper]
+	}
+	return labels, nil
+}
+
+// EarDecomposition assigns every edge of a 2-edge-connected graph an ear
+// number (0-based, ear 0 is the root cycle): the Maon–Schieber–Vishkin
+// construction. Non-tree edges are keyed by (depth of their endpoints'
+// LCA, serial); each tree edge joins the ear of the minimum-key non-tree
+// edge covering it. Returns an error if the graph is not 2-edge-connected
+// (some tree edge is a bridge).
+func EarDecomposition(e *rec.Exec, n int, edges []workload.Edge) ([]int64, error) {
+	if n == 0 || len(edges) == 0 {
+		return nil, fmt.Errorf("graph: empty graph")
+	}
+	labels, forest, err := ConnectedComponents(e, n, edges)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range labels {
+		if l != 0 {
+			return nil, fmt.Errorf("graph: graph is not connected")
+		}
+	}
+	inForest := make(map[int]bool, len(forest))
+	for _, idx := range forest {
+		inForest[idx] = true
+	}
+	parent, super := orientForest(n, edges, forest)
+	depth, pre, size, err := TreeFuncs(e, parent, super)
+	if err != nil {
+		return nil, err
+	}
+
+	// Key every non-tree edge by (depth(lca), serial).
+	var nonTree []int
+	var lcaQ [][2]int64
+	for idx, ed := range edges {
+		if !inForest[idx] {
+			nonTree = append(nonTree, idx)
+			lcaQ = append(lcaQ, [2]int64{ed.U, ed.V})
+		}
+	}
+	lcas, err := LCA(e, parent, super, lcaQ)
+	if err != nil {
+		return nil, err
+	}
+	key := make(map[int]int64, len(nonTree))
+	for i, idx := range nonTree {
+		key[idx] = depth[lcas[i]]<<32 | int64(i)
+	}
+
+	// c(v): minimum key over non-tree edges incident to v.
+	const inf = int64(1) << 62
+	c := make([]int64, n)
+	for v := range c {
+		c[v] = inf
+	}
+	for i, idx := range nonTree {
+		_ = i
+		ed := edges[idx]
+		if key[idx] < c[ed.U] {
+			c[ed.U] = key[idx]
+		}
+		if key[idx] < c[ed.V] {
+			c[ed.V] = key[idx]
+		}
+	}
+	minKey, err := subtreeExtrema(e, pre, size, c, super, false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assign ears.
+	ear := make([]int64, len(edges))
+	for idx := range edges {
+		if inForest[idx] {
+			ed := edges[idx]
+			v := ed.U
+			if parent[ed.V] == ed.U {
+				v = ed.V
+			}
+			k := minKey[v]
+			if k >= inf || (k>>32) >= depth[v] {
+				return nil, fmt.Errorf("graph: tree edge to vertex %d is a bridge — graph is not 2-edge-connected", v)
+			}
+			ear[idx] = k
+		} else {
+			ear[idx] = key[idx]
+		}
+	}
+	// Normalise keys to dense ear ids by sorted order.
+	uniq := map[int64]bool{}
+	for _, k := range ear {
+		uniq[k] = true
+	}
+	keys := make([]int64, 0, len(uniq))
+	for k := range uniq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	dense := make(map[int64]int64, len(keys))
+	for i, k := range keys {
+		dense[k] = int64(i)
+	}
+	for i := range ear {
+		ear[i] = dense[ear[i]]
+	}
+	return ear, nil
+}

@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// samePartition checks two edge labelings induce the same equivalence
+// classes.
+func samePartition(t *testing.T, tag string, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d labels, want %d", tag, len(got), len(want))
+	}
+	g2w := map[int64]int64{}
+	w2g := map[int64]int64{}
+	for i := range got {
+		if w, ok := g2w[got[i]]; ok {
+			if w != want[i] {
+				t.Fatalf("%s: edge %d separates classes: got-label %d maps to oracle %d and %d",
+					tag, i, got[i], w, want[i])
+			}
+		} else {
+			g2w[got[i]] = want[i]
+		}
+		if g, ok := w2g[want[i]]; ok {
+			if g != got[i] {
+				t.Fatalf("%s: edge %d merges oracle classes: oracle %d maps to got %d and %d",
+					tag, i, want[i], got[i], g)
+			}
+		} else {
+			w2g[want[i]] = got[i]
+		}
+	}
+}
+
+func TestBiconnSmallCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []workload.Edge
+	}{
+		{"triangle", 3, []workload.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}},
+		{"path", 4, []workload.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}},
+		{"two triangles sharing a vertex", 5, []workload.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+			{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2},
+		}},
+		{"bridge between cycles", 6, []workload.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+			{U: 2, V: 3},
+			{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+		}},
+		{"parallel edges", 2, []workload.Edge{{U: 0, V: 1}, {U: 0, V: 1}}},
+		{"disconnected", 6, []workload.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+			{U: 3, V: 4}, {U: 4, V: 5},
+		}},
+	}
+	for _, tc := range cases {
+		want := BicompSeq(tc.n, tc.edges)
+		for _, v := range []int{1, 2, 4} {
+			got, err := Biconn(rec.NewMem(v), tc.n, tc.edges)
+			if err != nil {
+				t.Fatalf("%s v=%d: %v", tc.name, v, err)
+			}
+			samePartition(t, tc.name, got, want)
+		}
+	}
+}
+
+func TestBiconnRandomGraphs(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{10, 12}, {25, 30}, {40, 80}, {30, 29}} {
+		edges := workload.Graph(int64(tc.n*tc.m), tc.n, tc.m)
+		want := BicompSeq(tc.n, edges)
+		got, err := Biconn(rec.NewMem(4), tc.n, edges)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", tc.n, tc.m, err)
+		}
+		samePartition(t, "random", got, want)
+	}
+}
+
+func TestBiconnUnderEM(t *testing.T) {
+	const n, m = 20, 30
+	edges := workload.Graph(5, n, m)
+	want := BicompSeq(n, edges)
+	e := rec.NewEM(4, 2, 2, 16)
+	got, err := Biconn(e, n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePartition(t, "em", got, want)
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestBiconnRejectsSelfLoop(t *testing.T) {
+	if _, err := Biconn(rec.NewMem(2), 2, []workload.Edge{{U: 1, V: 1}}); err == nil {
+		t.Error("self loop accepted")
+	}
+}
+
+func TestBiconnProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n8, m8, v8 uint8) bool {
+		n := int(n8)%25 + 2
+		m := int(m8)%60 + 1
+		v := int(v8)%4 + 1
+		edges := workload.Graph(seed, n, m)
+		want := BicompSeq(n, edges)
+		got, err := Biconn(rec.NewMem(v), n, edges)
+		if err != nil {
+			return false
+		}
+		// partition equality
+		g2w := map[int64]int64{}
+		w2g := map[int64]int64{}
+		for i := range got {
+			if w, ok := g2w[got[i]]; ok && w != want[i] {
+				return false
+			}
+			g2w[got[i]] = want[i]
+			if g, ok := w2g[want[i]]; ok && g != got[i] {
+				return false
+			}
+			w2g[want[i]] = got[i]
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// cyclePlusChords builds a guaranteed 2-edge-connected graph.
+func cyclePlusChords(seed int64, n, chords int) []workload.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []workload.Edge
+	for i := 0; i < n; i++ {
+		edges = append(edges, workload.Edge{U: int64(i), V: int64((i + 1) % n)})
+	}
+	for c := 0; c < chords; c++ {
+		u := rng.Intn(n)
+		w := rng.Intn(n)
+		if u == w || (u+1)%n == w || (w+1)%n == u {
+			continue
+		}
+		edges = append(edges, workload.Edge{U: int64(u), V: int64(w)})
+	}
+	return edges
+}
+
+// verifyEars checks the ear decomposition: every edge assigned; ear 0 is
+// a cycle; each later ear is a path or cycle whose endpoints lie on
+// earlier ears and whose internal vertices are new.
+func verifyEars(t *testing.T, n int, edges []workload.Edge, ear []int64) {
+	t.Helper()
+	byEar := map[int64][]workload.Edge{}
+	maxEar := int64(-1)
+	for i, e := range edges {
+		byEar[ear[i]] = append(byEar[ear[i]], e)
+		if ear[i] > maxEar {
+			maxEar = ear[i]
+		}
+	}
+	onEarlier := map[int64]bool{}
+	for k := int64(0); k <= maxEar; k++ {
+		es := byEar[k]
+		if len(es) == 0 {
+			t.Fatalf("ear %d empty", k)
+		}
+		// Degree count within the ear.
+		deg := map[int64]int{}
+		for _, e := range es {
+			deg[e.U]++
+			deg[e.V]++
+		}
+		var endpoints []int64
+		for v, d := range deg {
+			switch d {
+			case 1:
+				endpoints = append(endpoints, v)
+			case 2:
+			default:
+				t.Fatalf("ear %d: vertex %d has degree %d within the ear", k, v, d)
+			}
+		}
+		if len(endpoints) != 0 && len(endpoints) != 2 {
+			t.Fatalf("ear %d: %d endpoints", k, len(endpoints))
+		}
+		if k == 0 {
+			if len(endpoints) != 0 {
+				t.Fatalf("ear 0 is not a cycle")
+			}
+		} else {
+			// Endpoints (or the attachment vertex of a cycle-ear) must lie
+			// on earlier ears; internal vertices must be new.
+			for v, d := range deg {
+				isEnd := d == 1
+				if len(endpoints) == 0 {
+					// cycle-ear: exactly one vertex may be old
+					continue
+				}
+				if isEnd {
+					if !onEarlier[v] {
+						t.Fatalf("ear %d: endpoint %d not on an earlier ear", k, v)
+					}
+				} else if onEarlier[v] {
+					t.Fatalf("ear %d: internal vertex %d already on an earlier ear", k, v)
+				}
+			}
+		}
+		for v := range deg {
+			onEarlier[v] = true
+		}
+	}
+}
+
+func TestEarDecomposition(t *testing.T) {
+	for _, tc := range []struct{ n, chords int }{{5, 0}, {8, 3}, {20, 10}, {40, 25}} {
+		edges := cyclePlusChords(int64(tc.n), tc.n, tc.chords)
+		for _, v := range []int{1, 2, 4} {
+			ear, err := EarDecomposition(rec.NewMem(v), tc.n, edges)
+			if err != nil {
+				t.Fatalf("n=%d chords=%d v=%d: %v", tc.n, tc.chords, v, err)
+			}
+			verifyEars(t, tc.n, edges, ear)
+		}
+	}
+}
+
+func TestEarDecompositionRejectsBridges(t *testing.T) {
+	// Two triangles joined by a bridge.
+	edges := []workload.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 3},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+	}
+	if _, err := EarDecomposition(rec.NewMem(2), 6, edges); err == nil {
+		t.Error("bridge graph accepted")
+	}
+}
+
+func TestEarDecompositionUnderEM(t *testing.T) {
+	edges := cyclePlusChords(3, 15, 8)
+	e := rec.NewEM(3, 1, 2, 16)
+	ear, err := EarDecomposition(e, 15, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyEars(t, 15, edges, ear)
+}

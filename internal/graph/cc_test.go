@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func TestCCMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     int
+		edges []workload.Edge
+	}{
+		{"empty", 5, nil},
+		{"single edge", 3, []workload.Edge{{U: 0, V: 2}}},
+		{"components", 60, workload.ComponentsGraph(1, 60, 4, 2)},
+		{"dense", 40, workload.Graph(2, 40, 300)},
+		{"grid", 48, workload.GridGraph(8, 6)},
+	} {
+		want := CCSeq(tc.n, tc.edges)
+		for _, v := range []int{1, 2, 4, 8} {
+			got, forest, err := ConnectedComponents(rec.NewMem(v), tc.n, tc.edges)
+			if err != nil {
+				t.Fatalf("%s v=%d: %v", tc.name, v, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s v=%d: label[%d] = %d, want %d", tc.name, v, i, got[i], want[i])
+				}
+			}
+			checkForest(t, tc.name, tc.n, tc.edges, forest, want)
+		}
+	}
+}
+
+// checkForest verifies the forest is acyclic, uses valid edge indices,
+// and spans every component (same component count as the label oracle).
+func checkForest(t *testing.T, name string, n int, edges []workload.Edge, forest []int, labels []int64) {
+	t.Helper()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, idx := range forest {
+		if idx < 0 || idx >= len(edges) {
+			t.Fatalf("%s: forest index %d out of range", name, idx)
+		}
+		e := edges[idx]
+		ru, rv := find(int(e.U)), find(int(e.V))
+		if ru == rv {
+			t.Fatalf("%s: forest edge %v closes a cycle", name, e)
+		}
+		parent[ru] = rv
+	}
+	// Component counts must match.
+	comps := map[int]bool{}
+	for vtx := 0; vtx < n; vtx++ {
+		comps[find(vtx)] = true
+	}
+	want := map[int64]bool{}
+	for _, l := range labels {
+		want[l] = true
+	}
+	if len(comps) != len(want) {
+		t.Fatalf("%s: forest yields %d components, oracle %d", name, len(comps), len(want))
+	}
+}
+
+func TestCCUnderEM(t *testing.T) {
+	const n = 50
+	edges := workload.ComponentsGraph(5, n, 3, 2)
+	want := CCSeq(n, edges)
+	e := rec.NewEM(4, 2, 2, 16)
+	got, forest, err := ConnectedComponents(e, n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	checkForest(t, "em", n, edges, forest, want)
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestCCRoundsLogarithmicInV(t *testing.T) {
+	const n = 64
+	edges := workload.Graph(3, n, 256)
+	for _, v := range []int{2, 4, 16} {
+		e := rec.NewMem(v)
+		if _, _, err := ConnectedComponents(e, n, edges); err != nil {
+			t.Fatal(err)
+		}
+		maxRounds := log2ceil(v) + 3
+		if e.Rounds > maxRounds {
+			t.Errorf("v=%d: %d rounds, want ≤ %d (λ = O(log v))", v, e.Rounds, maxRounds)
+		}
+	}
+}
+
+func TestCCProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n8, m8, v8 uint8) bool {
+		n := int(n8)%40 + 2
+		m := int(m8) % 100
+		v := int(v8)%6 + 1
+		edges := workload.Graph(seed, n, m)
+		want := CCSeq(n, edges)
+		got, _, err := ConnectedComponents(rec.NewMem(v), n, edges)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

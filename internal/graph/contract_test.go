@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func TestExprEvalTiny(t *testing.T) {
+	// (2 + 1) * 2 = 6: node0 = *, node1 = +, node2..4 leaves.
+	nodes := []workload.ExprNode{
+		{Op: '*', L: 1, R: 2},
+		{Op: '+', L: 3, R: 4},
+		{Value: 2},
+		{Value: 2},
+		{Value: 1},
+	}
+	want := ExprEvalSeq(nodes)
+	if want != 6 {
+		t.Fatalf("oracle says %d", want)
+	}
+	for _, v := range []int{1, 2, 3} {
+		got, err := ExprEval(rec.NewMem(v), nodes)
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if got != want {
+			t.Fatalf("v=%d: got %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestExprEvalSingleLeaf(t *testing.T) {
+	nodes := []workload.ExprNode{{Value: 7}}
+	got, err := ExprEval(rec.NewMem(2), nodes)
+	if err != nil || got != 7 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestExprEvalRandomTrees(t *testing.T) {
+	for _, leaves := range []int{2, 8, 33, 200} {
+		nodes := workload.ExprTree(int64(leaves), leaves)
+		want := ExprEvalSeq(nodes)
+		for _, v := range []int{1, 4} {
+			got, err := ExprEval(rec.NewMem(v), nodes)
+			if err != nil {
+				t.Fatalf("leaves=%d v=%d: %v", leaves, v, err)
+			}
+			if got != want {
+				t.Fatalf("leaves=%d v=%d: got %d, want %d", leaves, v, got, want)
+			}
+		}
+	}
+}
+
+// leftSpine builds a degenerate left-leaning tree: without the COMPRESS
+// step this would need Θ(n) rounds.
+func leftSpine(depth int) []workload.ExprNode {
+	// node i (internal, i < depth): op '+', L = i+1 (next internal or the
+	// deep leaf), R = leaf.
+	nodes := make([]workload.ExprNode, 0, 2*depth+1)
+	for i := 0; i < depth; i++ {
+		nodes = append(nodes, workload.ExprNode{Op: '+', L: int64(i + 1), R: int64(depth + 1 + i)})
+	}
+	nodes = append(nodes, workload.ExprNode{Value: 1}) // node `depth`: deep leaf
+	for i := 0; i < depth; i++ {
+		nodes = append(nodes, workload.ExprNode{Value: 1})
+	}
+	return nodes
+}
+
+func TestExprEvalDeepSpineCompresses(t *testing.T) {
+	const depth = 300
+	nodes := leftSpine(depth)
+	want := ExprEvalSeq(nodes)
+	e := rec.NewMem(4)
+	got, err := ExprEval(e, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+	// Compression keeps rounds logarithmic — far below the spine depth.
+	if e.Rounds > 6*log2ceil(len(nodes))+20 {
+		t.Errorf("rounds = %d for spine depth %d: compress not effective", e.Rounds, depth)
+	}
+}
+
+func TestExprEvalMultiplyOverflowConsistent(t *testing.T) {
+	// Products overflow int64; contraction composes linear forms over
+	// Z/2^64, which must agree with the oracle exactly.
+	nodes := make([]workload.ExprNode, 0, 130)
+	const k = 64
+	for i := 0; i < k; i++ {
+		nodes = append(nodes, workload.ExprNode{Op: '*', L: int64(i + 1), R: int64(k + 1 + i)})
+	}
+	nodes = append(nodes, workload.ExprNode{Value: 3})
+	for i := 0; i < k; i++ {
+		nodes = append(nodes, workload.ExprNode{Value: 3})
+	}
+	want := ExprEvalSeq(nodes)
+	got, err := ExprEval(rec.NewMem(3), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+func TestExprEvalUnderEM(t *testing.T) {
+	nodes := workload.ExprTree(77, 40)
+	want := ExprEvalSeq(nodes)
+	e := rec.NewEM(4, 2, 2, 16)
+	got, err := ExprEval(e, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestExprEvalProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, l8, v8 uint8) bool {
+		leaves := int(l8)%60 + 1
+		v := int(v8)%5 + 1
+		nodes := workload.ExprTree(seed, leaves)
+		want := ExprEvalSeq(nodes)
+		got, err := ExprEval(rec.NewMem(v), nodes)
+		return err == nil && got == want
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// Bridges returns the indices of bridge edges — edges forming singleton
+// biconnected components — derived from Biconn (Figure 5 Group C2's
+// block structure).
+func Bridges(e *rec.Exec, n int, edges []workload.Edge) ([]int, error) {
+	labels, err := Biconn(e, n, edges)
+	if err != nil {
+		return nil, err
+	}
+	count := map[int64]int{}
+	for _, l := range labels {
+		count[l]++
+	}
+	var bridges []int
+	for i, l := range labels {
+		if count[l] == 1 {
+			bridges = append(bridges, i)
+		}
+	}
+	return bridges, nil
+}
+
+// ArticulationPoints returns the vertices whose removal disconnects their
+// component: a vertex is an articulation point iff it is incident to
+// edges of at least two distinct biconnected components and has degree
+// ≥ 2 (isolated and leaf vertices never qualify).
+func ArticulationPoints(e *rec.Exec, n int, edges []workload.Edge) ([]int64, error) {
+	labels, err := Biconn(e, n, edges)
+	if err != nil {
+		return nil, err
+	}
+	blocksAt := make(map[int64]map[int64]bool, n)
+	add := func(v, block int64) {
+		m, ok := blocksAt[v]
+		if !ok {
+			m = map[int64]bool{}
+			blocksAt[v] = m
+		}
+		m[block] = true
+	}
+	for i, ed := range edges {
+		add(ed.U, labels[i])
+		add(ed.V, labels[i])
+	}
+	var arts []int64
+	for v := int64(0); v < int64(n); v++ {
+		if len(blocksAt[v]) >= 2 {
+			arts = append(arts, v)
+		}
+	}
+	return arts, nil
+}
+
+// BridgesSeq is the sequential oracle (via BicompSeq).
+func BridgesSeq(n int, edges []workload.Edge) []int {
+	labels := BicompSeq(n, edges)
+	count := map[int64]int{}
+	for _, l := range labels {
+		count[l]++
+	}
+	var bridges []int
+	for i, l := range labels {
+		if count[l] == 1 {
+			bridges = append(bridges, i)
+		}
+	}
+	return bridges
+}
+
+// ArticulationPointsSeq is the sequential oracle.
+func ArticulationPointsSeq(n int, edges []workload.Edge) []int64 {
+	labels := BicompSeq(n, edges)
+	blocksAt := make(map[int64]map[int64]bool, n)
+	add := func(v, block int64) {
+		m, ok := blocksAt[v]
+		if !ok {
+			m = map[int64]bool{}
+			blocksAt[v] = m
+		}
+		m[block] = true
+	}
+	for i, ed := range edges {
+		add(ed.U, labels[i])
+		add(ed.V, labels[i])
+	}
+	var arts []int64
+	for v := int64(0); v < int64(n); v++ {
+		if len(blocksAt[v]) >= 2 {
+			arts = append(arts, v)
+		}
+	}
+	return arts
+}
+
+// WeightedListRank ranks the list with per-node weights (all ≥ 1):
+// rank[i] = Σ weight(y) over the nodes y on the path from i to the tail,
+// excluding the tail (the tail ranks 0). It is the substrate behind the
+// Euler-tour tree functions, where weights are tour-arc lengths.
+func WeightedListRank(e *rec.Exec, succ, weight []int64) ([]int64, error) {
+	n := len(succ)
+	if n == 0 {
+		return nil, nil
+	}
+	in := make([]rec.R, n)
+	for i, s := range succ {
+		if s != int64(i) && weight[i] < 1 {
+			return nil, fmt.Errorf("graph: weight[%d] = %d, want ≥ 1", i, weight[i])
+		}
+		r := rec.R{Tag: tNode, A: int64(i), B: s, C: weight[i]}
+		if s == int64(i) {
+			r.C = 0
+		}
+		in[i] = r
+	}
+	outs, err := e.Run(listRank{N: n}, scatterByID(in, n, e.V))
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]int64, n)
+	for _, part := range outs {
+		for _, r := range part {
+			rank[r.A] = r.C
+		}
+	}
+	return rank, nil
+}
+
+// WeightedListRankSeq is the sequential oracle.
+func WeightedListRankSeq(succ, weight []int64) []int64 {
+	n := len(succ)
+	prev := make([]int64, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	tail := int64(-1)
+	for i, s := range succ {
+		if s == int64(i) {
+			tail = int64(i)
+		} else {
+			prev[s] = int64(i)
+		}
+	}
+	rank := make([]int64, n)
+	acc := int64(0)
+	for cur := tail; cur >= 0; cur = prev[cur] {
+		rank[cur] = acc
+		if prev[cur] >= 0 {
+			acc += weight[prev[cur]]
+		}
+	}
+	return rank
+}

@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func TestBridgesSmall(t *testing.T) {
+	// Two triangles joined by a bridge (edge 3).
+	edges := []workload.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 3},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+	}
+	got, err := Bridges(rec.NewMem(2), 6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("bridges = %v, want [3]", got)
+	}
+	want := BridgesSeq(6, edges)
+	if !slices.Equal(got, want) {
+		t.Fatalf("oracle disagrees: %v vs %v", got, want)
+	}
+}
+
+func TestArticulationPointsSmall(t *testing.T) {
+	// Two triangles sharing vertex 2: only 2 is an articulation point.
+	edges := []workload.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2},
+	}
+	got, err := ArticulationPoints(rec.NewMem(3), 5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("articulation points = %v, want [2]", got)
+	}
+}
+
+func TestBridgesAndArticulationMatchOracle(t *testing.T) {
+	if err := quick.Check(func(seed int64, n8, m8 uint8) bool {
+		n := int(n8)%25 + 2
+		m := int(m8)%60 + 1
+		edges := workload.Graph(seed, n, m)
+		gb, err := Bridges(rec.NewMem(4), n, edges)
+		if err != nil {
+			return false
+		}
+		if !slices.Equal(gb, BridgesSeq(n, edges)) {
+			return false
+		}
+		ga, err := ArticulationPoints(rec.NewMem(4), n, edges)
+		if err != nil {
+			return false
+		}
+		return slices.Equal(ga, ArticulationPointsSeq(n, edges))
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedListRank(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 120} {
+		succ, _ := workload.List(int64(n), n)
+		weight := make([]int64, n)
+		for i := range weight {
+			weight[i] = int64(i%5 + 1)
+		}
+		want := WeightedListRankSeq(succ, weight)
+		for _, v := range []int{1, 3} {
+			got, err := WeightedListRank(rec.NewMem(v), succ, weight)
+			if err != nil {
+				t.Fatalf("n=%d v=%d: %v", n, v, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d: rank[%d] = %d, want %d", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedListRankConsistentWithUnit(t *testing.T) {
+	const n = 60
+	succ, _ := workload.List(5, n)
+	ones := make([]int64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	wr, err := WeightedListRank(rec.NewMem(3), succ, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err := ListRank(rec.NewMem(3), succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wr {
+		if wr[i] != ur[i] {
+			t.Fatalf("unit-weight rank[%d] = %d, plain = %d", i, wr[i], ur[i])
+		}
+	}
+}
+
+func TestWeightedListRankRejectsZeroWeight(t *testing.T) {
+	succ := []int64{1, 1}
+	if _, err := WeightedListRank(rec.NewMem(2), succ, []int64{0, 5}); err == nil {
+		t.Error("zero weight accepted")
+	}
+}

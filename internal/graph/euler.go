@@ -1,0 +1,331 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cgm"
+	"repro/internal/rec"
+)
+
+// Additional tags for the Euler-tour machinery.
+const (
+	tArcPos int64 = iota + 100 // A=vertex, B=pos, C=1 if down arc
+	tTree                      // A=vertex, B=depth, C=preorder, D=subtree size
+	tDepthQ                    // A=vertex, B=depth (depth scan result routed to vertex owner)
+)
+
+// Arc numbering for a tree over vertices [0, n): the down arc
+// parent(v) → v is 2v, the up arc v → parent(v) is 2v+1. The root has no
+// arcs, so ids 2·root and 2·root+1 are unused.
+func downArc(v int64) int64 { return 2 * v }
+func upArc(v int64) int64   { return 2*v + 1 }
+
+// eulerTour is the CGM program building the Euler tour successor list of
+// a rooted tree (Figure 5, Group C1 substrate). λ = 2 communication
+// rounds: vertices learn their children, then each vertex locally links
+// the arcs around itself (the classic next-in-cyclic-adjacency rule) and
+// sends every arc's successor to the arc's owner.
+//
+// Input: tNode{A: v, B: parent(v)} distributed by vertex id. Output:
+// tArc{A: arcID, B: succArcID, D: terminal} distributed by arc id over
+// [0, 2n). The tour is linearised by making the last arc into the root
+// terminal.
+//
+// A vertex's arcs must fit in one virtual processor's memory, i.e. the
+// maximum degree must be O(n/v) — the paper's coarse-grained slackness.
+type eulerTour struct {
+	N    int
+	Root int64
+}
+
+func (p eulerTour) Init(vp *cgm.VP[rec.R], input []rec.R) {
+	vp.State = append([]rec.R(nil), input...)
+}
+
+func (p eulerTour) Round(vp *cgm.VP[rec.R], round int, inbox [][]rec.R) ([][]rec.R, bool) {
+	v := vp.V
+	switch round {
+	case 0:
+		// Notify parents of their children.
+		out := make([][]rec.R, v)
+		for _, r := range vp.State {
+			if r.A == p.Root {
+				continue
+			}
+			d := cgm.Owner(p.N, v, int(r.B))
+			out[d] = append(out[d], rec.R{Tag: tChild, A: r.B, B: r.A})
+		}
+		return out, false
+
+	case 1:
+		// Each owned vertex u now knows its neighbourhood: children (from
+		// inbox) plus parent (from its own record). Compute the successor
+		// of every arc entering u and route it to the arc's owner.
+		children := map[int64][]int64{}
+		for _, msg := range inbox {
+			for _, r := range msg {
+				if r.Tag == tChild {
+					children[r.A] = append(children[r.A], r.B)
+				}
+			}
+		}
+		out := make([][]rec.R, v)
+		emit := func(arcID, succ int64, terminal int64) {
+			d := cgm.Owner(2*p.N, v, int(arcID))
+			out[d] = append(out[d], rec.R{Tag: tArc, A: arcID, B: succ, D: terminal})
+		}
+		for _, r := range vp.State {
+			u := r.A
+			parent := r.B
+			isRoot := u == p.Root
+			// Cyclic order: children in increasing id order, then the
+			// parent last — so the tour enters a vertex from its parent
+			// and proceeds to the smallest child first, matching a DFS
+			// that visits children in id order (TreeFnsSeq).
+			nbrs := append([]int64(nil), children[u]...)
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+			if !isRoot {
+				nbrs = append(nbrs, parent)
+			}
+			if len(nbrs) == 0 {
+				continue // isolated root: no arcs at all
+			}
+			pos := make(map[int64]int, len(nbrs))
+			for i, w := range nbrs {
+				pos[w] = i
+			}
+			// outArc(u → w): down(w) unless w is u's parent, then up(u).
+			outArc := func(w int64) int64 {
+				if !isRoot && w == parent {
+					return upArc(u)
+				}
+				return downArc(w)
+			}
+			// For each arc entering u — from parent: down(u); from child c:
+			// up(c) — its successor is the out-arc to the next neighbour in
+			// cyclic order after the arc's source.
+			handle := func(inID, from int64) {
+				next := (pos[from] + 1) % len(nbrs)
+				if isRoot && next == 0 {
+					// The tour closes at the root: cut here.
+					emit(inID, inID, 1)
+					return
+				}
+				emit(inID, outArc(nbrs[next]), 0)
+			}
+			if !isRoot {
+				handle(downArc(u), parent)
+			}
+			for _, c := range children[u] {
+				handle(upArc(c), c)
+			}
+		}
+		return out, false
+
+	default:
+		// Collect the arcs we own.
+		var arcs []rec.R
+		for _, msg := range inbox {
+			for _, r := range msg {
+				if r.Tag == tArc {
+					arcs = append(arcs, r)
+				}
+			}
+		}
+		vp.State = arcs
+		return nil, true
+	}
+}
+
+func (p eulerTour) Output(vp *cgm.VP[rec.R]) []rec.R { return vp.State }
+
+func (p eulerTour) MaxContextItems(n, v int) int { return 3*((n+v-1)/v) + 4 }
+
+// treeScan turns ranked Euler arcs into per-vertex depth, preorder and
+// subtree size. Input: tArc{A: arcID, C: pos} (pos = tour position,
+// 0-based) distributed arbitrarily; n vertices, root r. λ = 4 rounds:
+// route arcs to position owners, exchange slab totals (a prefix scan over
+// ±1 weights and down-arc counts), deliver per-vertex results, assemble.
+type treeScan struct {
+	N    int // vertices
+	L    int // tour length = 2(N-1)
+	Root int64
+}
+
+func (p treeScan) Init(vp *cgm.VP[rec.R], input []rec.R) {
+	vp.State = append([]rec.R(nil), input...)
+}
+
+func (p treeScan) Round(vp *cgm.VP[rec.R], round int, inbox [][]rec.R) ([][]rec.R, bool) {
+	v := vp.V
+	switch round {
+	case 0:
+		// Route each arc to the owner of its tour position.
+		out := make([][]rec.R, v)
+		for _, r := range vp.State {
+			d := cgm.Owner(p.L, v, int(r.C))
+			out[d] = append(out[d], r)
+		}
+		vp.State = vp.State[:0]
+		return out, false
+
+	case 1:
+		// Sort the received arcs by position; broadcast slab totals
+		// (sum of ±1 weights, count of down arcs).
+		var arcs []rec.R
+		for _, msg := range inbox {
+			arcs = append(arcs, msg...)
+		}
+		sort.Slice(arcs, func(i, j int) bool { return arcs[i].C < arcs[j].C })
+		vp.State = arcs
+		var wsum, dcount int64
+		for _, a := range arcs {
+			if a.A%2 == 0 {
+				wsum++
+				dcount++
+			} else {
+				wsum--
+			}
+		}
+		out := make([][]rec.R, v)
+		for d := vp.ID + 1; d < v; d++ {
+			out[d] = []rec.R{{Tag: tVal, A: wsum, B: dcount}}
+		}
+		return out, false
+
+	case 2:
+		// Apply offsets; emit per-vertex facts to vertex owners.
+		var woff, doff int64
+		for src := 0; src < vp.ID; src++ {
+			for _, r := range inbox[src] {
+				woff += r.A
+				doff += r.B
+			}
+		}
+		out := make([][]rec.R, v)
+		for _, a := range vp.State {
+			isDown := a.A%2 == 0
+			if isDown {
+				woff++
+				doff++
+			} else {
+				woff--
+			}
+			vertex := a.A / 2
+			d := cgm.Owner(p.N, v, int(vertex))
+			if isDown {
+				// depth(vertex) = prefix weight sum; pre(vertex) = prefix
+				// down count (root has preorder 0, others 1..n-1).
+				out[d] = append(out[d], rec.R{Tag: tDepthQ, A: vertex, B: woff, C: doff})
+			}
+			out[d] = append(out[d], rec.R{Tag: tArcPos, A: vertex, B: a.C, C: boolTo64(isDown)})
+		}
+		vp.State = vp.State[:0]
+		return out, false
+
+	default:
+		// Assemble per-vertex results for the vertices this VP owns.
+		type facts struct {
+			depth, pre, posDown, posUp int64
+			hasDepth                   bool
+		}
+		fs := map[int64]*facts{}
+		get := func(vtx int64) *facts {
+			f, ok := fs[vtx]
+			if !ok {
+				f = &facts{}
+				fs[vtx] = f
+			}
+			return f
+		}
+		for _, msg := range inbox {
+			for _, r := range msg {
+				switch r.Tag {
+				case tDepthQ:
+					f := get(r.A)
+					f.depth = r.B
+					f.pre = r.C
+					f.hasDepth = true
+				case tArcPos:
+					f := get(r.A)
+					if r.C == 1 {
+						f.posDown = r.B
+					} else {
+						f.posUp = r.B
+					}
+				}
+			}
+		}
+		vp.State = vp.State[:0]
+		lo, hi := cgm.PartRange(p.N, vp.V, vp.ID)
+		for vtx := int64(lo); vtx < int64(hi); vtx++ {
+			if vtx == p.Root {
+				vp.State = append(vp.State, rec.R{Tag: tTree, A: vtx, B: 0, C: 0, D: int64(p.N)})
+				continue
+			}
+			f, ok := fs[vtx]
+			if !ok || !f.hasDepth {
+				panic(fmt.Sprintf("graph: no tour facts for vertex %d", vtx))
+			}
+			size := (f.posUp - f.posDown + 1) / 2
+			vp.State = append(vp.State, rec.R{Tag: tTree, A: vtx, B: f.depth, C: f.pre, D: size})
+		}
+		return nil, true
+	}
+}
+
+func (p treeScan) Output(vp *cgm.VP[rec.R]) []rec.R { return vp.State }
+
+func (p treeScan) MaxContextItems(n, v int) int { return 4*((n+v-1)/v) + 2*v + 8 }
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EulerTour builds the successor list of the tree's Euler tour: for every
+// existing arc id (down(v) = 2v, up(v) = 2v+1, v ≠ root) succ[arc] is the
+// next arc of the tour, with the tour's last arc marked terminal
+// (succ = itself). Missing arcs (the root's) have succ = -1.
+func EulerTour(e *rec.Exec, parent []int64, root int64) ([]int64, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, nil
+	}
+	if parent[root] != root {
+		return nil, fmt.Errorf("graph: parent[root] != root")
+	}
+	in := make([]rec.R, n)
+	for i, p := range parent {
+		in[i] = rec.R{Tag: tNode, A: int64(i), B: p}
+	}
+	outs, err := e.Run(eulerTour{N: n, Root: root}, scatterByID(in, n, e.V))
+	if err != nil {
+		return nil, err
+	}
+	succ := make([]int64, 2*n)
+	for i := range succ {
+		succ[i] = -1
+	}
+	for _, part := range outs {
+		for _, r := range part {
+			succ[r.A] = r.B
+		}
+	}
+	return succ, nil
+}
+
+// TreeFuncs computes depth, preorder and subtree size of every node of
+// the rooted tree, via Euler tour + list ranking + prefix scan — the
+// Group C1 composition. Children are ordered by increasing id, matching
+// TreeFnsSeq.
+func TreeFuncs(e *rec.Exec, parent []int64, root int64) (depth, pre, size []int64, err error) {
+	if len(parent) == 0 {
+		return nil, nil, nil, nil
+	}
+	_, depth, pre, size, err = tourData(e, parent, root)
+	return depth, pre, size, err
+}

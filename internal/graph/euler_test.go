@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// checkTour verifies succ describes a single path over all 2(n-1) arcs,
+// starting at a root out-arc and ending at the terminal arc.
+func checkTour(t *testing.T, succ []int64, n int, root int64) {
+	t.Helper()
+	L := 2 * (n - 1)
+	present := 0
+	terminal := int64(-1)
+	for id, s := range succ {
+		if s < 0 {
+			continue
+		}
+		present++
+		if s == int64(id) {
+			if terminal >= 0 {
+				t.Fatalf("two terminal arcs: %d and %d", terminal, id)
+			}
+			terminal = int64(id)
+		}
+	}
+	if present != L {
+		t.Fatalf("%d arcs present, want %d", present, L)
+	}
+	if terminal < 0 {
+		t.Fatal("no terminal arc")
+	}
+	// The terminal must enter the root (an up arc of a root child).
+	if terminal%2 != 1 {
+		t.Fatalf("terminal arc %d is not an up arc", terminal)
+	}
+	// Walk backwards is hard; walk forward from every arc must reach the
+	// terminal within L steps — equivalent: the reversed graph from the
+	// terminal covers all arcs. Build predecessor map.
+	pred := map[int64]int64{}
+	for id, s := range succ {
+		if s >= 0 && s != int64(id) {
+			if _, dup := pred[s]; dup {
+				t.Fatalf("arc %d has two predecessors", s)
+			}
+			pred[s] = int64(id)
+		}
+	}
+	count := 1
+	cur := terminal
+	for {
+		p, ok := pred[cur]
+		if !ok {
+			break
+		}
+		count++
+		cur = p
+	}
+	if count != L {
+		t.Fatalf("tour path covers %d arcs, want %d", count, L)
+	}
+	// The head must be a down arc out of the root.
+	if cur%2 != 0 {
+		t.Fatalf("tour head %d is not a down arc", cur)
+	}
+	_ = root
+}
+
+func TestEulerTourSmall(t *testing.T) {
+	// Path 0-1-2 rooted at 0: tour: down(1) down(2) up(2) up(1).
+	parent := []int64{0, 0, 1}
+	succ, err := EulerTour(rec.NewMem(2), parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if succ[downArc(1)] != downArc(2) || succ[downArc(2)] != upArc(2) ||
+		succ[upArc(2)] != upArc(1) || succ[upArc(1)] != upArc(1) {
+		t.Fatalf("tour = %v", succ)
+	}
+}
+
+func TestEulerTourShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		parent []int64
+		root   int64
+	}{
+		{"path", mustParent(workload.PathTree(50)), 0},
+		{"star", starTree(40), 0},
+		{"random", mustParent2(workload.Tree(7, 100)), rootOf(workload.Tree(7, 100))},
+	} {
+		n := len(tc.parent)
+		for _, v := range []int{1, 3, 5} {
+			succ, err := EulerTour(rec.NewMem(v), tc.parent, tc.root)
+			if err != nil {
+				t.Fatalf("%s v=%d: %v", tc.name, v, err)
+			}
+			checkTour(t, succ, n, tc.root)
+		}
+	}
+}
+
+func mustParent(p []int64, _ int64) []int64  { return p }
+func mustParent2(p []int64, _ int64) []int64 { return p }
+func rootOf(_ []int64, r int64) int64        { return r }
+
+func starTree(n int) []int64 {
+	p := make([]int64, n)
+	for i := range p {
+		p[i] = 0
+	}
+	return p
+}
+
+func TestTreeFuncsMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name   string
+		parent []int64
+		root   int64
+	}{
+		{"single", []int64{0}, 0},
+		{"pair", []int64{0, 0}, 0},
+		{"path", mustParent(workload.PathTree(60)), 0},
+		{"star", starTree(33), 0},
+	}
+	pr, rt := workload.Tree(11, 120)
+	cases = append(cases, struct {
+		name   string
+		parent []int64
+		root   int64
+	}{"random", pr, rt})
+
+	for _, tc := range cases {
+		wd, wp, ws := TreeFnsSeq(tc.parent, tc.root)
+		for _, v := range []int{1, 2, 4} {
+			d, p, s, err := TreeFuncs(rec.NewMem(v), tc.parent, tc.root)
+			if err != nil {
+				t.Fatalf("%s v=%d: %v", tc.name, v, err)
+			}
+			for i := range wd {
+				if d[i] != wd[i] || p[i] != wp[i] || s[i] != ws[i] {
+					t.Fatalf("%s v=%d node %d: got (d=%d,pre=%d,sz=%d), want (%d,%d,%d)",
+						tc.name, v, i, d[i], p[i], s[i], wd[i], wp[i], ws[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTreeFuncsUnderEM(t *testing.T) {
+	parent, root := workload.Tree(21, 64)
+	wd, wp, ws := TreeFnsSeq(parent, root)
+	e := rec.NewEM(4, 2, 2, 16)
+	d, p, s, err := TreeFuncs(e, parent, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wd {
+		if d[i] != wd[i] || p[i] != wp[i] || s[i] != ws[i] {
+			t.Fatalf("node %d mismatch", i)
+		}
+	}
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestTreeFuncsProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n16 uint16, v8 uint8) bool {
+		n := int(n16)%150 + 2
+		v := int(v8)%5 + 1
+		parent, root := workload.Tree(seed, n)
+		wd, wp, ws := TreeFnsSeq(parent, root)
+		d, p, s, err := TreeFuncs(rec.NewMem(v), parent, root)
+		if err != nil {
+			return false
+		}
+		for i := range wd {
+			if d[i] != wd[i] || p[i] != wp[i] || s[i] != ws[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TreeFuncs must also survive the balanced executor: every phase routed
+// through BalancedRouting (Lemma 2 end to end on a composite pipeline).
+func TestTreeFuncsBalancedEM(t *testing.T) {
+	parent, root := workload.Tree(41, 48)
+	wd, wp, ws := TreeFnsSeq(parent, root)
+	e := rec.NewEM(4, 2, 2, 16)
+	e.Balanced = true
+	d, p, s, err := TreeFuncs(e, parent, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wd {
+		if d[i] != wd[i] || p[i] != wp[i] || s[i] != ws[i] {
+			t.Fatalf("node %d mismatch under balanced EM", i)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+// ExampleConnectedComponents labels a two-component graph.
+func ExampleConnectedComponents() {
+	edges := []workload.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}
+	labels, forest, err := graph.ConnectedComponents(rec.NewMem(2), 5, edges)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("labels:", labels)
+	fmt.Println("forest size:", len(forest))
+	// Output:
+	// labels: [0 0 0 3 3]
+	// forest size: 3
+}
+
+// ExampleListRank ranks a scattered linked list.
+func ExampleListRank() {
+	// List: 3 → 1 → 0 → 2 (tail).
+	succ := []int64{2, 0, 2, 1}
+	ranks, err := graph.ListRank(rec.NewMem(2), succ)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ranks)
+	// Output:
+	// [1 2 0 3]
+}
+
+// ExampleLCA answers batched lowest-common-ancestor queries.
+func ExampleLCA() {
+	// Tree:   0
+	//        / \
+	//       1   2
+	//      / \
+	//     3   4
+	parent := []int64{0, 0, 0, 1, 1}
+	lcas, err := graph.LCA(rec.NewMem(2), parent, 0, [][2]int64{{3, 4}, {3, 2}, {4, 4}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(lcas)
+	// Output:
+	// [1 0 4]
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rec"
+	"repro/internal/segtree"
+)
+
+// tourData runs the Euler tour + list ranking + tree scan pipeline and
+// returns the tour position of every arc (indexed by arc id, -1 when the
+// arc does not exist) along with depth, preorder and subtree size.
+func tourData(e *rec.Exec, parent []int64, root int64) (pos []int64, depth, pre, size []int64, err error) {
+	n := len(parent)
+	if n == 1 {
+		return []int64{-1, -1}, []int64{0}, []int64{0}, []int64{1}, nil
+	}
+	succ, err := EulerTour(e, parent, root)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	L := 2 * (n - 1)
+	arcIn := make([]rec.R, 0, L)
+	for id, s := range succ {
+		if s >= 0 {
+			arcIn = append(arcIn, rec.R{Tag: tNode, A: int64(id), B: s})
+		}
+	}
+	rankOuts, err := e.Run(listRank{N: 2 * n}, scatterByID(arcIn, 2*n, e.V))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pos = make([]int64, 2*n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	scanIn := make([]rec.R, 0, L)
+	for _, part := range rankOuts {
+		for _, r := range part {
+			p := int64(L) - 1 - r.C
+			pos[r.A] = p
+			scanIn = append(scanIn, rec.R{Tag: tArc, A: r.A, C: p})
+		}
+	}
+	outs, err := e.Run(treeScan{N: n, L: L, Root: root}, rec.Scatter(scanIn, e.V))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	depth = make([]int64, n)
+	pre = make([]int64, n)
+	size = make([]int64, n)
+	for _, part := range outs {
+		for _, r := range part {
+			depth[r.A] = r.B
+			pre[r.A] = r.C
+			size[r.A] = r.D
+		}
+	}
+	return pos, depth, pre, size, nil
+}
+
+// LCA answers batched lowest-common-ancestor queries via the classical
+// Euler-tour reduction to range-minimum (Figure 5, Group C1): the LCA of
+// u and v is the minimum-depth vertex visited by the tour between the
+// first occurrences of u and v. The RMQ batch runs on the distributed
+// segment tree in O(1) communication rounds after the tour pipeline.
+func LCA(e *rec.Exec, parent []int64, root int64, queries [][2]int64) ([]int64, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int64, len(queries))
+	if n == 1 {
+		for i := range out {
+			out[i] = root
+		}
+		return out, nil
+	}
+	pos, depth, _, _, err := tourData(e, parent, root)
+	if err != nil {
+		return nil, err
+	}
+	L := 2 * (n - 1)
+
+	// The Euler vertex array has L+1 entries: entry 0 is the root, entry
+	// p+1 is the vertex the tour stands on after the arc at position p.
+	// first(v) is v's first appearance in that array.
+	first := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if int64(v) == root {
+			first[v] = 0
+		} else {
+			first[v] = pos[downArc(int64(v))] + 1
+		}
+	}
+	values := make([]rec.R, 0, L+1)
+	values = append(values, rec.R{A: 0, B: depth[root], C: root})
+	for v := int64(0); v < int64(n); v++ {
+		if v == root {
+			continue
+		}
+		values = append(values, rec.R{A: pos[downArc(v)] + 1, B: depth[v], C: v})
+		values = append(values, rec.R{A: pos[upArc(v)] + 1, B: depth[parent[v]], C: parent[v]})
+	}
+
+	sq := make([]segtree.Query, len(queries))
+	for i, q := range queries {
+		u, v := q[0], q[1]
+		if u < 0 || u >= int64(n) || v < 0 || v >= int64(n) {
+			return nil, fmt.Errorf("graph: LCA query %d out of range: (%d,%d)", i, u, v)
+		}
+		l, r := first[u], first[v]
+		if l > r {
+			l, r = r, l
+		}
+		sq[i] = segtree.Query{ID: int64(i), L: l, R: r + 1}
+	}
+	res, err := segtree.Run(e, segtree.MinByB(L+1), values, sq)
+	if err != nil {
+		return nil, err
+	}
+	for i := range queries {
+		a, ok := res[int64(i)]
+		if !ok {
+			return nil, fmt.Errorf("graph: no RMQ answer for LCA query %d", i)
+		}
+		out[i] = a.C
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func randomQueries(rng *rand.Rand, n, q int) [][2]int64 {
+	qs := make([][2]int64, q)
+	for i := range qs {
+		qs[i] = [2]int64{int64(rng.Intn(n)), int64(rng.Intn(n))}
+	}
+	return qs
+}
+
+func TestLCAMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := []struct {
+		name   string
+		parent []int64
+		root   int64
+	}{
+		{"pair", []int64{0, 0}, 0},
+		{"path", mustParent(workload.PathTree(40)), 0},
+		{"star", starTree(25), 0},
+	}
+	pr, rt := workload.Tree(31, 90)
+	cases = append(cases, struct {
+		name   string
+		parent []int64
+		root   int64
+	}{"random", pr, rt})
+
+	for _, tc := range cases {
+		n := len(tc.parent)
+		queries := randomQueries(rng, n, 50)
+		// Include self-queries and root queries explicitly.
+		queries = append(queries, [2]int64{tc.root, int64(n - 1)}, [2]int64{3 % int64(n), 3 % int64(n)})
+		want := LCASeq(tc.parent, tc.root, queries)
+		for _, v := range []int{1, 2, 4} {
+			got, err := LCA(rec.NewMem(v), tc.parent, tc.root, queries)
+			if err != nil {
+				t.Fatalf("%s v=%d: %v", tc.name, v, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s v=%d: lca(%d,%d) = %d, want %d",
+						tc.name, v, queries[i][0], queries[i][1], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLCASingleNode(t *testing.T) {
+	got, err := LCA(rec.NewMem(2), []int64{0}, 0, [][2]int64{{0, 0}})
+	if err != nil || len(got) != 1 || got[0] != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestLCAUnderEM(t *testing.T) {
+	parent, root := workload.Tree(17, 60)
+	rng := rand.New(rand.NewSource(18))
+	queries := randomQueries(rng, 60, 30)
+	want := LCASeq(parent, root, queries)
+	e := rec.NewEM(4, 2, 2, 16)
+	got, err := LCA(e, parent, root, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestLCAQueryValidation(t *testing.T) {
+	if _, err := LCA(rec.NewMem(2), []int64{0, 0}, 0, [][2]int64{{0, 5}}); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+}
+
+func TestLCAProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n16 uint16, v8 uint8) bool {
+		n := int(n16)%100 + 2
+		v := int(v8)%5 + 1
+		parent, root := workload.Tree(seed, n)
+		rng := rand.New(rand.NewSource(seed + 1))
+		queries := randomQueries(rng, n, 10)
+		want := LCASeq(parent, root, queries)
+		got, err := LCA(rec.NewMem(v), parent, root, queries)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cgm"
+	"repro/internal/rec"
+)
+
+// Record tags used by the graph programs.
+const (
+	tNode   int64 = iota + 1 // list/tree node: A=id, B=succ/parent, C=weight/dist, D=terminal
+	tQry                     // pointer query: A=requester, B=target
+	tAns                     // pointer answer: A=requester, B=new target, C=dist delta, D=terminal
+	tChild                   // child notification: A=parent, B=child
+	tArc                     // Euler arc: A=arcID, B=succArc, C=weight, D=terminal
+	tVal                     // generic keyed value: A=key, B=value (C,D aux)
+	tEdge                    // graph edge: A=u, B=v (C: original edge id)
+	tLabel                   // component label: A=vertex, B=label
+	tForest                  // forest edge: A=u, B=v, C=original edge id
+)
+
+// listRank is the CGM pointer-jumping (distance-doubling) list-ranking
+// program: λ = 2·⌈log₂ n⌉ + O(1) rounds of h-relations with h = O(n/v).
+// The paper's Group C complexities assume O(log v)-round ranking via
+// sparse ruling sets; pointer jumping is the simpler classical variant
+// with log n rounds and identical per-round I/O shape (the EM cost
+// becomes O((N log N)/(pDB)) instead of O((N log v)/(pDB)); see
+// DESIGN.md).
+//
+// Input: tNode records {A: id, B: succ, C: weight} distributed by id
+// block partition over [0, N). The tail has succ = id. Output: tNode
+// records {A: id, C: weighted distance from id to the tail}.
+type listRank struct {
+	N int // id-space size
+}
+
+func (p listRank) owner(v, id int) int { return cgm.Owner(p.N, v, id) }
+
+func (p listRank) doublings() int {
+	if p.N <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p.N-1)) + 1
+}
+
+func (p listRank) Init(vp *cgm.VP[rec.R], input []rec.R) {
+	vp.State = make([]rec.R, 0, len(input))
+	for _, r := range input {
+		if r.Tag != tNode {
+			panic(fmt.Sprintf("graph: listRank input tag %d", r.Tag))
+		}
+		if r.B == r.A { // tail
+			r.C = 0
+			r.D = 1
+		} else if r.D == 0 && r.C == 0 {
+			r.C = 1 // default unit weight
+		}
+		vp.State = append(vp.State, r)
+	}
+}
+
+func (p listRank) Round(vp *cgm.VP[rec.R], round int, inbox [][]rec.R) ([][]rec.R, bool) {
+	v := vp.V
+	// Index local nodes by id.
+	idx := make(map[int64]int, len(vp.State))
+	for i, r := range vp.State {
+		idx[r.A] = i
+	}
+
+	if round%2 == 0 {
+		// Apply answers from the previous doubling (none at round 0).
+		for _, msg := range inbox {
+			for _, a := range msg {
+				if a.Tag != tAns {
+					continue
+				}
+				i := idx[a.A]
+				vp.State[i].B = a.B
+				vp.State[i].C += a.C
+				vp.State[i].D = a.D
+			}
+		}
+		if round/2 >= p.doublings() {
+			return nil, true
+		}
+		// Issue the next queries.
+		out := make([][]rec.R, v)
+		for _, r := range vp.State {
+			if r.D == 1 {
+				continue
+			}
+			d := p.owner(v, int(r.B))
+			out[d] = append(out[d], rec.R{Tag: tQry, A: r.A, B: r.B})
+		}
+		return out, false
+	}
+
+	// Odd round: answer queries about local nodes.
+	out := make([][]rec.R, v)
+	for _, msg := range inbox {
+		for _, q := range msg {
+			if q.Tag != tQry {
+				continue
+			}
+			t := vp.State[idx[q.B]]
+			d := p.owner(v, int(q.A))
+			out[d] = append(out[d], rec.R{Tag: tAns, A: q.A, B: t.B, C: t.C, D: t.D})
+		}
+	}
+	return out, false
+}
+
+func (p listRank) Output(vp *cgm.VP[rec.R]) []rec.R {
+	out := make([]rec.R, len(vp.State))
+	for i, r := range vp.State {
+		out[i] = rec.R{Tag: tNode, A: r.A, B: r.B, C: r.C, D: r.D}
+	}
+	return out
+}
+
+// MaxContextItems declares μ for the EM machines.
+func (p listRank) MaxContextItems(n, v int) int { return (n+v-1)/v + 2 }
+
+// scatterByID distributes keyed records to the block partition of their A
+// field over id space [0, n).
+func scatterByID(rs []rec.R, n, v int) [][]rec.R {
+	parts := make([][]rec.R, v)
+	for _, r := range rs {
+		d := cgm.Owner(n, v, int(r.A))
+		parts[d] = append(parts[d], r)
+	}
+	return parts
+}
+
+// ListRank ranks the list given by the successor array (tail points to
+// itself): rank[i] = hops from i to the tail. Runs on the given executor.
+func ListRank(e *rec.Exec, succ []int64) ([]int64, error) {
+	n := len(succ)
+	if n == 0 {
+		return nil, nil
+	}
+	in := make([]rec.R, n)
+	for i, s := range succ {
+		in[i] = rec.R{Tag: tNode, A: int64(i), B: s}
+	}
+	outs, err := e.Run(listRank{N: n}, scatterByID(in, n, e.V))
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]int64, n)
+	for _, part := range outs {
+		for _, r := range part {
+			rank[r.A] = r.C
+		}
+	}
+	return rank, nil
+}

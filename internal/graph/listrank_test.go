@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func TestListRankSeqOracle(t *testing.T) {
+	// 3 → 1 → 0 → 2(tail): succ[3]=1, succ[1]=0, succ[0]=2, succ[2]=2.
+	succ := []int64{2, 0, 2, 1}
+	rank := ListRankSeq(succ)
+	want := []int64{1, 2, 0, 3}
+	for i := range want {
+		if rank[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, rank[i], want[i])
+		}
+	}
+}
+
+func TestListRankMatchesOracle(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 8} {
+		for _, n := range []int{1, 2, 5, 64, 333} {
+			succ, _ := workload.List(int64(n*v), n)
+			want := ListRankSeq(succ)
+			got, err := ListRank(rec.NewMem(v), succ)
+			if err != nil {
+				t.Fatalf("v=%d n=%d: %v", v, n, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("v=%d n=%d: rank[%d] = %d, want %d", v, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestListRankUnderEM(t *testing.T) {
+	const n, v = 200, 4
+	succ, _ := workload.List(9, n)
+	want := ListRankSeq(succ)
+	e := rec.NewEM(v, 2, 2, 16)
+	got, err := ListRank(e, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated on EM executor")
+	}
+	if e.Rounds == 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+func TestListRankRoundsLogarithmic(t *testing.T) {
+	const v = 4
+	for _, n := range []int{64, 1024} {
+		succ, _ := workload.List(3, n)
+		e := rec.NewMem(v)
+		if _, err := ListRank(e, succ); err != nil {
+			t.Fatal(err)
+		}
+		// 2·(⌈log2(n-1)⌉+1)+1 rounds.
+		maxRounds := 2*(log2ceil(n)+2) + 2
+		if e.Rounds > maxRounds {
+			t.Errorf("n=%d: %d rounds, want ≤ %d", n, e.Rounds, maxRounds)
+		}
+	}
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+func TestListRankEmptyAndSingle(t *testing.T) {
+	if got, err := ListRank(rec.NewMem(2), nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	got, err := ListRank(rec.NewMem(2), []int64{0})
+	if err != nil || len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single: %v %v", got, err)
+	}
+}
+
+func TestListRankProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n16 uint16, v8 uint8) bool {
+		n := int(n16)%200 + 1
+		v := int(v8)%6 + 1
+		succ, _ := workload.List(seed, n)
+		want := ListRankSeq(succ)
+		got, err := ListRank(rec.NewMem(v), succ)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

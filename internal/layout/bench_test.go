@@ -1,0 +1,29 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/pdm"
+)
+
+// BenchmarkWriteFIFO measures the DiskWrite scheduler's packing on a full
+// message-matrix outbox.
+func BenchmarkWriteFIFO(b *testing.B) {
+	const v, bpm, d, blk = 16, 4, 4, 64
+	m, err := NewMatrix(v, bpm, d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := pdm.NewMemArray(d, blk)
+	reqs := m.OutboxReqs(0, 3)
+	bufs := make([][]pdm.Word, len(reqs))
+	for i := range bufs {
+		bufs[i] = make([]pdm.Word, blk)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WriteFIFO(arr, reqs, bufs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

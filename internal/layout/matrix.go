@@ -1,0 +1,116 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+)
+
+// Matrix is the staggered message matrix of the paper's Figure 2 and
+// appendix Step (d): a v×v grid of fixed-size message slots laid out on D
+// disks so that both per-destination inbox reads and per-source outbox
+// writes proceed with fully parallel I/O.
+//
+// The matrix is organised in v regions (track bands). Region r starts at
+// track BaseTrack + r·RegionTracks() with disk offset d_r = (r·BPM) mod D;
+// slot a of region r occupies BPM consecutive striped blocks starting at
+// region-local block index a·BPM. Staggering the regions' disk offsets is
+// what lets one parallel I/O touch the first blocks of slots in
+// consecutive regions (the shaded rectangles of Figure 2).
+//
+// Which (source,destination) message occupies which slot alternates by
+// superstep parity per Observation 2, so a single copy of the matrix
+// suffices (see Place):
+//
+//   - phase 0: message i→j lives in region j, slot i. VP j reads its inbox
+//     as region j — a consecutive read — and then writes its outgoing
+//     message j→k into region j, slot k (the slots it just freed) — a
+//     consecutive write.
+//   - phase 1: message i→j lives in region i, slot j. VP j reads its inbox
+//     as slot j of every region — a staggered read — and writes message
+//     j→k into region k, slot j (again just-freed slots) — a staggered
+//     write.
+//
+// In both phases the slots written by VP j are exactly the slots VP j's
+// own inbox occupied, so processing VPs in any order never clobbers an
+// unread message.
+type Matrix struct {
+	V         int // virtual processors (matrix is V×V slots)
+	BPM       int // blocks per message slot (b′ in the paper)
+	D         int // disks
+	BaseTrack int // first track of the matrix
+}
+
+// NewMatrix validates and returns the matrix geometry.
+func NewMatrix(v, bpm, d, baseTrack int) (Matrix, error) {
+	if v < 1 || bpm < 1 || d < 1 || baseTrack < 0 {
+		return Matrix{}, fmt.Errorf("layout: invalid matrix geometry v=%d bpm=%d d=%d base=%d", v, bpm, d, baseTrack)
+	}
+	return Matrix{V: v, BPM: bpm, D: d, BaseTrack: baseTrack}, nil
+}
+
+// RegionTracks returns the number of tracks occupied by one region:
+// ⌈V·BPM/D⌉ plus one track of slack for the staggered disk offset.
+func (m Matrix) RegionTracks() int {
+	return (m.V*m.BPM+m.D-1)/m.D + 1
+}
+
+// TotalTracks returns the number of tracks occupied by the whole matrix.
+func (m Matrix) TotalTracks() int { return m.V * m.RegionTracks() }
+
+// regionStart returns the base track and disk offset of region r.
+func (m Matrix) regionStart(r int) (track, diskOff int) {
+	return m.BaseTrack + r*m.RegionTracks(), (r * m.BPM) % m.D
+}
+
+// SlotBlock returns the disk address of block q (0 ≤ q < BPM) of slot a
+// within region r.
+func (m Matrix) SlotBlock(r, a, q int) pdm.BlockReq {
+	if r < 0 || r >= m.V || a < 0 || a >= m.V || q < 0 || q >= m.BPM {
+		panic(fmt.Sprintf("layout: slot block (r=%d a=%d q=%d) out of range", r, a, q))
+	}
+	t, d0 := m.regionStart(r)
+	g := d0 + a*m.BPM + q
+	return pdm.BlockReq{Disk: g % m.D, Track: t + g/m.D}
+}
+
+// Place returns the (region, slot) holding the message src→dst in the
+// given phase (superstep parity), per Observation 2's alternation.
+func (m Matrix) Place(phase, src, dst int) (region, slot int) {
+	if phase%2 == 0 {
+		return dst, src
+	}
+	return src, dst
+}
+
+// InboxReqs returns the FIFO block-request sequence that reads VP dst's
+// entire inbox (V messages of BPM blocks each) in the given phase. In
+// phase 0 this is a consecutive read of region dst; in phase 1 it is a
+// staggered read of slot dst from every region. The k-th group of BPM
+// requests holds the message from source k.
+func (m Matrix) InboxReqs(phase, dst int) []pdm.BlockReq {
+	reqs := make([]pdm.BlockReq, 0, m.V*m.BPM)
+	for src := 0; src < m.V; src++ {
+		r, a := m.Place(phase, src, dst)
+		for q := 0; q < m.BPM; q++ {
+			reqs = append(reqs, m.SlotBlock(r, a, q))
+		}
+	}
+	return reqs
+}
+
+// OutboxReqs returns the FIFO block-request sequence that writes VP src's
+// entire outbox (V messages of BPM blocks each) in the given phase. The
+// k-th group of BPM requests is the message to destination k. Outgoing
+// messages of phase p are read as inboxes in phase p+1, so they are placed
+// with Place(phase+1, ...).
+func (m Matrix) OutboxReqs(phase, src int) []pdm.BlockReq {
+	reqs := make([]pdm.BlockReq, 0, m.V*m.BPM)
+	for dst := 0; dst < m.V; dst++ {
+		r, a := m.Place(phase+1, src, dst)
+		for q := 0; q < m.BPM; q++ {
+			reqs = append(reqs, m.SlotBlock(r, a, q))
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,73 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+)
+
+// Rect is a rectangular message matrix used by the multi-processor machine
+// (Algorithm 3): on a real processor owning Regions virtual processors,
+// region r is the inbox band of local VP r and holds Slots message slots,
+// one per source VP in the whole machine. Regions are staggered across
+// disks exactly like Matrix regions so inbox reads are fully parallel.
+//
+// Unlike Matrix, Rect does not alternate placements: the parallel machine
+// double-buffers (two Rects used in ping-pong by round parity), because
+// incoming message batches from other real processors can arrive before
+// the local inbox of the same superstep has been consumed.
+type Rect struct {
+	Slots     int // message slots per region (= v, total virtual processors)
+	Regions   int // regions (= local virtual processors)
+	BPM       int // blocks per message slot
+	D         int // disks
+	BaseTrack int // first track
+}
+
+// NewRect validates and returns the geometry.
+func NewRect(slots, regions, bpm, d, baseTrack int) (Rect, error) {
+	if slots < 1 || regions < 1 || bpm < 1 || d < 1 || baseTrack < 0 {
+		return Rect{}, fmt.Errorf("layout: invalid rect geometry slots=%d regions=%d bpm=%d d=%d base=%d",
+			slots, regions, bpm, d, baseTrack)
+	}
+	return Rect{Slots: slots, Regions: regions, BPM: bpm, D: d, BaseTrack: baseTrack}, nil
+}
+
+// RegionTracks returns tracks per region: ⌈Slots·BPM/D⌉ + 1 stagger slack.
+func (m Rect) RegionTracks() int { return (m.Slots*m.BPM+m.D-1)/m.D + 1 }
+
+// TotalTracks returns the full footprint in tracks.
+func (m Rect) TotalTracks() int { return m.Regions * m.RegionTracks() }
+
+// SlotBlock returns the address of block q of slot a within region r.
+func (m Rect) SlotBlock(r, a, q int) pdm.BlockReq {
+	if r < 0 || r >= m.Regions || a < 0 || a >= m.Slots || q < 0 || q >= m.BPM {
+		panic(fmt.Sprintf("layout: rect slot block (r=%d a=%d q=%d) out of range", r, a, q))
+	}
+	t := m.BaseTrack + r*m.RegionTracks()
+	d0 := (r * m.BPM) % m.D
+	g := d0 + a*m.BPM + q
+	return pdm.BlockReq{Disk: g % m.D, Track: t + g/m.D}
+}
+
+// SlotReqs returns the BPM block requests of slot a in region r, in block
+// order.
+func (m Rect) SlotReqs(r, a int) []pdm.BlockReq {
+	reqs := make([]pdm.BlockReq, m.BPM)
+	for q := 0; q < m.BPM; q++ {
+		reqs[q] = m.SlotBlock(r, a, q)
+	}
+	return reqs
+}
+
+// RegionReqs returns the block requests of the whole region r (Slots·BPM
+// blocks, consecutive on disk), grouped slot by slot.
+func (m Rect) RegionReqs(r int) []pdm.BlockReq {
+	reqs := make([]pdm.BlockReq, 0, m.Slots*m.BPM)
+	for a := 0; a < m.Slots; a++ {
+		for q := 0; q < m.BPM; q++ {
+			reqs = append(reqs, m.SlotBlock(r, a, q))
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,237 @@
+package pdm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DiskArray drives D disks as one parallel I/O device. A single call to
+// ReadBlocks or WriteBlocks is one PDM parallel I/O operation: it may
+// address at most one track per disk and is executed with one goroutine
+// per participating disk, so disk transfers genuinely overlap.
+//
+// The array counts operations exactly as the PDM cost measure does: an
+// operation involving fewer than D blocks still costs one parallel I/O
+// (the model "gives incentives to access all disk drives").
+type DiskArray struct {
+	disks []Disk
+	b     int
+
+	mu    sync.Mutex
+	stats IOStats
+}
+
+// NewDiskArray builds an array over the given disks, which must all share
+// the same block size.
+func NewDiskArray(disks []Disk) (*DiskArray, error) {
+	if len(disks) == 0 {
+		return nil, fmt.Errorf("pdm: disk array needs at least one disk")
+	}
+	b := disks[0].BlockSize()
+	for i, d := range disks {
+		if d.BlockSize() != b {
+			return nil, fmt.Errorf("pdm: disk %d has block size %d, want %d", i, d.BlockSize(), b)
+		}
+	}
+	return &DiskArray{disks: disks, b: b}, nil
+}
+
+// NewMemArray is a convenience constructor: D in-memory disks of block
+// size b.
+func NewMemArray(d, b int) *DiskArray {
+	disks := make([]Disk, d)
+	for i := range disks {
+		disks[i] = NewMemDisk(b)
+	}
+	a, err := NewDiskArray(disks)
+	if err != nil {
+		panic(err) // unreachable: homogeneous by construction
+	}
+	return a
+}
+
+// D returns the number of disks.
+func (a *DiskArray) D() int { return len(a.disks) }
+
+// B returns the block size in words.
+func (a *DiskArray) B() int { return a.b }
+
+// Disk returns the i-th underlying disk (used by tests and layouts).
+func (a *DiskArray) Disk(i int) Disk { return a.disks[i] }
+
+// Stats returns a snapshot of the accumulated I/O statistics.
+func (a *DiskArray) Stats() IOStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (a *DiskArray) ResetStats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats = IOStats{}
+}
+
+// checkReqs validates the one-track-per-disk PDM rule.
+func (a *DiskArray) checkReqs(reqs []BlockReq) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(reqs) > len(a.disks) {
+		return fmt.Errorf("pdm: %d blocks in one parallel I/O, array has D=%d: %w",
+			len(reqs), len(a.disks), ErrDiskConflict)
+	}
+	var seen [64]bool
+	var seenMap map[int]bool
+	if len(a.disks) > 64 {
+		seenMap = make(map[int]bool, len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Disk < 0 || r.Disk >= len(a.disks) {
+			return fmt.Errorf("pdm: disk index %d out of range [0,%d)", r.Disk, len(a.disks))
+		}
+		if seenMap != nil {
+			if seenMap[r.Disk] {
+				return fmt.Errorf("pdm: disk %d addressed twice: %w", r.Disk, ErrDiskConflict)
+			}
+			seenMap[r.Disk] = true
+		} else {
+			if seen[r.Disk] {
+				return fmt.Errorf("pdm: disk %d addressed twice: %w", r.Disk, ErrDiskConflict)
+			}
+			seen[r.Disk] = true
+		}
+	}
+	return nil
+}
+
+// ReadBlocks performs one parallel I/O reading reqs[i] into bufs[i]
+// (each of length B). Transfers run concurrently, one goroutine per disk.
+// An empty request list performs no I/O and costs nothing.
+func (a *DiskArray) ReadBlocks(reqs []BlockReq, bufs [][]Word) error {
+	if len(reqs) != len(bufs) {
+		return fmt.Errorf("pdm: %d requests but %d buffers", len(reqs), len(bufs))
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := a.checkReqs(reqs); err != nil {
+		return err
+	}
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r BlockReq) {
+			defer wg.Done()
+			errs[i] = a.disks[r.Disk].ReadTrack(r.Track, bufs[i])
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	a.account(len(reqs), true)
+	return nil
+}
+
+// WriteBlocks performs one parallel I/O writing bufs[i] (length B) to
+// reqs[i]. Transfers run concurrently, one goroutine per disk.
+func (a *DiskArray) WriteBlocks(reqs []BlockReq, bufs [][]Word) error {
+	if len(reqs) != len(bufs) {
+		return fmt.Errorf("pdm: %d requests but %d buffers", len(reqs), len(bufs))
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := a.checkReqs(reqs); err != nil {
+		return err
+	}
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r BlockReq) {
+			defer wg.Done()
+			errs[i] = a.disks[r.Disk].WriteTrack(r.Track, bufs[i])
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	a.account(len(reqs), false)
+	return nil
+}
+
+func (a *DiskArray) account(blocks int, read bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.ParallelOps++
+	a.stats.BlocksMoved += int64(blocks)
+	a.stats.WordsMoved += int64(blocks) * int64(a.b)
+	if read {
+		a.stats.ReadOps++
+	} else {
+		a.stats.WriteOps++
+	}
+	if blocks == len(a.disks) {
+		a.stats.FullOps++
+	}
+}
+
+// Close closes every disk, returning the first error encountered.
+func (a *DiskArray) Close() error {
+	var first error
+	for _, d := range a.disks {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// IOStats is the PDM accounting of a disk array.
+type IOStats struct {
+	// ParallelOps counts parallel I/O operations — the PDM cost measure.
+	ParallelOps int64
+	// ReadOps and WriteOps partition ParallelOps by direction.
+	ReadOps, WriteOps int64
+	// BlocksMoved counts individual block transfers (≤ D per op).
+	BlocksMoved int64
+	// WordsMoved = BlocksMoved · B.
+	WordsMoved int64
+	// FullOps counts operations that used all D disks.
+	FullOps int64
+}
+
+// Add accumulates other into s.
+func (s *IOStats) Add(other IOStats) {
+	s.ParallelOps += other.ParallelOps
+	s.ReadOps += other.ReadOps
+	s.WriteOps += other.WriteOps
+	s.BlocksMoved += other.BlocksMoved
+	s.WordsMoved += other.WordsMoved
+	s.FullOps += other.FullOps
+}
+
+// Fullness reports the fraction of disk slots actually used across all
+// parallel operations: BlocksMoved / (ParallelOps · D). 1.0 means every
+// operation was fully parallel.
+func (s IOStats) Fullness(d int) float64 {
+	if s.ParallelOps == 0 {
+		return 1
+	}
+	return float64(s.BlocksMoved) / (float64(s.ParallelOps) * float64(d))
+}
+
+// String renders the statistics compactly.
+func (s IOStats) String() string {
+	return fmt.Sprintf("ops=%d (r=%d w=%d full=%d) blocks=%d words=%d",
+		s.ParallelOps, s.ReadOps, s.WriteOps, s.FullOps, s.BlocksMoved, s.WordsMoved)
+}

@@ -1,0 +1,31 @@
+package pdm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkParallelIO measures the raw cost of one fully parallel I/O as
+// D grows — the substrate's goroutine fan-out overhead.
+func BenchmarkParallelIO(b *testing.B) {
+	for _, d := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			arr := NewMemArray(d, 512)
+			reqs := make([]BlockReq, d)
+			bufs := make([][]Word, d)
+			for i := range reqs {
+				reqs[i] = BlockReq{Disk: i, Track: 0}
+				bufs[i] = make([]Word, 512)
+			}
+			if err := arr.WriteBlocks(reqs, bufs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := arr.ReadBlocks(reqs, bufs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package pdm
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error produced by a FaultyDisk when its fault fires.
+var ErrInjected = errors.New("pdm: injected disk fault")
+
+// FaultyDisk wraps a Disk and fails every I/O once a configured number of
+// operations has completed. It is used by failure-injection tests to check
+// that the simulation surfaces disk errors instead of corrupting state.
+type FaultyDisk struct {
+	mu        sync.Mutex
+	inner     Disk
+	remaining int // I/O operations before faulting; <0 means never fault
+}
+
+// NewFaultyDisk wraps inner; the disk fails all I/O after okOps successful
+// operations (reads and writes both count). okOps < 0 disables the fault.
+func NewFaultyDisk(inner Disk, okOps int) *FaultyDisk {
+	return &FaultyDisk{inner: inner, remaining: okOps}
+}
+
+func (d *FaultyDisk) take() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.remaining < 0 {
+		return nil
+	}
+	if d.remaining == 0 {
+		return ErrInjected
+	}
+	d.remaining--
+	return nil
+}
+
+// ReadTrack forwards to the inner disk unless the fault has fired.
+func (d *FaultyDisk) ReadTrack(t int, dst []Word) error {
+	if err := d.take(); err != nil {
+		return err
+	}
+	return d.inner.ReadTrack(t, dst)
+}
+
+// WriteTrack forwards to the inner disk unless the fault has fired.
+func (d *FaultyDisk) WriteTrack(t int, src []Word) error {
+	if err := d.take(); err != nil {
+		return err
+	}
+	return d.inner.WriteTrack(t, src)
+}
+
+// BlockSize returns the inner disk's block size.
+func (d *FaultyDisk) BlockSize() int { return d.inner.BlockSize() }
+
+// Tracks returns the inner disk's track count.
+func (d *FaultyDisk) Tracks() int { return d.inner.Tracks() }
+
+// Close closes the inner disk.
+func (d *FaultyDisk) Close() error { return d.inner.Close() }
+
+var _ Disk = (*FaultyDisk)(nil)

@@ -1,0 +1,166 @@
+package prefix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/wordcodec"
+	"repro/internal/workload"
+)
+
+func addScan() Scan[int64] {
+	return Scan[int64]{Op: func(a, b int64) int64 { return a + b }}
+}
+
+func TestScanMatchesSequential(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 5, 64, 129} {
+			in := workload.Int64s(42, n)
+			for i := range in {
+				in[i] %= 1000
+			}
+			want := Sums(in)
+			res, err := cgm.Run[int64](addScan(), v, cgm.Scatter(in, v))
+			if err != nil {
+				t.Fatalf("v=%d n=%d: %v", v, n, err)
+			}
+			got := res.Output()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("v=%d n=%d: prefix[%d] = %d, want %d", v, n, i, got[i], want[i])
+				}
+			}
+			if res.Stats.Rounds != 2 {
+				t.Errorf("v=%d: rounds = %d, want 2 (λ = O(1))", v, res.Stats.Rounds)
+			}
+		}
+	}
+}
+
+func TestScanMaxOp(t *testing.T) {
+	in := []int64{3, -1, 7, 2, 9, 0, 4}
+	maxScan := Scan[int64]{
+		Op: func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Zero: -1 << 62,
+	}
+	res, err := cgm.Run[int64](maxScan, 3, cgm.Scatter(in, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Output()
+	want := []int64{3, 3, 7, 7, 9, 9, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("max prefix[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanUnderEMSimulation(t *testing.T) {
+	in := workload.Int64s(7, 100)
+	for i := range in {
+		in[i] %= 50
+	}
+	want := Sums(in)
+	for _, p := range []int{1, 2} {
+		cfg := core.Config{V: 4, P: p, D: 2, B: 8, MaxMsgItems: 2}
+		res, err := core.RunPar[int64](addScan(), wordcodec.I64{}, cfg, cgm.Scatter(in, 4))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		got := res.Output()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: prefix[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScanProperty(t *testing.T) {
+	if err := quick.Check(func(xs []int16, v8 uint8) bool {
+		v := int(v8)%6 + 1
+		in := make([]int64, len(xs))
+		for i, x := range xs {
+			in[i] = int64(x)
+		}
+		res, err := cgm.Run[int64](addScan(), v, cgm.Scatter(in, v))
+		if err != nil {
+			return false
+		}
+		got := res.Output()
+		want := Sums(in)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const v = 5
+	parts := make([][]int64, v)
+	parts[0] = []int64{7, 8, 9}
+	res, err := cgm.Run[int64](Broadcast[int64]{}, v, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if len(o) != 3 || o[0] != 7 || o[2] != 9 {
+			t.Fatalf("vp %d got %v", i, o)
+		}
+	}
+	// Under EM too.
+	cfg := core.Config{V: v, P: 1, D: 2, B: 4, MaxMsgItems: 4, MaxCtxItems: 8}
+	eres, err := core.RunSeq[int64](Broadcast[int64]{}, wordcodec.I64{}, cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range eres.Outputs {
+		if len(o) != 3 || o[1] != 8 {
+			t.Fatalf("em vp %d got %v", i, o)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	in := workload.Int64s(3, 100)
+	for i := range in {
+		in[i] %= 100
+	}
+	var want int64
+	for _, x := range in {
+		if x > want {
+			want = x
+		}
+	}
+	maxOp := Reduce[int64]{Op: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}, Zero: -1 << 62}
+	res, err := cgm.Run[int64](maxOp, 4, cgm.Scatter(in, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if len(o) != 1 || o[0] != want {
+			t.Fatalf("vp %d reduced to %v, want %d", i, o, want)
+		}
+	}
+	if res.Stats.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Stats.Rounds)
+	}
+}

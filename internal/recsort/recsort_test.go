@@ -1,0 +1,99 @@
+package recsort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+	"repro/internal/workload"
+)
+
+func TestSortGlobalOrder(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 17, 500} {
+			keys := workload.Points(int64(n+v), n)
+			in := make([]rec.R, n)
+			for i, p := range keys {
+				in[i] = rec.R{A: int64(i), X: p.X, Y: p.Y}
+			}
+			slabs, err := Sort(rec.NewMem(v), in)
+			if err != nil {
+				t.Fatalf("v=%d n=%d: %v", v, n, err)
+			}
+			flat := rec.Flatten(slabs)
+			if len(flat) != n {
+				t.Fatalf("v=%d n=%d: %d records out", v, n, len(flat))
+			}
+			want := append([]rec.R(nil), in...)
+			sort.Slice(want, func(i, j int) bool { return Less(want[i], want[j]) })
+			for i := range want {
+				if flat[i].A != want[i].A {
+					t.Fatalf("v=%d n=%d: position %d holds id %d, want %d", v, n, i, flat[i].A, want[i].A)
+				}
+			}
+		}
+	}
+}
+
+func TestSortTiesBrokenByID(t *testing.T) {
+	in := []rec.R{{A: 3, X: 1}, {A: 1, X: 1}, {A: 2, X: 1}}
+	slabs, err := Sort(rec.NewMem(2), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := rec.Flatten(slabs)
+	for i := 0; i < 3; i++ {
+		if flat[i].A != int64(i+1) {
+			t.Fatalf("tie order wrong: %v", flat)
+		}
+	}
+}
+
+func TestSortUnderEM(t *testing.T) {
+	const n, v = 300, 4
+	in := make([]rec.R, n)
+	for i := range in {
+		in[i] = rec.R{A: int64(i), X: float64((i * 31) % 97)}
+	}
+	e := rec.NewEM(v, 2, 2, 16)
+	slabs, err := Sort(e, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := rec.Flatten(slabs)
+	for i := 1; i < len(flat); i++ {
+		if Less(flat[i], flat[i-1]) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	if err := quick.Check(func(xs []float64, v8 uint8) bool {
+		v := int(v8)%6 + 1
+		in := make([]rec.R, len(xs))
+		for i, x := range xs {
+			in[i] = rec.R{A: int64(i), X: x}
+		}
+		slabs, err := Sort(rec.NewMem(v), in)
+		if err != nil {
+			return false
+		}
+		flat := rec.Flatten(slabs)
+		if len(flat) != len(in) {
+			return false
+		}
+		for i := 1; i < len(flat); i++ {
+			if Less(flat[i], flat[i-1]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,392 @@
+// Package segtree implements a distributed segment tree over an array of
+// m values: each virtual processor owns a contiguous slab and builds a
+// local array-backed segment tree over it; slab totals are exchanged once
+// so every processor can combine fully-covered slabs locally, and only the
+// ≤ 2 boundary slabs of a range query are consulted remotely. Batched
+// range-combine queries therefore take λ = O(1) communication rounds —
+// the CGM segment-tree construction of Figure 5, Group B, and the
+// range-minimum substrate behind LCA and biconnectivity.
+//
+// Values and query answers are rec.R records; the payload lives in the
+// fields B, C, X, Y (A is reserved for positions/ids). Combine must be
+// associative with identity Identity.
+package segtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cgm"
+	"repro/internal/rec"
+)
+
+// Record tags.
+const (
+	TVal   int64 = iota + 200 // input value: A=pos, payload in B,C,X,Y
+	TQry                      // input query: A=qid, B=l, C=r ([l,r))
+	TAns                      // output: A=qid, payload
+	tTot                      // slab total: A=slab id, payload
+	tTree                     // local tree node: A=index, payload
+	tHold                     // held query: A=qid, B=l, C=r, D=pending parts
+	tAcc                      // held accumulator: A=qid, payload
+	tPartQ                    // partial request: A=qid, B=lo, C=hi, D=home vp
+	tPartA                    // partial answer: A=qid, payload
+)
+
+// Config describes the array and the combine monoid.
+type Config struct {
+	M        int // array length (positions 0..M-1; missing = Identity)
+	Identity rec.R
+	Combine  func(a, b rec.R) rec.R
+}
+
+// Query asks for the combine over positions [L, R).
+type Query struct {
+	ID   int64
+	L, R int64
+}
+
+// program implements the 5-round batched query plan described in the
+// package comment.
+type program struct {
+	cfg Config
+}
+
+func payload(r rec.R) rec.R { return rec.R{B: r.B, C: r.C, X: r.X, Y: r.Y} }
+
+func (p program) slabRange(v, id int) (int, int) { return cgm.PartRange(p.cfg.M, v, id) }
+
+func (p program) slabOf(v int, pos int64) int {
+	return cgm.Owner(p.cfg.M, v, int(pos))
+}
+
+func (p program) Init(vp *cgm.VP[rec.R], input []rec.R) {
+	vp.State = append([]rec.R(nil), input...)
+}
+
+func (p program) Round(vp *cgm.VP[rec.R], round int, inbox [][]rec.R) ([][]rec.R, bool) {
+	v := vp.V
+	switch round {
+	case 0:
+		// Route values to slab owners; hold queries here (this VP is the
+		// query's home).
+		out := make([][]rec.R, v)
+		var held []rec.R
+		for _, r := range vp.State {
+			switch r.Tag {
+			case TVal:
+				d := p.slabOf(v, r.A)
+				out[d] = append(out[d], r)
+			case TQry:
+				held = append(held, rec.R{Tag: tHold, A: r.A, B: r.B, C: r.C})
+			default:
+				panic(fmt.Sprintf("segtree: bad input tag %d", r.Tag))
+			}
+		}
+		vp.State = held
+		return out, false
+
+	case 1:
+		// Build the local tree over the slab; broadcast the slab total.
+		lo, hi := p.slabRange(v, vp.ID)
+		s := hi - lo
+		leaves := make([]rec.R, s)
+		for i := range leaves {
+			leaves[i] = payload(p.cfg.Identity)
+		}
+		for _, msg := range inbox {
+			for _, r := range msg {
+				if r.Tag == TVal {
+					leaves[int(r.A)-lo] = payload(r)
+				}
+			}
+		}
+		tree := buildTree(leaves, p.cfg)
+		// Fold the slab total in leaf order (tree[1] of the iterative
+		// scheme combines leaves in a rotated order when s is not a power
+		// of two, which would be wrong for non-commutative monoids).
+		total := payload(p.cfg.Identity)
+		for _, lf := range leaves {
+			total = p.cfg.Combine(total, lf)
+		}
+		for i, nd := range tree {
+			nd.Tag = tTree
+			nd.A = int64(i)
+			vp.State = append(vp.State, nd)
+		}
+		out := make([][]rec.R, v)
+		for d := 0; d < v; d++ {
+			t := total
+			t.Tag = tTot
+			t.A = int64(vp.ID)
+			out[d] = append(out[d], t)
+		}
+		return out, false
+
+	case 2:
+		// Combine fully-covered slab totals locally; request boundary
+		// parts from the ≤ 2 boundary slab owners.
+		totals := make([]rec.R, v)
+		for i := range totals {
+			totals[i] = payload(p.cfg.Identity)
+		}
+		for _, msg := range inbox {
+			for _, r := range msg {
+				if r.Tag == tTot {
+					totals[r.A] = payload(r)
+				}
+			}
+		}
+		// Keep totals in state for potential reuse; process held queries.
+		out := make([][]rec.R, v)
+		newState := make([]rec.R, 0, len(vp.State))
+		for _, r := range vp.State {
+			if r.Tag != tHold {
+				newState = append(newState, r)
+				continue
+			}
+			qid, l, rr := r.A, r.B, r.C
+			if l < 0 {
+				l = 0
+			}
+			if rr > int64(p.cfg.M) {
+				rr = int64(p.cfg.M)
+			}
+			acc := payload(p.cfg.Identity)
+			pending := int64(0)
+			if l < rr {
+				sl, sr := p.slabOf(v, l), p.slabOf(v, rr-1)
+				for s := sl; s <= sr; s++ {
+					slo, shi := p.slabRange(v, s)
+					if int64(slo) >= l && int64(shi) <= rr {
+						acc = p.cfg.Combine(acc, totals[s])
+					} else {
+						// Boundary slab: request the partial combine.
+						out[s] = append(out[s], rec.R{Tag: tPartQ, A: qid, B: l, C: rr, D: int64(vp.ID)})
+						pending++
+					}
+				}
+			}
+			hold := rec.R{Tag: tHold, A: qid, B: l, C: rr, D: pending}
+			accRec := acc
+			accRec.Tag = tAcc
+			accRec.A = qid
+			newState = append(newState, hold, accRec)
+		}
+		vp.State = newState
+		return out, false
+
+	case 3:
+		// Answer partial requests from the local tree.
+		lo, hi := p.slabRange(v, vp.ID)
+		tree := p.localTree(vp)
+		out := make([][]rec.R, v)
+		for _, msg := range inbox {
+			for _, q := range msg {
+				if q.Tag != tPartQ {
+					continue
+				}
+				a, b := q.B, q.C
+				if a < int64(lo) {
+					a = int64(lo)
+				}
+				if b > int64(hi) {
+					b = int64(hi)
+				}
+				ans := queryTree(tree, hi-lo, int(a)-lo, int(b)-lo, p.cfg)
+				ans.Tag = tPartA
+				ans.A = q.A
+				out[q.D] = append(out[q.D], ans)
+			}
+		}
+		return out, false
+
+	default:
+		// Fold partial answers into the held accumulators; emit answers.
+		accs := map[int64]rec.R{}
+		pend := map[int64]int64{}
+		for _, r := range vp.State {
+			switch r.Tag {
+			case tAcc:
+				accs[r.A] = payload(r)
+			case tHold:
+				pend[r.A] = r.D
+			}
+		}
+		for _, msg := range inbox {
+			for _, r := range msg {
+				if r.Tag == tPartA {
+					accs[r.A] = p.cfg.Combine(accs[r.A], payload(r))
+				}
+			}
+		}
+		vp.State = vp.State[:0]
+		// Deterministic output order by qid.
+		ids := make([]int64, 0, len(pend))
+		for qid := range pend {
+			ids = append(ids, qid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, qid := range ids {
+			a := accs[qid]
+			a.Tag = TAns
+			a.A = qid
+			vp.State = append(vp.State, a)
+		}
+		return nil, true
+	}
+}
+
+// localTree extracts the slab tree array from State.
+func (p program) localTree(vp *cgm.VP[rec.R]) []rec.R {
+	var tree []rec.R
+	for _, r := range vp.State {
+		if r.Tag == tTree {
+			for int(r.A) >= len(tree) {
+				tree = append(tree, payload(p.cfg.Identity))
+			}
+			tree[r.A] = payload(r)
+		}
+	}
+	return tree
+}
+
+func (p program) Output(vp *cgm.VP[rec.R]) []rec.R { return vp.State }
+
+func (p program) MaxContextItems(n, v int) int {
+	per := (n + v - 1) / v
+	return 2*p.cfg.M/maxInt(v, 1) + 4*per + 2*v + 16
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pow2 returns the smallest power of two ≥ s (min 1).
+func pow2(s int) int {
+	p := 1
+	for p < s {
+		p *= 2
+	}
+	return p
+}
+
+// buildTree constructs the iterative array segment tree over the leaves
+// padded with identities to the next power of two — padding keeps every
+// internal node the combine of a *contiguous* leaf range in order, which
+// non-commutative monoids require. tree[s2+i] holds leaf i;
+// tree[k] = Combine(tree[2k], tree[2k+1]); tree[0] unused.
+func buildTree(leaves []rec.R, cfg Config) []rec.R {
+	s := len(leaves)
+	if s == 0 {
+		return []rec.R{payload(cfg.Identity), payload(cfg.Identity)}
+	}
+	s2 := pow2(s)
+	tree := make([]rec.R, 2*s2)
+	tree[0] = payload(cfg.Identity)
+	copy(tree[s2:], leaves)
+	for i := s2 + s; i < 2*s2; i++ {
+		tree[i] = payload(cfg.Identity)
+	}
+	for i := s2 - 1; i >= 1; i-- {
+		tree[i] = cfg.Combine(payload(tree[2*i]), payload(tree[2*i+1]))
+	}
+	return tree
+}
+
+// queryTree answers the combine over local leaf range [a, b) (0-based
+// within the slab of size s; the tree is padded to a power of two).
+func queryTree(tree []rec.R, s, a, b int, cfg Config) rec.R {
+	res := payload(cfg.Identity)
+	if a < 0 {
+		a = 0
+	}
+	if b > s {
+		b = s
+	}
+	if a >= b || s == 0 {
+		return res
+	}
+	s2 := len(tree) / 2
+	resR := payload(cfg.Identity)
+	l, r := a+s2, b+s2
+	for l < r {
+		if l&1 == 1 {
+			res = cfg.Combine(res, payload(tree[l]))
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			resR = cfg.Combine(payload(tree[r]), resR)
+		}
+		l >>= 1
+		r >>= 1
+	}
+	return cfg.Combine(res, resR)
+}
+
+// Run answers all queries over the value set: values carry positions in A
+// and payloads in B, C, X, Y. The result maps query id → combined payload.
+func Run(e *rec.Exec, cfg Config, values []rec.R, queries []Query) (map[int64]rec.R, error) {
+	in := make([]rec.R, 0, len(values)+len(queries))
+	for _, r := range values {
+		r.Tag = TVal
+		in = append(in, r)
+	}
+	for _, q := range queries {
+		in = append(in, rec.R{Tag: TQry, A: q.ID, B: q.L, C: q.R})
+	}
+	outs, err := e.Run(program{cfg: cfg}, rec.Scatter(in, e.V))
+	if err != nil {
+		return nil, err
+	}
+	res := make(map[int64]rec.R, len(queries))
+	for _, part := range outs {
+		for _, r := range part {
+			if r.Tag == TAns {
+				res[r.A] = payload(r)
+			}
+		}
+	}
+	return res, nil
+}
+
+// MinByB returns a Config computing the minimum by field B (ties by C) —
+// the range-minimum monoid used for LCA (B = depth, C = vertex).
+func MinByB(m int) Config {
+	return Config{
+		M:        m,
+		Identity: rec.R{B: int64(1) << 62, C: -1},
+		Combine: func(a, b rec.R) rec.R {
+			if b.B < a.B || (b.B == a.B && b.C < a.C) {
+				return b
+			}
+			return a
+		},
+	}
+}
+
+// MaxByB returns the range-maximum-by-B monoid.
+func MaxByB(m int) Config {
+	return Config{
+		M:        m,
+		Identity: rec.R{B: -(int64(1) << 62), C: -1},
+		Combine: func(a, b rec.R) rec.R {
+			if b.B > a.B || (b.B == a.B && b.C < a.C) {
+				return b
+			}
+			return a
+		},
+	}
+}
+
+// SumB returns the range-sum-over-B monoid.
+func SumB(m int) Config {
+	return Config{
+		M:       m,
+		Combine: func(a, b rec.R) rec.R { return rec.R{B: a.B + b.B} },
+	}
+}

@@ -1,0 +1,244 @@
+package segtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rec"
+)
+
+// oracle answers range queries by linear scan.
+func oracle(cfg Config, vals map[int64]rec.R, l, r int64) rec.R {
+	acc := cfg.Identity
+	if l < 0 {
+		l = 0
+	}
+	if r > int64(cfg.M) {
+		r = int64(cfg.M)
+	}
+	for p := l; p < r; p++ {
+		if v, ok := vals[p]; ok {
+			acc = cfg.Combine(acc, v)
+		} else {
+			acc = cfg.Combine(acc, cfg.Identity)
+		}
+	}
+	return acc
+}
+
+func runCase(t *testing.T, cfg Config, vals map[int64]rec.R, queries []Query, v int) map[int64]rec.R {
+	t.Helper()
+	var values []rec.R
+	for p, r := range vals {
+		r.A = p
+		values = append(values, r)
+	}
+	res, err := Run(rec.NewMem(v), cfg, values, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSumQueries(t *testing.T) {
+	const m = 100
+	cfg := SumB(m)
+	vals := map[int64]rec.R{}
+	for p := int64(0); p < m; p++ {
+		vals[p] = rec.R{B: p * p}
+	}
+	queries := []Query{
+		{ID: 1, L: 0, R: 100},
+		{ID: 2, L: 10, R: 11},
+		{ID: 3, L: 50, R: 50}, // empty
+		{ID: 4, L: 17, R: 83},
+		{ID: 5, L: -5, R: 1000}, // clamped
+	}
+	for _, v := range []int{1, 2, 4, 7} {
+		res := runCase(t, cfg, vals, queries, v)
+		for _, q := range queries {
+			want := oracle(cfg, vals, q.L, q.R)
+			if res[q.ID].B != want.B {
+				t.Fatalf("v=%d q%d: sum = %d, want %d", v, q.ID, res[q.ID].B, want.B)
+			}
+		}
+	}
+}
+
+func TestMinMaxQueries(t *testing.T) {
+	const m = 64
+	rng := rand.New(rand.NewSource(4))
+	vals := map[int64]rec.R{}
+	for p := int64(0); p < m; p++ {
+		vals[p] = rec.R{B: int64(rng.Intn(1000)), C: p}
+	}
+	var queries []Query
+	for i := 0; i < 40; i++ {
+		l := int64(rng.Intn(m))
+		r := l + int64(rng.Intn(int(int64(m)-l)+1))
+		queries = append(queries, Query{ID: int64(i), L: l, R: r})
+	}
+	for _, cfg := range []Config{MinByB(m), MaxByB(m)} {
+		for _, v := range []int{1, 3, 5} {
+			res := runCase(t, cfg, vals, queries, v)
+			for _, q := range queries {
+				want := oracle(cfg, vals, q.L, q.R)
+				got := res[q.ID]
+				if got.B != want.B || got.C != want.C {
+					t.Fatalf("v=%d q%d [%d,%d): got (%d,%d), want (%d,%d)",
+						v, q.ID, q.L, q.R, got.B, got.C, want.B, want.C)
+				}
+			}
+		}
+	}
+}
+
+func TestSparseValues(t *testing.T) {
+	// Positions with no value behave as Identity.
+	cfg := SumB(50)
+	vals := map[int64]rec.R{3: {B: 7}, 40: {B: 5}}
+	res := runCase(t, cfg, vals, []Query{{ID: 0, L: 0, R: 50}, {ID: 1, L: 4, R: 40}}, 4)
+	if res[0].B != 12 {
+		t.Errorf("full sum = %d, want 12", res[0].B)
+	}
+	if res[1].B != 0 {
+		t.Errorf("gap sum = %d, want 0", res[1].B)
+	}
+}
+
+func TestUnderEM(t *testing.T) {
+	const m = 80
+	cfg := MinByB(m)
+	vals := map[int64]rec.R{}
+	for p := int64(0); p < m; p++ {
+		vals[p] = rec.R{B: (p*37 + 11) % 101, C: p}
+	}
+	queries := []Query{{ID: 0, L: 5, R: 70}, {ID: 1, L: 0, R: 80}, {ID: 2, L: 33, R: 34}}
+	var values []rec.R
+	for p, r := range vals {
+		r.A = p
+		values = append(values, r)
+	}
+	e := rec.NewEM(4, 2, 2, 16)
+	res, err := Run(e, cfg, values, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want := oracle(cfg, vals, q.L, q.R)
+		if res[q.ID].B != want.B || res[q.ID].C != want.C {
+			t.Fatalf("q%d mismatch", q.ID)
+		}
+	}
+	if e.IO.ParallelOps == 0 {
+		t.Error("no I/O accumulated")
+	}
+}
+
+func TestConstantRounds(t *testing.T) {
+	cfg := SumB(256)
+	var values []rec.R
+	for p := int64(0); p < 256; p++ {
+		values = append(values, rec.R{A: p, B: 1})
+	}
+	for _, v := range []int{2, 8, 16} {
+		e := rec.NewMem(v)
+		if _, err := Run(e, cfg, values, []Query{{ID: 0, L: 3, R: 200}}); err != nil {
+			t.Fatal(err)
+		}
+		if e.Rounds != 5 {
+			t.Errorf("v=%d: rounds = %d, want 5 (λ = O(1))", v, e.Rounds)
+		}
+	}
+}
+
+func TestSegtreeProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, m8, v8, q8 uint8) bool {
+		m := int(m8)%60 + 1
+		v := int(v8)%6 + 1
+		nq := int(q8)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		cfg := MinByB(m)
+		vals := map[int64]rec.R{}
+		var values []rec.R
+		for p := int64(0); p < int64(m); p++ {
+			if rng.Intn(4) > 0 {
+				r := rec.R{A: p, B: int64(rng.Intn(100)), C: p}
+				vals[p] = rec.R{B: r.B, C: r.C}
+				values = append(values, r)
+			}
+		}
+		var queries []Query
+		for i := 0; i < nq; i++ {
+			l := int64(rng.Intn(m))
+			r := l + int64(rng.Intn(m-int(l))+1)
+			queries = append(queries, Query{ID: int64(i), L: l, R: r})
+		}
+		res, err := Run(rec.NewMem(v), cfg, values, queries)
+		if err != nil {
+			return false
+		}
+		for _, q := range queries {
+			want := oracle(cfg, vals, q.L, q.R)
+			if res[q.ID].B != want.B {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A non-commutative monoid (an order-sensitive fold) must still combine
+// in strict position order — this pins the left/right accumulator logic
+// in queryTree and the in-order slab totals.
+func TestNonCommutativeMonoid(t *testing.T) {
+	const m = 37
+	// Positional-hash concatenation: combine((h1,len1),(h2,len2)) =
+	// (h1·31^len2 + h2, len1+len2) — associative, order-sensitive, with
+	// identity (0, 0). Arithmetic is exact modulo 2⁶⁴.
+	pow31 := func(k int64) int64 {
+		r := int64(1)
+		for i := int64(0); i < k; i++ {
+			r *= 31
+		}
+		return r
+	}
+	cfg := Config{
+		M:        m,
+		Identity: rec.R{B: 0, C: 0},
+		Combine: func(a, b rec.R) rec.R {
+			return rec.R{B: a.B*pow31(b.C) + b.B, C: a.C + b.C}
+		},
+	}
+	vals := map[int64]rec.R{}
+	var values []rec.R
+	for p := int64(0); p < m; p++ {
+		r := rec.R{A: p, B: p + 1, C: 1}
+		vals[p] = rec.R{B: p + 1, C: 1}
+		values = append(values, r)
+	}
+	var queries []Query
+	for i := 0; i < 20; i++ {
+		l := int64(i % m)
+		r := l + int64(i%7) + 1
+		if r > m {
+			r = m
+		}
+		queries = append(queries, Query{ID: int64(i), L: l, R: r})
+	}
+	for _, v := range []int{1, 2, 5} {
+		res, err := Run(rec.NewMem(v), cfg, values, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			want := oracle(cfg, vals, q.L, q.R)
+			if res[q.ID].B != want.B {
+				t.Fatalf("v=%d q[%d,%d): %d, want %d (order lost)", v, q.L, q.R, res[q.ID].B, want.B)
+			}
+		}
+	}
+}

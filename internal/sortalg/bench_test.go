@@ -1,0 +1,36 @@
+package sortalg
+
+import (
+	"testing"
+
+	"repro/internal/cgm"
+	"repro/internal/pdm"
+	"repro/internal/workload"
+)
+
+// BenchmarkPSRSInMemory measures the CGM sort on the in-memory runtime.
+func BenchmarkPSRSInMemory(b *testing.B) {
+	const n, v = 1 << 16, 8
+	keys := workload.Int64s(1, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cgm.Run[int64](Sorter[int64]{}, v, cgm.Scatter(keys, v)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExternalMergeSort measures the PDM baseline.
+func BenchmarkExternalMergeSort(b *testing.B) {
+	const n = 1 << 16
+	src := workload.Uint64s(2, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr := pdm.NewMemArray(2, 512)
+		recs := make([]pdm.Word, n)
+		copy(recs, src)
+		if _, _, err := MergeSort(arr, recs, 1, 8*1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

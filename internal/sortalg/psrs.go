@@ -1,0 +1,208 @@
+// Package sortalg implements sorting for both sides of the paper's
+// comparison:
+//
+//   - Sorter: a deterministic CGM sorting program (sorting by regular
+//     sampling, λ = O(1) communication rounds) standing in for Goodrich's
+//     CGM sort — the algorithm the paper simulates to obtain its
+//     O(N/(pDB)) external sorting result (Figure 5, Group A, row 1).
+//   - MergeSort: a classical multiway external mergesort on the Parallel
+//     Disk Model — the "previous result" baseline whose I/O complexity
+//     carries the (N/DB)·log_{M/B}(N/B) factor.
+package sortalg
+
+import (
+	"cmp"
+	"slices"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/wordcodec"
+)
+
+// Sorter is the CGM sorting-by-regular-sampling program. It uses three
+// communication rounds (samples → splitters → buckets) and O(N/v) local
+// memory per processor, requiring N ≳ v³ for balanced buckets — exactly
+// the coarse-grained slackness (N > v^κ, κ ≤ 3) the paper's Theorem 4
+// assumes. The output is globally sorted across virtual processors in VP
+// order; output partitions are splitter ranges, so their sizes may differ
+// from the input partitions.
+type Sorter[T cmp.Ordered] struct{}
+
+// Init sorts nothing yet; it just stores the partition.
+func (Sorter[T]) Init(vp *cgm.VP[T], input []T) {
+	vp.State = append([]T(nil), input...)
+}
+
+// Round implements the three PSRS rounds.
+func (Sorter[T]) Round(vp *cgm.VP[T], round int, inbox [][]T) ([][]T, bool) {
+	v := vp.V
+	switch round {
+	case 0:
+		// Local sort; send v regular samples to VP 0.
+		slices.Sort(vp.State)
+		if v == 1 {
+			return nil, true
+		}
+		out := make([][]T, v)
+		m := len(vp.State)
+		var samples []T
+		if m <= v {
+			samples = append([]T(nil), vp.State...)
+		} else {
+			samples = make([]T, v)
+			for k := 0; k < v; k++ {
+				samples[k] = vp.State[k*m/v]
+			}
+		}
+		out[0] = samples
+		return out, false
+
+	case 1:
+		// VP 0 picks v−1 splitters from the gathered samples and
+		// broadcasts them.
+		if vp.ID != 0 {
+			return nil, false
+		}
+		var samples []T
+		for _, m := range inbox {
+			samples = append(samples, m...)
+		}
+		slices.Sort(samples)
+		splitters := make([]T, 0, v-1)
+		s := len(samples)
+		for k := 1; k < v; k++ {
+			if s == 0 {
+				var zero T
+				splitters = append(splitters, zero)
+				continue
+			}
+			pos := k * s / v
+			if pos >= s {
+				pos = s - 1
+			}
+			splitters = append(splitters, samples[pos])
+		}
+		out := make([][]T, v)
+		for d := 0; d < v; d++ {
+			out[d] = append([]T(nil), splitters...)
+		}
+		return out, false
+
+	case 2:
+		// Partition the sorted local data by the splitters; bucket k goes
+		// to VP k. Bucket k = (splitter[k-1], splitter[k]].
+		splitters := inbox[0]
+		out := make([][]T, v)
+		lo := 0
+		for k := 0; k < v; k++ {
+			hi := len(vp.State)
+			if k < len(splitters) {
+				// First index with State[i] > splitters[k].
+				hi = upperBound(vp.State, splitters[k])
+			}
+			if hi < lo {
+				hi = lo
+			}
+			out[k] = append([]T(nil), vp.State[lo:hi]...)
+			lo = hi
+		}
+		vp.State = vp.State[:0]
+		return out, false
+
+	default:
+		// Merge the received sorted runs.
+		runs := make([][]T, 0, v)
+		total := 0
+		for _, m := range inbox {
+			if len(m) > 0 {
+				runs = append(runs, m)
+				total += len(m)
+			}
+		}
+		vp.State = mergeRuns(runs, total)
+		return nil, true
+	}
+}
+
+// Output returns the VP's sorted range.
+func (Sorter[T]) Output(vp *cgm.VP[T]) []T { return vp.State }
+
+// MaxContextItems declares μ: the local partition plus, at VP 0, the v²
+// gathered samples, plus the merged range which regular sampling bounds
+// by about 2N/v (we allow 3 for skew slack).
+func (Sorter[T]) MaxContextItems(n, v int) int {
+	return 5*((n+v-1)/v)/2 + v*v + v + 8
+}
+
+// upperBound returns the first index i with xs[i] > key (xs sorted).
+func upperBound[T cmp.Ordered](xs []T, key T) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mergeRuns k-way merges sorted runs by repeated pairwise merging.
+func mergeRuns[T cmp.Ordered](runs [][]T, total int) []T {
+	if len(runs) == 0 {
+		return nil
+	}
+	for len(runs) > 1 {
+		next := make([][]T, 0, (len(runs)+1)/2)
+		for i := 0; i+1 < len(runs); i += 2 {
+			next = append(next, mergeTwo(runs[i], runs[i+1]))
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+func mergeTwo[T cmp.Ordered](a, b []T) []T {
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// EMSortConfig fills sensible EM-CGM limits for sorting n items: bucket
+// messages are ≈ N/v² for well-spread keys (Theorem 4's parameter range);
+// we allow 4× plus v for skew. Heavily skewed inputs should set Balanced.
+func EMSortConfig(cfg core.Config, n int) core.Config {
+	v := cfg.V
+	if cfg.MaxMsgItems == 0 {
+		cfg.MaxMsgItems = 5*((n+v*v-1)/(v*v))/2 + v + 16
+	}
+	if cfg.MaxHItems == 0 {
+		cfg.MaxHItems = 3*((n+v-1)/v) + v*v + v + 16
+	}
+	return cfg
+}
+
+// EMSort runs the CGM sorter under the EM-CGM simulation (RunPar) and
+// returns the sorted keys along with the machine's accounting.
+func EMSort[T cmp.Ordered](keys []T, codec wordcodec.Codec[T], cfg core.Config) ([]T, *core.Result[T], error) {
+	cfg = EMSortConfig(cfg, len(keys))
+	res, err := core.RunPar[T](Sorter[T]{}, codec, cfg, cgm.Scatter(keys, cfg.V))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Output(), res, nil
+}

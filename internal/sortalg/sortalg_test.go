@@ -1,0 +1,307 @@
+package sortalg
+
+import (
+	"math"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/pdm"
+	"repro/internal/wordcodec"
+	"repro/internal/workload"
+)
+
+func checkSorted(t *testing.T, tag string, got, in []int64) {
+	t.Helper()
+	want := append([]int64(nil), in...)
+	slices.Sort(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items out, want %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: out[%d] = %d, want %d", tag, i, got[i], want[i])
+		}
+	}
+}
+
+func TestPSRSInMemory(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, v * v * v, 1000} {
+			in := workload.Int64s(int64(v*1000+n), n)
+			res, err := cgm.Run[int64](Sorter[int64]{}, v, cgm.Scatter(in, v))
+			if err != nil {
+				t.Fatalf("v=%d n=%d: %v", v, n, err)
+			}
+			checkSorted(t, "psrs", res.Output(), in)
+			if v > 1 && res.Stats.Rounds != 4 {
+				t.Errorf("v=%d n=%d: rounds = %d, want 4 (λ = O(1))", v, n, res.Stats.Rounds)
+			}
+		}
+	}
+}
+
+func TestPSRSAdversarialInputs(t *testing.T) {
+	const v, n = 4, 512
+	inputs := map[string][]int64{
+		"sorted":      workload.SortedInt64s(n),
+		"reverse":     workload.ReverseInt64s(n),
+		"fewDistinct": workload.FewDistinctInt64s(3, n, 3),
+		"allEqual":    make([]int64, n),
+		"extremes":    {math.MaxInt64, math.MinInt64, 0, -1, 1, math.MaxInt64, math.MinInt64},
+	}
+	for name, in := range inputs {
+		res, err := cgm.Run[int64](Sorter[int64]{}, v, cgm.Scatter(in, v))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkSorted(t, name, res.Output(), in)
+	}
+}
+
+func TestPSRSBucketBalance(t *testing.T) {
+	// With uniform keys and n >> v³, regular sampling keeps every output
+	// partition below ~2n/v.
+	const v, n = 4, 4096
+	in := workload.Int64s(99, n)
+	res, err := cgm.Run[int64](Sorter[int64]{}, v, cgm.Scatter(in, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		if len(o) > 2*n/v {
+			t.Errorf("vp %d holds %d items > 2n/v = %d", i, len(o), 2*n/v)
+		}
+	}
+	if res.Stats.MaxContext > 3*n/v {
+		t.Errorf("MaxContext = %d exceeds declared bound", res.Stats.MaxContext)
+	}
+}
+
+func TestPSRSProperty(t *testing.T) {
+	if err := quick.Check(func(xs []int32, v8 uint8) bool {
+		v := int(v8)%7 + 1
+		in := make([]int64, len(xs))
+		for i, x := range xs {
+			in[i] = int64(x)
+		}
+		res, err := cgm.Run[int64](Sorter[int64]{}, v, cgm.Scatter(in, v))
+		if err != nil {
+			return false
+		}
+		got := res.Output()
+		want := append([]int64(nil), in...)
+		slices.Sort(want)
+		return slices.Equal(got, want)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEMSortSeqAndPar(t *testing.T) {
+	const n = 1024
+	in := workload.Int64s(5, n)
+	for _, tc := range []struct {
+		v, p, d int
+		bal     bool
+	}{
+		{4, 1, 1, false},
+		{4, 2, 2, false},
+		{8, 4, 2, false},
+		{4, 2, 2, true},
+	} {
+		cfg := core.Config{V: tc.v, P: tc.p, D: tc.d, B: 16, Balanced: tc.bal}
+		got, res, err := EMSort(in, wordcodec.I64{}, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		checkSorted(t, "emsort", got, in)
+		if res.IO.ParallelOps == 0 {
+			t.Errorf("%+v: no I/O recorded", tc)
+		}
+	}
+}
+
+// The headline claim (Theorem 4): EM-CGM sort uses O(N/(pDB)) parallel
+// I/Os per processor. We verify the linear shape: I/Os per processor scale
+// ~linearly in N and ~1/(DB), with a constant factor that stays bounded.
+func TestEMSortIOLinearInN(t *testing.T) {
+	const v, d, b = 4, 2, 16
+	ratioAt := func(n int) float64 {
+		in := workload.Int64s(11, n)
+		_, res, err := EMSort(in, wordcodec.I64{}, core.Config{V: v, P: 1, D: d, B: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.IO.ParallelOps) / (float64(n) / float64(d*b))
+	}
+	r1 := ratioAt(2048)
+	r2 := ratioAt(8192)
+	// Linear I/O ⇒ the ratio ops/(N/DB) is roughly constant as N quadruples.
+	if r2 > 1.6*r1 {
+		t.Errorf("I/O not linear in N: ops/(N/DB) grew from %.2f to %.2f", r1, r2)
+	}
+}
+
+func TestMergeSortCorrectness(t *testing.T) {
+	for _, tc := range []struct{ n, d, b, m int }{
+		{0, 2, 4, 64},
+		{1, 2, 4, 64},
+		{100, 1, 4, 16},  // many runs, multiple passes (fanIn 3)
+		{1000, 2, 8, 48}, // fanIn 2
+		{1000, 4, 4, 64}, // fanIn 3
+		{513, 3, 8, 128}, // odd n
+	} {
+		arr := pdm.NewMemArray(tc.d, tc.b)
+		keys := workload.Uint64s(int64(tc.n+tc.d), tc.n)
+		recs := make([]pdm.Word, tc.n)
+		copy(recs, keys)
+		out, info, err := MergeSort(arr, recs, 1, tc.m)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want := append([]uint64(nil), keys...)
+		slices.Sort(want)
+		if len(out) != tc.n {
+			t.Fatalf("%+v: %d records out", tc, len(out))
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("%+v: out[%d] = %d, want %d", tc, i, out[i], want[i])
+			}
+		}
+		if tc.n > 0 && info.Records != tc.n {
+			t.Errorf("%+v: info.Records = %d", tc, info.Records)
+		}
+	}
+}
+
+func TestMergeSortMultiWordRecords(t *testing.T) {
+	const n, rw = 300, 2
+	arr := pdm.NewMemArray(2, 8)
+	keys := workload.Uint64s(77, n)
+	recs := make([]pdm.Word, n*rw)
+	for i, k := range keys {
+		recs[i*rw] = k
+		recs[i*rw+1] = pdm.Word(i) // payload: original index
+	}
+	out, _, err := MergeSort(arr, recs, rw, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys sorted and payloads still attached to their keys.
+	for i := 0; i < n; i++ {
+		if i > 0 && out[i*rw] < out[(i-1)*rw] {
+			t.Fatalf("keys out of order at %d", i)
+		}
+		orig := int(out[i*rw+1])
+		if keys[orig] != out[i*rw] {
+			t.Fatalf("payload separated from key at %d", i)
+		}
+	}
+}
+
+func TestMergeSortPassCount(t *testing.T) {
+	// fanIn = M/(DB) - 1; runs = ceil(N/chunk). Passes must match
+	// ceil(log_fanIn(runs)).
+	const n, d, b, m = 4096, 1, 8, 32 // chunk 32 words → 128 runs; fanIn 3
+	arr := pdm.NewMemArray(d, b)
+	recs := make([]pdm.Word, n)
+	copy(recs, workload.Uint64s(13, n))
+	_, info, err := MergeSort(arr, recs, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FanIn != 3 {
+		t.Fatalf("FanIn = %d, want 3", info.FanIn)
+	}
+	wantRuns := (n + m - 1) / m
+	if info.Runs != wantRuns {
+		t.Fatalf("Runs = %d, want %d", info.Runs, wantRuns)
+	}
+	wantPasses := 0
+	for r := info.Runs; r > 1; r = (r + info.FanIn - 1) / info.FanIn {
+		wantPasses++
+	}
+	if info.Passes != wantPasses {
+		t.Errorf("Passes = %d, want %d", info.Passes, wantPasses)
+	}
+	// Each pass costs ≈ 2·N/(DB) ±(run-boundary slack); check within 2×.
+	perPass := 2 * n / (d * b)
+	if info.SortOps < int64(perPass*(wantPasses)) || info.SortOps > int64(3*perPass*(wantPasses+1)) {
+		t.Errorf("SortOps = %d for %d passes of ~%d", info.SortOps, wantPasses, perPass)
+	}
+}
+
+func TestMergeSortLogFactorGrows(t *testing.T) {
+	// With M fixed and N growing, ops/(N/DB) must grow (the log factor) —
+	// this is the baseline the paper's simulation beats.
+	const d, b, m = 1, 8, 64
+	ratio := func(n int) float64 {
+		arr := pdm.NewMemArray(d, b)
+		recs := make([]pdm.Word, n)
+		copy(recs, workload.Uint64s(3, n))
+		_, info, err := MergeSort(arr, recs, 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(info.SortOps) / (float64(n) / float64(d*b))
+	}
+	small, large := ratio(512), ratio(32768)
+	if large <= small {
+		t.Errorf("log factor missing: ratio %0.2f at n=512, %0.2f at n=32768", small, large)
+	}
+}
+
+func TestMergeSortErrors(t *testing.T) {
+	arr := pdm.NewMemArray(2, 4)
+	if _, _, err := MergeSort(arr, make([]pdm.Word, 5), 2, 64); err == nil {
+		t.Error("ragged record array accepted")
+	}
+	if _, _, err := MergeSort(arr, make([]pdm.Word, 6), 3, 64); err == nil {
+		t.Error("record size not dividing B accepted")
+	}
+	if _, _, err := MergeSort(arr, make([]pdm.Word, 8), 1, 8); err == nil {
+		t.Error("tiny memory accepted")
+	}
+}
+
+func TestMergeSortProperty(t *testing.T) {
+	if err := quick.Check(func(xs []uint16) bool {
+		arr := pdm.NewMemArray(2, 4)
+		recs := make([]pdm.Word, len(xs))
+		for i, x := range xs {
+			recs[i] = pdm.Word(x)
+		}
+		out, _, err := MergeSort(arr, recs, 1, 24)
+		if err != nil {
+			return false
+		}
+		want := append([]pdm.Word(nil), recs...)
+		slices.Sort(want)
+		return slices.Equal(out, want)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Heavy key skew overflows the tight default slots; BalancedRouting
+// rescues it without changing the result — the Lemma 2 use case.
+func TestEMSortZipfSkewNeedsBalancing(t *testing.T) {
+	const n, v = 1 << 12, 8
+	in := workload.ZipfInt64s(7, n, 40) // ~41 distinct values, heavily skewed
+	// Unbalanced with the tight default slots should overflow...
+	_, _, err := EMSort(in, wordcodec.I64{}, core.Config{V: v, P: 2, D: 2, B: 32})
+	if err == nil {
+		t.Skip("skew did not overflow the default slots on this seed")
+	}
+	// ...and the balanced run must succeed and sort.
+	got, _, err := EMSort(in, wordcodec.I64{}, core.Config{V: v, P: 2, D: 2, B: 32, Balanced: true,
+		MaxCtxItems: n})
+	if err != nil {
+		t.Fatalf("balanced: %v", err)
+	}
+	checkSorted(t, "zipf", got, in)
+}

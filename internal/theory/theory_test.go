@@ -1,0 +1,142 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLogMB(t *testing.T) {
+	// N/B = (M/B)^2 → log = 2.
+	if got := LogMB(1e6, 1e3, 1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("LogMB(1e6,1e3,1) = %v, want 2", got)
+	}
+	// Degenerate cases floor at 1.
+	if got := LogMB(10, 100, 50); got != 1 {
+		t.Errorf("LogMB small = %v, want 1", got)
+	}
+	if got := LogMB(5, 5, 10); got != 1 {
+		t.Errorf("LogMB(n<b) = %v, want 1", got)
+	}
+}
+
+func TestSortIOShape(t *testing.T) {
+	// Doubling D halves the bound.
+	a := SortIO(1e6, 1e4, 1e3, 1)
+	b := SortIO(1e6, 1e4, 1e3, 2)
+	if math.Abs(a/b-2) > 1e-9 {
+		t.Errorf("D scaling wrong: %v vs %v", a, b)
+	}
+	// Growing N with fixed M grows the per-item cost.
+	r1 := SortIO(1e6, 1e4, 1e2, 1) / (1e6 / 1e2)
+	r2 := SortIO(1e9, 1e4, 1e2, 1) / (1e9 / 1e2)
+	if r2 <= r1 {
+		t.Errorf("log factor missing: %v vs %v", r1, r2)
+	}
+}
+
+func TestPermuteIOTakesMin(t *testing.T) {
+	// For tiny B the sort side wins; for big B the N/D side wins.
+	if got := PermuteIO(1e6, 4e3, 2, 1); got >= 1e6 {
+		t.Errorf("PermuteIO should pick sort branch, got %v", got)
+	}
+	// With B = 2 and M = 4 the log factor exceeds B, so N/D wins the min.
+	if got := PermuteIO(1e6, 4, 2, 1); got != 1e6 {
+		t.Errorf("PermuteIO should pick N/D branch, got %v", got)
+	}
+}
+
+func TestTransposeIOBelowSort(t *testing.T) {
+	// For a square matrix with k,l << M the transpose bound is below sort.
+	n, m, b, d := 1e8, 1e4, 1e2, 1.0
+	k := math.Sqrt(n)
+	if TransposeIO(n, m, b, d, k, k) > SortIO(n, m, b, d) {
+		t.Error("transpose bound exceeds sort bound")
+	}
+}
+
+func TestMinNForConstantMatchesSurface(t *testing.T) {
+	// Paper, Section 1.4: with B = 10³ and c = 2, v = 10⁴ needs ~100 giga-items.
+	n := MinNForConstant(2, 1e4, 1e3)
+	if n < 5e10 || n > 2e11 {
+		t.Errorf("c=2 v=1e4 B=1e3: N = %g, want ≈ 1e11", n)
+	}
+	// c = 3 at v = 10⁴ needs ~1 giga-item.
+	n3 := MinNForConstant(3, 1e4, 1e3)
+	if n3 < 2e8 || n3 > 2e9 {
+		t.Errorf("c=3 v=1e4 B=1e3: N = %g, want ≈ 1e9", n3)
+	}
+	// v = 100, c = 2: ~10 mega-items ("for 100 processors or less, any
+	// problem size greater than about 10 mega-items").
+	n100 := MinNForConstant(2, 100, 1e3)
+	if n100 < 5e6 || n100 > 2e7 {
+		t.Errorf("c=2 v=100 B=1e3: N = %g, want ≈ 1e7", n100)
+	}
+	if !math.IsInf(MinNForConstant(1, 10, 10), 1) {
+		t.Error("c=1 must be unreachable")
+	}
+}
+
+// The surface and ConstantForParams must agree: at N = MinNForConstant(c),
+// the needed constant is ≤ c, and just below it is > c... (monotonicity).
+func TestSurfaceConsistency(t *testing.T) {
+	if err := quick.Check(func(v8, c8 uint8) bool {
+		v := float64(int(v8)%1000 + 2)
+		c := float64(int(c8)%4 + 2)
+		b := 1e3
+		n := MinNForConstant(c, v, b)
+		got := ConstantForParams(n*1.0001, v, b)
+		return float64(got) <= c+1e-9
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantForParamsMonotone(t *testing.T) {
+	// Bigger N (with v, B fixed) can only need a larger constant... no:
+	// bigger N also grows M = N/v, so the constant is non-increasing in N.
+	prev := math.MaxInt32
+	for _, n := range []float64{1e5, 1e6, 1e7, 1e8, 1e9} {
+		c := ConstantForParams(n, 100, 1e3)
+		if c > prev {
+			t.Errorf("constant grew with N at %g: %d > %d", n, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	// A comfortable configuration passes.
+	if v := Constraints(1<<20, 4, 2, 64, 3); len(v) != 0 {
+		t.Errorf("good config flagged: %v", v)
+	}
+	// A tiny N violates all three.
+	if v := Constraints(10, 8, 2, 64, 3); len(v) != 3 {
+		t.Errorf("bad config: %d violations, want 3 (%v)", len(v), v)
+	}
+}
+
+func TestVMModelKnee(t *testing.T) {
+	m := DefaultVMModel(1 << 16) // 64 Ki words of "RAM"
+	inMem := m.SortTime(1 << 15)
+	overMem := m.SortTime(1 << 17)
+	// Per-item cost must jump dramatically past the knee.
+	perIn := float64(inMem) / float64(1<<15)
+	perOver := float64(overMem) / float64(1<<17)
+	if perOver < 10*perIn {
+		t.Errorf("no thrashing knee: %.1f ns/item in-memory vs %.1f ns/item thrashing", perIn, perOver)
+	}
+	if m.SortTime(1) != 0 {
+		t.Error("n=1 should cost 0")
+	}
+}
+
+func TestEMModelComposition(t *testing.T) {
+	m := EMModel{OpTime: 10, CPUPerItem: 0, CommPerIt: 2, SyncTime: 100}
+	got := m.Time(0, 3, 7, 5, 2)
+	want := time.Duration(7*10 + 5*2 + 2*100)
+	if got != want {
+		t.Errorf("Time = %v, want %v", got, want)
+	}
+}

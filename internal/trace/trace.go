@@ -1,0 +1,95 @@
+// Package trace renders the benchmark harness's tables: each experiment
+// produces a Table (title, columns, rows, footnotes) that prints in the
+// paper's tabular style and can also be emitted as CSV.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals,
+// large values in scientific notation.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e7 || v <= -1e7:
+		return fmt.Sprintf("%.3g", v)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	case v < 0.01 && v > -0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// CSV emits the table as comma-separated values (quotes not needed for
+// our cell contents).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "bbbb"}}
+	tb.AddRow(1, "x")
+	tb.AddRow(2.5, "yy")
+	tb.Notes = append(tb.Notes, "a note")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "bbbb", "2.500  yy", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"x", "y"}}
+	tb.AddRow("a", 7)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	if sb.String() != "x,y\na,7\n" {
+		t.Errorf("csv = %q", sb.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3:       "3",
+		2.5:     "2.500",
+		1e9:     "1e+09",
+		0.00012: "0.00012",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package transpose
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/pdm"
+	"repro/internal/permute"
+	"repro/internal/workload"
+)
+
+func TestSequentialTranspose(t *testing.T) {
+	// 2×3 matrix [1 2 3; 4 5 6] → column-major [1 4 2 5 3 6].
+	got := Sequential([]int64{1, 2, 3, 4, 5, 6}, 2, 3)
+	want := []int64{1, 4, 2, 5, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	const k, l = 5, 7
+	vals := workload.Int64s(1, k*l)
+	tr := Sequential(vals, k, l)
+	back := Sequential(tr, l, k)
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatalf("transpose twice != identity at %d", i)
+		}
+	}
+}
+
+func TestCGMTranspose(t *testing.T) {
+	for _, tc := range []struct{ k, l, v int }{
+		{4, 4, 2}, {8, 3, 4}, {3, 8, 4}, {1, 12, 3}, {12, 1, 3}, {16, 16, 8},
+	} {
+		n := tc.k * tc.l
+		vals := workload.Int64s(int64(n), n)
+		items := make([]permute.Item, n)
+		for i := range items {
+			items[i] = permute.Item{Dest: int64(i), Val: vals[i]}
+		}
+		res, err := cgm.Run[permute.Item](New(tc.k, tc.l), tc.v, cgm.Scatter(items, tc.v))
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want := Sequential(vals, tc.k, tc.l)
+		out := res.Output()
+		for i := range want {
+			if out[i].Val != want[i] {
+				t.Fatalf("%+v: out[%d] = %d, want %d", tc, i, out[i].Val, want[i])
+			}
+		}
+		if res.Stats.Rounds != 2 {
+			t.Errorf("%+v: rounds = %d, want 2", tc, res.Stats.Rounds)
+		}
+	}
+}
+
+func TestEMTranspose(t *testing.T) {
+	const k, l = 32, 24
+	vals := workload.Int64s(7, k*l)
+	want := Sequential(vals, k, l)
+	for _, p := range []int{1, 2, 4} {
+		got, res, err := EMTranspose(vals, k, l, core.Config{V: 4, P: p, D: 2, B: 8})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: out[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+		if res.IO.ParallelOps == 0 {
+			t.Error("no I/O recorded")
+		}
+	}
+}
+
+func TestBaselineTranspose(t *testing.T) {
+	const k, l = 20, 15
+	vals := workload.Int64s(5, k*l)
+	arr := pdm.NewMemArray(2, 8)
+	got, info, err := Baseline(arr, vals, k, l, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sequential(vals, k, l)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if info.SortOps == 0 {
+		t.Error("baseline recorded no I/O")
+	}
+}
+
+func TestEMTransposeErrors(t *testing.T) {
+	if _, _, err := EMTranspose(make([]int64, 5), 2, 3, core.Config{V: 2, P: 1, D: 1, B: 4}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	if err := quick.Check(func(k8, l8, v8 uint8) bool {
+		k := int(k8)%12 + 1
+		l := int(l8)%12 + 1
+		v := int(v8)%4 + 1
+		n := k * l
+		vals := workload.Int64s(int64(n), n)
+		items := make([]permute.Item, n)
+		for i := range items {
+			items[i] = permute.Item{Dest: int64(i), Val: vals[i]}
+		}
+		res, err := cgm.Run[permute.Item](New(k, l), v, cgm.Scatter(items, v))
+		if err != nil {
+			return false
+		}
+		want := Sequential(vals, k, l)
+		out := res.Output()
+		for i := range want {
+			if out[i].Val != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package wordcodec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pdm"
+)
+
+func roundTrip[T comparable](t *testing.T, c Codec[T], v T) {
+	t.Helper()
+	buf := make([]pdm.Word, c.Words())
+	c.Encode(buf, v)
+	if got := c.Decode(buf); got != v {
+		t.Errorf("round trip of %v gave %v", v, got)
+	}
+}
+
+func TestPrimitiveCodecs(t *testing.T) {
+	roundTrip[uint64](t, U64{}, 0)
+	roundTrip[uint64](t, U64{}, math.MaxUint64)
+	roundTrip[int64](t, I64{}, -1)
+	roundTrip[int64](t, I64{}, math.MinInt64)
+	roundTrip[int64](t, I64{}, math.MaxInt64)
+	roundTrip[float64](t, F64{}, 0.0)
+	roundTrip[float64](t, F64{}, -math.Pi)
+	roundTrip[float64](t, F64{}, math.Inf(1))
+}
+
+func TestF64NaN(t *testing.T) {
+	c := F64{}
+	buf := make([]pdm.Word, 1)
+	c.Encode(buf, math.NaN())
+	if !math.IsNaN(c.Decode(buf)) {
+		t.Error("NaN did not round trip")
+	}
+}
+
+func TestPairCodec(t *testing.T) {
+	c := PairCodec[uint64, float64]{CA: U64{}, CB: F64{}}
+	if c.Words() != 2 {
+		t.Fatalf("Words = %d, want 2", c.Words())
+	}
+	roundTrip(t, c, Pair[uint64, float64]{A: 42, B: -1.5})
+}
+
+func TestEncodeDecodeSlice(t *testing.T) {
+	c := I64{}
+	items := []int64{3, -1, 4, -1, 5}
+	ws := EncodeSlice[int64](c, nil, items)
+	if len(ws) != len(items) {
+		t.Fatalf("encoded length %d, want %d", len(ws), len(items))
+	}
+	got := DecodeSlice[int64](c, nil, ws, len(items))
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("item %d = %d, want %d", i, got[i], items[i])
+		}
+	}
+}
+
+func TestEncodeSliceAppends(t *testing.T) {
+	c := U64{}
+	dst := []pdm.Word{99}
+	dst = EncodeSlice[uint64](c, dst, []uint64{1, 2})
+	if len(dst) != 3 || dst[0] != 99 || dst[1] != 1 || dst[2] != 2 {
+		t.Fatalf("append result = %v", dst)
+	}
+}
+
+func TestWordsCodec(t *testing.T) {
+	c := Words{N: 3}
+	buf := make([]pdm.Word, 3)
+	c.Encode(buf, []pdm.Word{7, 8, 9})
+	got := c.Decode(buf)
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Fatalf("Words round trip = %v", got)
+	}
+	// Decode must not alias the source.
+	got[0] = 0
+	if buf[0] != 7 {
+		t.Error("Decode aliased its source buffer")
+	}
+}
+
+func TestCodecProperties(t *testing.T) {
+	if err := quick.Check(func(v int64) bool {
+		buf := make([]pdm.Word, 1)
+		I64{}.Encode(buf, v)
+		return I64{}.Decode(buf) == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(a uint64, b float64) bool {
+		c := PairCodec[uint64, float64]{CA: U64{}, CB: F64{}}
+		buf := make([]pdm.Word, 2)
+		p := Pair[uint64, float64]{A: a, B: b}
+		c.Encode(buf, p)
+		return c.Decode(buf) == p
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(items []int64) bool {
+		ws := EncodeSlice[int64](I64{}, nil, items)
+		got := DecodeSlice[int64](I64{}, nil, ws, len(items))
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range items {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

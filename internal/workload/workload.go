@@ -1,0 +1,365 @@
+// Package workload provides the deterministic, seeded input generators
+// used by tests, examples, and the benchmark harness: key sets,
+// permutations, matrices, geometric scenes, lists, trees and graphs.
+//
+// Every generator is a pure function of its seed, so experiments are
+// exactly reproducible.
+package workload
+
+import (
+	"math/rand"
+)
+
+// Uint64s returns n uniform random 64-bit keys.
+func Uint64s(seed int64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = rng.Uint64()
+	}
+	return xs
+}
+
+// Int64s returns n uniform random signed keys.
+func Int64s(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(rng.Uint64())
+	}
+	return xs
+}
+
+// SortedInt64s returns n already-sorted keys (an adversarial input for
+// sample-based sorting).
+func SortedInt64s(n int) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i) * 3
+	}
+	return xs
+}
+
+// ReverseInt64s returns n reverse-sorted keys.
+func ReverseInt64s(n int) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(n-i) * 3
+	}
+	return xs
+}
+
+// FewDistinctInt64s returns n keys drawn from k distinct values —
+// adversarial for splitter selection.
+func FewDistinctInt64s(seed int64, n, k int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(k))
+	}
+	return xs
+}
+
+// Permutation returns a uniform random permutation of 0..n-1.
+func Permutation(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := rng.Perm(n)
+	out := make([]int64, n)
+	for i, x := range p {
+		out[i] = int64(x)
+	}
+	return out
+}
+
+// Point is a planar point.
+type Point struct{ X, Y float64 }
+
+// Points returns n points uniform in the unit square.
+func Points(seed int64, n int) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Point, n)
+	for i := range ps {
+		ps[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return ps
+}
+
+// ClusteredPoints returns n points in k Gaussian clusters — a GIS-style
+// distribution (towns on a map).
+func ClusteredPoints(seed int64, n, k int) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Point, k)
+	for i := range centers {
+		centers[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	ps := make([]Point, n)
+	for i := range ps {
+		c := centers[rng.Intn(k)]
+		ps[i] = Point{X: c.X + rng.NormFloat64()*0.02, Y: c.Y + rng.NormFloat64()*0.02}
+	}
+	return ps
+}
+
+// Point3 is a point in 3-space.
+type Point3 struct{ X, Y, Z float64 }
+
+// Points3 returns n points uniform in the unit cube.
+func Points3(seed int64, n int) []Point3 {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Point3, n)
+	for i := range ps {
+		ps[i] = Point3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	return ps
+}
+
+// Rect is an axis-parallel rectangle with X1 ≤ X2, Y1 ≤ Y2.
+type Rect struct{ X1, Y1, X2, Y2 float64 }
+
+// Rects returns n random rectangles in the unit square with maximum side
+// maxSide.
+func Rects(seed int64, n int, maxSide float64) []Rect {
+	rng := rand.New(rand.NewSource(seed))
+	rs := make([]Rect, n)
+	for i := range rs {
+		x, y := rng.Float64(), rng.Float64()
+		w, h := rng.Float64()*maxSide, rng.Float64()*maxSide
+		rs[i] = Rect{X1: x, Y1: y, X2: x + w, Y2: y + h}
+	}
+	return rs
+}
+
+// Segment is a planar line segment.
+type Segment struct{ X1, Y1, X2, Y2 float64 }
+
+// NonIntersectingSegments returns n pairwise non-crossing segments,
+// generated on distinct horizontal levels with random x-extents (the
+// standard workload for lower-envelope and trapezoidation experiments).
+func NonIntersectingSegments(seed int64, n int) []Segment {
+	rng := rand.New(rand.NewSource(seed))
+	ss := make([]Segment, n)
+	for i := range ss {
+		y := (float64(i) + 1) / float64(n+2)
+		x1 := rng.Float64()
+		x2 := x1 + rng.Float64()*(1-x1)
+		// Small slope that cannot reach the neighbouring levels.
+		dy := (rng.Float64() - 0.5) / float64(3*(n+2))
+		ss[i] = Segment{X1: x1, Y1: y - dy, X2: x2, Y2: y + dy}
+	}
+	return ss
+}
+
+// List returns a random singly linked list over nodes 0..n-1 as a
+// successor array: succ[i] is the next node of node i, and the last node
+// points to itself. head is the first node of the list.
+func List(seed int64, n int) (succ []int64, head int64) {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n) // order[k] = node at position k
+	succ = make([]int64, n)
+	for k := 0; k+1 < n; k++ {
+		succ[order[k]] = int64(order[k+1])
+	}
+	succ[order[n-1]] = int64(order[n-1])
+	return succ, int64(order[0])
+}
+
+// Tree returns a random rooted tree over nodes 0..n-1 as a parent array
+// with parent[root] = root. Node i's parent is uniform over earlier nodes
+// (random recursive tree) and node labels are then shuffled.
+func Tree(seed int64, n int) (parent []int64, root int64) {
+	rng := rand.New(rand.NewSource(seed))
+	relabel := rng.Perm(n)
+	parent = make([]int64, n)
+	root = int64(relabel[0])
+	parent[root] = root
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		parent[relabel[i]] = int64(relabel[p])
+	}
+	return parent, root
+}
+
+// PathTree returns a degenerate tree (a path) — the worst case for
+// tree-contraction depth.
+func PathTree(n int) (parent []int64, root int64) {
+	parent = make([]int64, n)
+	parent[0] = 0
+	for i := 1; i < n; i++ {
+		parent[i] = int64(i - 1)
+	}
+	return parent, 0
+}
+
+// Edge is an undirected graph edge.
+type Edge struct{ U, V int64 }
+
+// Graph returns a random multigraph with n vertices and m edges
+// (endpoints uniform, no self loops).
+func Graph(seed int64, n, m int) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([]Edge, m)
+	for i := range es {
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		es[i] = Edge{U: int64(u), V: int64(v)}
+	}
+	return es
+}
+
+// ComponentsGraph returns a graph with exactly k connected components:
+// vertices are split into k groups, each wired as a random spanning tree
+// plus extra random intra-group edges.
+func ComponentsGraph(seed int64, n, k, extra int) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var es []Edge
+	groups := make([][]int, k)
+	for v := 0; v < n; v++ {
+		g := v % k
+		groups[g] = append(groups[g], v)
+	}
+	for _, g := range groups {
+		for i := 1; i < len(g); i++ {
+			es = append(es, Edge{U: int64(g[rng.Intn(i)]), V: int64(g[i])})
+		}
+		for e := 0; e < extra*len(g)/n+1 && len(g) >= 2; e++ {
+			a, b := rng.Intn(len(g)), rng.Intn(len(g)-1)
+			if b >= a {
+				b++
+			}
+			es = append(es, Edge{U: int64(g[a]), V: int64(g[b])})
+		}
+	}
+	rng.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+	return es
+}
+
+// GridGraph returns the w×h grid graph (a synthetic road network).
+func GridGraph(w, h int) []Edge {
+	var es []Edge
+	id := func(x, y int) int64 { return int64(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				es = append(es, Edge{U: id(x, y), V: id(x+1, y)})
+			}
+			if y+1 < h {
+				es = append(es, Edge{U: id(x, y), V: id(x, y+1)})
+			}
+		}
+	}
+	return es
+}
+
+// ExprNode is a node of a binary arithmetic expression tree: a leaf holds
+// Value; an internal node holds Op ('+' or '*') and children L, R (node
+// ids). Node 0 is the root.
+type ExprNode struct {
+	Op    byte // 0 for leaf, else '+' or '*'
+	Value int64
+	L, R  int64
+}
+
+// ExprTree returns a random binary expression tree with nLeaves leaves
+// over small integer values (kept small so evaluation cannot overflow).
+func ExprTree(seed int64, nLeaves int) []ExprNode {
+	rng := rand.New(rand.NewSource(seed))
+	// Build bottom-up: start with nLeaves leaves, repeatedly combine two
+	// random roots under a new operator node until one root remains.
+	nodes := make([]ExprNode, 0, 2*nLeaves-1)
+	roots := make([]int64, 0, nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		nodes = append(nodes, ExprNode{Value: int64(rng.Intn(3))})
+		roots = append(roots, int64(i))
+	}
+	ops := []byte{'+', '*'}
+	for len(roots) > 1 {
+		a := rng.Intn(len(roots))
+		l := roots[a]
+		roots[a] = roots[len(roots)-1]
+		roots = roots[:len(roots)-1]
+		b := rng.Intn(len(roots))
+		r := roots[b]
+		nodes = append(nodes, ExprNode{Op: ops[rng.Intn(2)], L: l, R: r})
+		roots[b] = int64(len(nodes) - 1)
+	}
+	// Re-root: move the final root to index 0 by swapping ids.
+	rootID := roots[0]
+	if rootID != 0 {
+		last := int64(len(nodes) - 1)
+		_ = last
+		nodes[0], nodes[rootID] = nodes[rootID], nodes[0]
+		for i := range nodes {
+			if nodes[i].Op != 0 {
+				if nodes[i].L == 0 {
+					nodes[i].L = rootID
+				} else if nodes[i].L == rootID {
+					nodes[i].L = 0
+				}
+				if nodes[i].R == 0 {
+					nodes[i].R = rootID
+				} else if nodes[i].R == rootID {
+					nodes[i].R = 0
+				}
+			}
+		}
+	}
+	return nodes
+}
+
+// BitReversalPermutation returns the bit-reversal permutation of size
+// n = 2^k — one of the structured permutation classes (FFT reorderings)
+// whose I/O Cormen et al. studied, cited in the paper's Section 1.2.
+func BitReversalPermutation(k int) []int64 {
+	n := 1 << k
+	p := make([]int64, n)
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < k; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (k - 1 - b)
+			}
+		}
+		p[i] = int64(r)
+	}
+	return p
+}
+
+// CyclicShiftPermutation returns dest[i] = (i + s) mod n.
+func CyclicShiftPermutation(n, s int) []int64 {
+	p := make([]int64, n)
+	for i := range p {
+		p[i] = int64((i + s) % n)
+	}
+	return p
+}
+
+// MatrixReblockPermutation maps an r×c row-major matrix to tile-major
+// order with t×t tiles (t divides r and c) — the "matrix re-blocking"
+// permutation class of Section 1.2.
+func MatrixReblockPermutation(r, c, t int) []int64 {
+	p := make([]int64, r*c)
+	tilesPerRow := c / t
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			tile := (i/t)*tilesPerRow + j/t
+			within := (i%t)*t + j%t
+			p[i*c+j] = int64(tile*t*t + within)
+		}
+	}
+	return p
+}
+
+// ZipfInt64s returns n keys drawn from a Zipf(s=1.1) distribution over
+// [0, imax] — the heavy-skew workload for balanced-routing tests.
+func ZipfInt64s(seed int64, n int, imax uint64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, imax)
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(z.Uint64())
+	}
+	return xs
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := Uint64s(7, 100), Uint64s(7, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Uint64s not deterministic")
+		}
+	}
+	c := Uint64s(8, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical keys")
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	p := Permutation(3, 1000)
+	seen := make([]bool, 1000)
+	for _, x := range p {
+		if x < 0 || x >= 1000 || seen[x] {
+			t.Fatalf("bad permutation at %d", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestFewDistinct(t *testing.T) {
+	xs := FewDistinctInt64s(1, 500, 3)
+	vals := map[int64]bool{}
+	for _, x := range xs {
+		vals[x] = true
+	}
+	if len(vals) > 3 {
+		t.Fatalf("%d distinct values, want ≤ 3", len(vals))
+	}
+}
+
+func TestSortedAndReverse(t *testing.T) {
+	s := SortedInt64s(100)
+	r := ReverseInt64s(100)
+	for i := 1; i < 100; i++ {
+		if s[i] < s[i-1] {
+			t.Fatal("SortedInt64s not sorted")
+		}
+		if r[i] > r[i-1] {
+			t.Fatal("ReverseInt64s not reverse-sorted")
+		}
+	}
+}
+
+func TestNonIntersectingSegments(t *testing.T) {
+	ss := NonIntersectingSegments(5, 50)
+	// Segments live on separated levels: y-ranges must not overlap.
+	for i := 0; i < len(ss); i++ {
+		lo1, hi1 := minMax(ss[i].Y1, ss[i].Y2)
+		for j := i + 1; j < len(ss); j++ {
+			lo2, hi2 := minMax(ss[j].Y1, ss[j].Y2)
+			if hi1 >= lo2 && hi2 >= lo1 {
+				t.Fatalf("segments %d and %d overlap in y", i, j)
+			}
+		}
+	}
+	for _, s := range ss {
+		if s.X2 < s.X1 {
+			t.Fatal("segment with reversed x")
+		}
+	}
+}
+
+func minMax(a, b float64) (float64, float64) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+func TestListIsSinglePath(t *testing.T) {
+	succ, head := List(11, 200)
+	seen := make([]bool, 200)
+	cur := head
+	count := 0
+	for {
+		if seen[cur] {
+			t.Fatal("cycle before covering all nodes")
+		}
+		seen[cur] = true
+		count++
+		next := succ[cur]
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	if count != 200 {
+		t.Fatalf("list visits %d of 200 nodes", count)
+	}
+}
+
+func TestTreeIsTree(t *testing.T) {
+	parent, root := Tree(13, 300)
+	if parent[root] != root {
+		t.Fatal("root is not self-parented")
+	}
+	// Every node must reach the root.
+	for v := 0; v < 300; v++ {
+		cur := int64(v)
+		for steps := 0; cur != root; steps++ {
+			if steps > 300 {
+				t.Fatalf("node %d does not reach root", v)
+			}
+			cur = parent[cur]
+		}
+	}
+}
+
+func TestPathTree(t *testing.T) {
+	parent, root := PathTree(10)
+	if root != 0 || parent[0] != 0 || parent[9] != 8 {
+		t.Fatalf("PathTree wrong: root=%d parent=%v", root, parent)
+	}
+}
+
+func TestGraphNoSelfLoops(t *testing.T) {
+	for _, e := range Graph(17, 50, 500) {
+		if e.U == e.V {
+			t.Fatal("self loop")
+		}
+		if e.U < 0 || e.U >= 50 || e.V < 0 || e.V >= 50 {
+			t.Fatal("endpoint out of range")
+		}
+	}
+}
+
+func TestComponentsGraphComponentCount(t *testing.T) {
+	const n, k = 60, 4
+	es := ComponentsGraph(19, n, k, 2)
+	// Union-find ground truth.
+	par := make([]int, n)
+	for i := range par {
+		par[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for par[x] != x {
+			par[x] = par[par[x]]
+			x = par[x]
+		}
+		return x
+	}
+	for _, e := range es {
+		par[find(int(e.U))] = find(int(e.V))
+	}
+	comps := map[int]bool{}
+	for v := 0; v < n; v++ {
+		comps[find(v)] = true
+	}
+	if len(comps) != k {
+		t.Fatalf("%d components, want %d", len(comps), k)
+	}
+	// Edges only within groups (v mod k).
+	for _, e := range es {
+		if e.U%k != e.V%k {
+			t.Fatalf("edge %v crosses groups", e)
+		}
+	}
+}
+
+func TestGridGraph(t *testing.T) {
+	es := GridGraph(4, 3)
+	want := 3*3 + 4*2 // horizontal + vertical
+	if len(es) != want {
+		t.Fatalf("%d edges, want %d", len(es), want)
+	}
+}
+
+func TestExprTreeShape(t *testing.T) {
+	for _, leaves := range []int{1, 2, 5, 32} {
+		nodes := ExprTree(23, leaves)
+		if len(nodes) != 2*leaves-1 {
+			t.Fatalf("leaves=%d: %d nodes, want %d", leaves, len(nodes), 2*leaves-1)
+		}
+		// Every node except the root (0) must be referenced exactly once.
+		refs := make([]int, len(nodes))
+		nLeaf, nOp := 0, 0
+		for _, nd := range nodes {
+			if nd.Op == 0 {
+				nLeaf++
+				continue
+			}
+			nOp++
+			refs[nd.L]++
+			refs[nd.R]++
+		}
+		if nLeaf != leaves || nOp != leaves-1 {
+			t.Fatalf("leaves=%d: got %d leaves, %d ops", leaves, nLeaf, nOp)
+		}
+		if refs[0] != 0 {
+			t.Fatal("root is referenced by another node")
+		}
+		for i := 1; i < len(nodes); i++ {
+			if refs[i] != 1 {
+				t.Fatalf("node %d referenced %d times", i, refs[i])
+			}
+		}
+	}
+}
+
+func TestRects(t *testing.T) {
+	for _, r := range Rects(29, 100, 0.2) {
+		if r.X2 < r.X1 || r.Y2 < r.Y1 {
+			t.Fatal("degenerate rectangle")
+		}
+		if r.X2-r.X1 > 0.2 || r.Y2-r.Y1 > 0.2 {
+			t.Fatal("side exceeds maxSide")
+		}
+	}
+}
+
+func TestClusteredPoints(t *testing.T) {
+	ps := ClusteredPoints(31, 500, 5)
+	if len(ps) != 500 {
+		t.Fatal("wrong count")
+	}
+}
+
+func TestPoints3(t *testing.T) {
+	ps := Points3(37, 100)
+	for _, p := range ps {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 || p.Z < 0 || p.Z > 1 {
+			t.Fatal("point outside cube")
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a Go reproduction of Dehne, Dittrich, Hutchinson &
+// Maheshwari, "Reducing I/O Complexity by Simulating Coarse Grained
+// Parallel Algorithms" (IPPS 1999): a deterministic simulation of CGM
+// parallel algorithms as parallel external-memory (EM-CGM) algorithms,
+// plus the CGM algorithm library of the paper's Figure 5 and the full
+// benchmark harness regenerating its evaluation.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/emcgm-bench
+package repro
