@@ -1,0 +1,29 @@
+# Repo verification. `make verify` is the tier-1 gate every PR must pass:
+# build + full test suite, plus a race-detector pass over the concurrent
+# packages (the disk-array worker pool and the parallel compound-superstep
+# machine), so data races in the hot path are caught on every change.
+
+GO ?= go
+
+.PHONY: verify build test race bench allocs
+
+verify: build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pdm/... ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Allocation profile of the hot path: the dispatch benchmark must report
+# 0 allocs/op and the end-to-end sort should stay well under the seed's
+# 38287 allocs/op.
+allocs:
+	$(GO) test -bench 'BenchmarkDiskArrayOp' -benchmem ./internal/pdm/
+	$(GO) test -bench 'BenchmarkFig5GroupA/sort-emcgm' -benchmem .

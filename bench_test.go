@@ -47,11 +47,13 @@ func ioConst(ops int64, n int) float64 {
 // reports the modelled VM/EM time ratio (the virtual-memory baseline
 // explodes past the knee; EM-CGM stays linear).
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	mWords := 1 << 15
 	vm := theory.DefaultVMModel(mWords)
 	tm := pdm.DefaultTimeModel()
 	for _, n := range []int{1 << 14, 1 << 15, 1 << 16, 1 << 17} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			keys := workload.Int64s(int64(n), n)
 			var ratio float64
 			for i := 0; i < b.N; i++ {
@@ -70,9 +72,11 @@ func BenchmarkFig3(b *testing.B) {
 
 // BenchmarkFig4 measures the D = 1 vs D = 2 contrast of Figure 4.
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 16
 	for _, d := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			keys := workload.Int64s(4, n)
 			var ops int64
 			for i := 0; i < b.N; i++ {
@@ -91,8 +95,10 @@ func BenchmarkFig4(b *testing.B) {
 // BenchmarkFig5GroupA regenerates the Group A rows: sorting, permutation,
 // transpose, plus the PDM mergesort baseline.
 func BenchmarkFig5GroupA(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 16
 	b.Run("sort-emcgm", func(b *testing.B) {
+		b.ReportAllocs()
 		keys := workload.Int64s(1, n)
 		var c float64
 		for i := 0; i < b.N; i++ {
@@ -106,6 +112,7 @@ func BenchmarkFig5GroupA(b *testing.B) {
 		b.ReportMetric(c, "io-const")
 	})
 	b.Run("sort-pdm-baseline", func(b *testing.B) {
+		b.ReportAllocs()
 		var c float64
 		for i := 0; i < b.N; i++ {
 			arr := pdm.NewMemArray(benchD, benchB)
@@ -120,6 +127,7 @@ func BenchmarkFig5GroupA(b *testing.B) {
 		b.ReportMetric(c, "io-const")
 	})
 	b.Run("permute", func(b *testing.B) {
+		b.ReportAllocs()
 		vals := workload.Int64s(3, n)
 		dests := workload.Permutation(4, n)
 		var c float64
@@ -134,6 +142,7 @@ func BenchmarkFig5GroupA(b *testing.B) {
 		b.ReportMetric(c, "io-const")
 	})
 	b.Run("transpose", func(b *testing.B) {
+		b.ReportAllocs()
 		const k = 256
 		vals := workload.Int64s(5, n)
 		var c float64
@@ -151,9 +160,11 @@ func BenchmarkFig5GroupA(b *testing.B) {
 
 // BenchmarkFig5GroupB regenerates the geometry rows of Figure 5.
 func BenchmarkFig5GroupB(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 12
 	runB := func(name string, f func(e *rec.Exec) error) {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var c float64
 			for i := 0; i < b.N; i++ {
 				e := rec.NewEM(benchV, benchP, benchD, benchB)
@@ -215,9 +226,11 @@ func BenchmarkFig5GroupB(b *testing.B) {
 
 // BenchmarkFig5GroupC regenerates the graph rows of Figure 5.
 func BenchmarkFig5GroupC(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 12
 	runC := func(name string, f func(e *rec.Exec) error) {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var c float64
 			for i := 0; i < b.N; i++ {
 				e := rec.NewEM(benchV, benchP, benchD, benchB)
@@ -264,6 +277,7 @@ func BenchmarkFig5GroupC(b *testing.B) {
 
 // BenchmarkFig6Surface evaluates the Figure 6/7 surface (pure math).
 func BenchmarkFig6Surface(b *testing.B) {
+	b.ReportAllocs()
 	var sink float64
 	for i := 0; i < b.N; i++ {
 		for v := 2.0; v <= 1e4; v *= 10 {
@@ -278,6 +292,7 @@ func BenchmarkFig6Surface(b *testing.B) {
 // BenchmarkFig8Throughput evaluates the block-size/throughput curve and
 // reports the saturation point's throughput.
 func BenchmarkFig8Throughput(b *testing.B) {
+	b.ReportAllocs()
 	m := pdm.DefaultTimeModel()
 	var tp float64
 	for i := 0; i < b.N; i++ {
@@ -291,9 +306,11 @@ func BenchmarkFig8Throughput(b *testing.B) {
 // BenchmarkBalancedRouting measures the ablation of Lemma 2: the same
 // sort with and without BalancedRouting.
 func BenchmarkBalancedRouting(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 15
 	for _, bal := range []bool{false, true} {
 		b.Run(fmt.Sprintf("balanced=%v", bal), func(b *testing.B) {
+			b.ReportAllocs()
 			keys := workload.Int64s(1, n)
 			var ops int64
 			for i := 0; i < b.N; i++ {
@@ -312,9 +329,11 @@ func BenchmarkBalancedRouting(b *testing.B) {
 // BenchmarkScalability is Theorem 3's v/p scaling: per-processor I/O for
 // the same problem as p grows (the paper's claim 6 — scalable in p).
 func BenchmarkScalability(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 16
 	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			keys := workload.Int64s(1, n)
 			var perProc float64
 			for i := 0; i < b.N; i++ {
@@ -374,10 +393,12 @@ func TestBenchHarnessSmoke(t *testing.T) {
 // falls as 1/B while the modelled time per op grows only slowly past the
 // knee — large blocks win, which is the paper's point in fixing B ≈ 10³.
 func BenchmarkBlockSizeSweep(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 16
 	tm := pdm.DefaultTimeModel()
 	for _, bs := range []int{64, 256, 1024, 4096} {
 		b.Run(fmt.Sprintf("B=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
 			keys := workload.Int64s(1, n)
 			var modelled float64
 			for i := 0; i < b.N; i++ {
@@ -397,9 +418,11 @@ func BenchmarkBlockSizeSweep(b *testing.B) {
 // processors shrink contexts (μ = N/v) but add rounds-independent matrix
 // slots — the trade Theorem 2's G·O(λvμ/DB) captures.
 func BenchmarkVirtualProcessorSweep(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 16
 	for _, v := range []int{4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			b.ReportAllocs()
 			keys := workload.Int64s(2, n)
 			var ops int64
 			for i := 0; i < b.N; i++ {
@@ -419,10 +442,12 @@ func BenchmarkVirtualProcessorSweep(b *testing.B) {
 // message matrix (RunSeq) with the double-buffered layout (RunPar, p=1):
 // same I/O semantics, roughly half the disk footprint.
 func BenchmarkObservation2Footprint(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 14
 	keys := workload.Int64s(3, n)
 	cfg := sortalg.EMSortConfig(core.Config{V: benchV, P: 1, D: benchD, B: benchB}, n)
 	b.Run("single-copy-seq", func(b *testing.B) {
+		b.ReportAllocs()
 		var tracks int
 		for i := 0; i < b.N; i++ {
 			res, err := core.RunSeq[int64](sortalg.Sorter[int64]{}, wordcodec.I64{}, cfg, cgmScatter(keys, benchV))
@@ -434,6 +459,7 @@ func BenchmarkObservation2Footprint(b *testing.B) {
 		b.ReportMetric(float64(tracks), "max-tracks")
 	})
 	b.Run("double-buffered-par", func(b *testing.B) {
+		b.ReportAllocs()
 		var tracks int
 		for i := 0; i < b.N; i++ {
 			res, err := core.RunPar[int64](sortalg.Sorter[int64]{}, wordcodec.I64{}, cfg, cgmScatter(keys, benchV))
@@ -448,6 +474,7 @@ func BenchmarkObservation2Footprint(b *testing.B) {
 
 // BenchmarkCacheTuning is the Section 5 cache experiment as a benchmark.
 func BenchmarkCacheTuning(b *testing.B) {
+	b.ReportAllocs()
 	m := cache.Model{MWords: 1 << 13, LineWords: 8, MissTime: 100}
 	const n = 1 << 15
 	keys := workload.Int64s(4, n)
@@ -470,10 +497,12 @@ func cgmScatter(keys []int64, v int) [][]int64 { return cgm.Scatter(keys, v) }
 // contexts eliminate the context-swap I/O, leaving only message-matrix
 // traffic.
 func BenchmarkContextCaching(b *testing.B) {
+	b.ReportAllocs()
 	const n, v = 1 << 16, 8
 	keys := workload.Int64s(5, n)
 	for _, cached := range []bool{false, true} {
 		b.Run(fmt.Sprintf("cached=%v", cached), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := sortalg.EMSortConfig(core.Config{V: v, P: v, D: benchD, B: benchB, CacheContexts: cached}, n)
 			var ops int64
 			for i := 0; i < b.N; i++ {

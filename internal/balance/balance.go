@@ -108,6 +108,34 @@ func (c Codec[T]) Decode(src []pdm.Word) Item[T] {
 	}
 }
 
+// EncodeSliceInto is the bulk fast path (wordcodec.BulkCodec): one loop
+// with the widths hoisted, so balanced runs skip per-item dispatch too.
+func (c Codec[T]) EncodeSliceInto(dst []pdm.Word, items []Item[T]) {
+	w := c.Inner.Words() + 2
+	for i := range items {
+		base := i * w
+		dst[base] = pdm.Word(uint64(uint32(items[i].Src))<<32 | uint64(uint32(items[i].Dst)))
+		dst[base+1] = pdm.Word(items[i].Seq)
+		c.Inner.Encode(dst[base+2:base+w], items[i].Val)
+	}
+}
+
+// DecodeSliceInto is the decoding analogue of EncodeSliceInto.
+func (c Codec[T]) DecodeSliceInto(dst []Item[T], src []pdm.Word) {
+	w := c.Inner.Words() + 2
+	for i := range dst {
+		base := i * w
+		dst[i] = Item[T]{
+			Src: int(uint32(src[base] >> 32)),
+			Dst: int(uint32(src[base])),
+			Seq: int(src[base+1]),
+			Val: c.Inner.Decode(src[base+2 : base+w]),
+		}
+	}
+}
+
+var _ wordcodec.BulkCodec[Item[int64]] = Codec[int64]{Inner: wordcodec.I64{}}
+
 // program lifts an inner cgm.Program[T] to a balanced cgm.Program[Item[T]]
 // in which every inner communication round becomes two balanced rounds.
 //

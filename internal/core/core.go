@@ -30,9 +30,44 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/cgm"
+	"repro/internal/layout"
 	"repro/internal/pdm"
 	"repro/internal/wordcodec"
 )
+
+// superstepScratch is the reusable working storage of one real processor's
+// compound-superstep hot path: the context image, the flat inbox/outbox
+// image, request/buffer staging, and the layout layer's own scratch. It is
+// allocated once before the round loop and reused every round, so a
+// steady-state superstep performs no heap allocation beyond the decoded
+// item slices handed to the program (which owns them).
+//
+// Ownership rule: a scratch belongs to exactly one real processor's
+// goroutine; nothing inside it escapes a superstep except through explicit
+// copies (disk writes copy block contents; decode allocates fresh item
+// slices).
+type superstepScratch struct {
+	ctxImg []pdm.Word     // cb·B words: context encode/decode image
+	flat   []pdm.Word     // flat inbox/outbox slot images
+	reqs   []pdm.BlockReq // request staging for matrix/striped sequences
+	bufs   [][]pdm.Word   // block views over ctxImg or flat
+	lay    layout.Scratch // per-cycle request slices and conflict markers
+}
+
+// newSuperstepScratch sizes the scratch for context runs of cb blocks and
+// flat slot images of flatBlocks blocks of b words.
+func newSuperstepScratch(cb, flatBlocks, b int) *superstepScratch {
+	m := flatBlocks
+	if cb > m {
+		m = cb
+	}
+	return &superstepScratch{
+		ctxImg: make([]pdm.Word, cb*b),
+		flat:   make([]pdm.Word, flatBlocks*b),
+		reqs:   make([]pdm.BlockReq, 0, m),
+		bufs:   make([][]pdm.Word, 0, m),
+	}
+}
 
 // Config parameterises an EM-CGM machine.
 type Config struct {
@@ -193,17 +228,19 @@ func slotWords(maxMsg, itemWords int) int { return 1 + maxMsg*itemWords }
 // encoded items.
 func ctxWords(maxCtx, itemWords int) int { return 1 + maxCtx*itemWords }
 
-// encodeCtx serialises state into a context image of exactly want words
-// (header + items + zero padding).
-func encodeCtx[T any](codec wordcodec.Codec[T], state []T, maxCtx, want int) ([]pdm.Word, error) {
+// encodeCtxInto serialises state into the context image img (header +
+// items + zero padding), overwriting every word. The image is caller-owned
+// scratch: reusing it across supersteps is what keeps the hot path
+// allocation-free.
+func encodeCtxInto[T any](codec wordcodec.Codec[T], state []T, maxCtx int, img []pdm.Word) error {
 	if len(state) > maxCtx {
-		return nil, fmt.Errorf("core: context of %d items exceeds the declared bound μ = %d items; set Config.MaxCtxItems or implement cgm.ContextSizer", len(state), maxCtx)
+		return fmt.Errorf("core: context of %d items exceeds the declared bound μ = %d items; set Config.MaxCtxItems or implement cgm.ContextSizer", len(state), maxCtx)
 	}
-	img := make([]pdm.Word, 1, want)
 	img[0] = pdm.Word(len(state))
-	img = wordcodec.EncodeSlice(codec, img, state)
-	img = append(img, make([]pdm.Word, want-len(img))...)
-	return img, nil
+	end := 1 + len(state)*codec.Words()
+	wordcodec.EncodeInto(codec, img[1:end], state)
+	clear(img[end:])
+	return nil
 }
 
 // decodeCtx deserialises a context image.
@@ -216,16 +253,17 @@ func decodeCtx[T any](codec wordcodec.Codec[T], img []pdm.Word) ([]T, error) {
 	return wordcodec.DecodeSlice(codec, make([]T, 0, n), img[1:], n), nil
 }
 
-// encodeMsg serialises one message into a slot image of exactly want words.
-func encodeMsg[T any](codec wordcodec.Codec[T], msg []T, maxMsg, want int) ([]pdm.Word, error) {
+// encodeMsgInto serialises one message into the slot image img,
+// overwriting every word. Like encodeCtxInto, img is caller-owned scratch.
+func encodeMsgInto[T any](codec wordcodec.Codec[T], msg []T, maxMsg int, img []pdm.Word) error {
 	if len(msg) > maxMsg {
-		return nil, fmt.Errorf("core: message of %d items exceeds the slot bound %d items; set Config.MaxMsgItems (or Balanced) accordingly", len(msg), maxMsg)
+		return fmt.Errorf("core: message of %d items exceeds the slot bound %d items; set Config.MaxMsgItems (or Balanced) accordingly", len(msg), maxMsg)
 	}
-	img := make([]pdm.Word, 1, want)
 	img[0] = pdm.Word(len(msg))
-	img = wordcodec.EncodeSlice(codec, img, msg)
-	img = append(img, make([]pdm.Word, want-len(img))...)
-	return img, nil
+	end := 1 + len(msg)*codec.Words()
+	wordcodec.EncodeInto(codec, img[1:end], msg)
+	clear(img[end:])
+	return nil
 }
 
 // decodeMsg deserialises one message slot.

@@ -19,6 +19,17 @@ type batch[T any] struct {
 	final bool
 }
 
+// procScratch is one real processor's superstepScratch plus the parallel
+// machine's reusable cross-processor batch containers. send[l·p+k] is the
+// message container local VP l reuses for its batch to real processor k;
+// a batch sent in round r is consumed by its receiver within round r
+// (every processor drains all v batches before the round barrier), so
+// reusing the container next round never clobbers an unread batch.
+type procScratch[T any] struct {
+	*superstepScratch
+	send [][][]T
+}
+
 // runPar is Algorithm 3: ParCompoundSuperstep. p real processors run as
 // goroutines, each with its own D-disk array; each simulates v/p virtual
 // processors per round and routes generated messages to the destination
@@ -29,6 +40,9 @@ type batch[T any] struct {
 // parity (incoming batches may arrive before the local inboxes of the
 // same superstep are consumed, so the single-copy alternation of the
 // sequential machine does not apply).
+//
+// Each real processor owns one procScratch for the lifetime of the run;
+// the parallel I/O sequence is identical to the scratch-free formulation.
 func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
 	v, p := cfg.V, cfg.P
 	if len(inputs) != v {
@@ -57,6 +71,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	// Per-processor state.
 	arrays := make([]*pdm.DiskArray, p)
 	matrices := make([][2]layout.Rect, p)
+	scrs := make([]*procScratch[T], p)
 	for i := 0; i < p; i++ {
 		a, err := cfg.newArray(i)
 		if err != nil {
@@ -72,6 +87,12 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			return nil, err
 		}
 		matrices[i] = [2]layout.Rect{m0, m1}
+		s := &procScratch[T]{superstepScratch: newSuperstepScratch(cb, v*bpm, cfg.B)}
+		s.send = make([][][]T, localV*p)
+		for k := range s.send {
+			s.send[k] = make([][]T, localV)
+		}
+		scrs[i] = s
 	}
 	defer func() {
 		for _, a := range arrays {
@@ -85,18 +106,19 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	cached := make([][]T, p) // resident contexts when cacheCtx
 
 	writeCtx := func(proc, l int, state []T) error {
-		img, err := encodeCtx(codec, state, maxCtx, cb*cfg.B)
-		if err != nil {
+		scr := scrs[proc]
+		if err := encodeCtxInto(codec, state, maxCtx, scr.ctxImg); err != nil {
 			return err
 		}
-		return layout.WriteStriped(arrays[proc], 0, l*cb, layout.SplitBlocks(img, cfg.B))
+		scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.ctxImg, cfg.B)
+		return layout.WriteStripedScratch(arrays[proc], 0, l*cb, scr.bufs, &scr.lay)
 	}
 	readCtx := func(proc, l int) ([]T, error) {
-		img, err := layout.ReadStriped(arrays[proc], 0, l*cb, cb)
-		if err != nil {
+		scr := scrs[proc]
+		if err := layout.ReadStripedScratch(arrays[proc], 0, l*cb, scr.ctxImg, &scr.lay); err != nil {
 			return nil, err
 		}
-		return decodeCtx(codec, img)
+		return decodeCtx(codec, scr.ctxImg)
 	}
 
 	res := &Result[T]{Outputs: make([][]T, v)}
@@ -144,9 +166,21 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		prevOps[i] = a.Stats().ParallelOps
 	}
 
+	// Per-proc h-relation accounting, reused across rounds like the scratch.
+	sentItems := make([][]int, p)
+	recvItems := make([][]int, p)
+	for i := 0; i < p; i++ {
+		sentItems[i] = make([]int, localV)
+		recvItems[i] = make([]int, localV)
+	}
+
 	runProc := func(i, round int) procOut {
-		out := procOut{sent: make([]int, localV), recv: make([]int, localV)}
+		out := procOut{sent: sentItems[i], recv: recvItems[i]}
+		for l := 0; l < localV; l++ {
+			out.sent[l], out.recv[l] = 0, 0
+		}
 		arr := arrays[i]
+		scr := scrs[i]
 		readM := matrices[i][round%2]
 		writeParity := (round + 1) % 2
 		ctxOps, msgOps := int64(0), int64(0)
@@ -180,18 +214,14 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			// (b) Inbox in.
 			inbox := make([][]T, v)
 			if round > 0 {
-				reqs := readM.RegionReqs(l)
-				flat := make([]pdm.Word, len(reqs)*cfg.B)
-				bufs := make([][]pdm.Word, len(reqs))
-				for k := range bufs {
-					bufs[k] = flat[k*cfg.B : (k+1)*cfg.B]
-				}
-				if _, err := layout.ReadFIFO(arr, reqs, bufs); err != nil {
+				scr.reqs = readM.AppendRegionReqs(scr.reqs[:0], l)
+				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
+				if _, err := layout.ReadFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
 					out.err = fmt.Errorf("core: round %d vp %d: read inbox: %w", round, j, err)
 					return out
 				}
 				for src := 0; src < v; src++ {
-					msg, err := decodeMsg(codec, flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
+					msg, err := decodeMsg(codec, scr.flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
 					if err != nil {
 						out.err = fmt.Errorf("core: round %d vp %d: message from %d: %w", round, j, src, err)
 						return out
@@ -222,11 +252,12 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			for k := 0; k < p; k++ {
 				b := batch[T]{srcVP: j, final: done}
 				if !done {
-					b.msgs = make([][]T, localV)
+					msgs := scr.send[l*p+k]
 					for dl := 0; dl < localV; dl++ {
+						msgs[dl] = nil
 						dst := k*localV + dl
 						if outbox != nil {
-							b.msgs[dl] = outbox[dst]
+							msgs[dl] = outbox[dst]
 							if len(outbox[dst]) > out.maxMsg {
 								out.maxMsg = len(outbox[dst])
 							}
@@ -236,6 +267,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 							}
 						}
 					}
+					b.msgs = msgs
 				}
 				chans[k] <- b
 			}
@@ -267,18 +299,16 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			if b.final {
 				continue
 			}
-			reqs := make([]pdm.BlockReq, 0, localV*bpm)
-			bufs := make([][]pdm.Word, 0, localV*bpm)
+			scr.reqs = scr.reqs[:0]
 			for dl := 0; dl < localV; dl++ {
-				img, err := encodeMsg(codec, b.msgs[dl], maxMsg, bpm*cfg.B)
-				if err != nil {
+				if err := encodeMsgInto(codec, b.msgs[dl], maxMsg, scr.flat[dl*bpm*cfg.B:(dl+1)*bpm*cfg.B]); err != nil {
 					out.err = fmt.Errorf("vp %d round %d → %d: %w", b.srcVP, round, i*localV+dl, err)
 					return out
 				}
-				reqs = append(reqs, writeM.SlotReqs(dl, b.srcVP)...)
-				bufs = append(bufs, layout.SplitBlocks(img, cfg.B)...)
+				scr.reqs = writeM.AppendSlotReqs(scr.reqs, dl, b.srcVP)
 			}
-			if _, err := layout.WriteFIFO(arr, reqs, bufs); err != nil {
+			scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat[:localV*bpm*cfg.B], cfg.B)
+			if _, err := layout.WriteFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
 				out.err = fmt.Errorf("core: round %d proc %d: write batch from vp %d: %w", round, i, b.srcVP, err)
 				return out
 			}

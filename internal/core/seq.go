@@ -15,6 +15,11 @@ import (
 // Disk map: contexts live first — VP j's context occupies striped blocks
 // [j·cb, (j+1)·cb) from track 0 — followed by the single-copy staggered
 // message matrix with Observation 2's alternating placement.
+//
+// All transient storage of the round loop lives in one superstepScratch,
+// so steady-state supersteps allocate only the decoded item slices handed
+// to the program. The parallel I/O sequence is identical to the scratch-
+// free formulation: the PDM accounting is invariant under this reuse.
 func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
 	v := cfg.V
 	if len(inputs) != v {
@@ -51,23 +56,23 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	defer arr.Close()
 
 	res := &Result[T]{Outputs: make([][]T, v)}
+	scr := newSuperstepScratch(cb, v*bpm, cfg.B)
 
 	writeCtx := func(j int, state []T) error {
-		img, err := encodeCtx(codec, state, maxCtx, cb*cfg.B)
-		if err != nil {
+		if err := encodeCtxInto(codec, state, maxCtx, scr.ctxImg); err != nil {
 			return fmt.Errorf("vp %d: %w", j, err)
 		}
 		if len(state) > res.MaxCtxObserved {
 			res.MaxCtxObserved = len(state)
 		}
-		return layout.WriteStriped(arr, 0, j*cb, layout.SplitBlocks(img, cfg.B))
+		scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.ctxImg, cfg.B)
+		return layout.WriteStripedScratch(arr, 0, j*cb, scr.bufs, &scr.lay)
 	}
 	readCtx := func(j int) ([]T, error) {
-		img, err := layout.ReadStriped(arr, 0, j*cb, cb)
-		if err != nil {
+		if err := layout.ReadStripedScratch(arr, 0, j*cb, scr.ctxImg, &scr.lay); err != nil {
 			return nil, err
 		}
-		return decodeCtx(codec, img)
+		return decodeCtx(codec, scr.ctxImg)
 	}
 
 	// Input distribution: initialise and write every context.
@@ -91,14 +96,18 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		prevOps = now
 	}
 
+	recvItems := make([]int, v)
+	sentItems := make([]int, v)
+
 	const maxRounds = 1 << 20
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, fmt.Errorf("core: program exceeded %d rounds", maxRounds)
 		}
 		var doneAll bool
-		recvItems := make([]int, v)
-		sentItems := make([]int, v)
+		for j := 0; j < v; j++ {
+			recvItems[j], sentItems[j] = 0, 0
+		}
 
 		for j := 0; j < v; j++ {
 			// (a) Read the context of virtual processor j.
@@ -111,17 +120,13 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			// (b) Read the packets received by virtual processor j.
 			inbox := make([][]T, v)
 			if round > 0 {
-				reqs := matrix.InboxReqs(round, j)
-				flat := make([]pdm.Word, len(reqs)*cfg.B)
-				bufs := make([][]pdm.Word, len(reqs))
-				for i := range bufs {
-					bufs[i] = flat[i*cfg.B : (i+1)*cfg.B]
-				}
-				if _, err := layout.ReadFIFO(arr, reqs, bufs); err != nil {
+				scr.reqs = matrix.AppendInboxReqs(scr.reqs[:0], round, j)
+				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
+				if _, err := layout.ReadFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
 					return nil, fmt.Errorf("core: round %d vp %d: read inbox: %w", round, j, err)
 				}
 				for src := 0; src < v; src++ {
-					msg, err := decodeMsg(codec, flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
+					msg, err := decodeMsg(codec, scr.flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
 					if err != nil {
 						return nil, fmt.Errorf("core: round %d vp %d: message from %d: %w", round, j, src, err)
 					}
@@ -146,24 +151,22 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 
 			// (d) Write the packets sent by virtual processor j (staggered).
 			if !done {
-				reqs := matrix.OutboxReqs(round, j)
-				bufs := make([][]pdm.Word, 0, len(reqs))
+				scr.reqs = matrix.AppendOutboxReqs(scr.reqs[:0], round, j)
 				for dst := 0; dst < v; dst++ {
 					var msg []T
 					if outbox != nil {
 						msg = outbox[dst]
 					}
-					img, err := encodeMsg(codec, msg, maxMsg, bpm*cfg.B)
-					if err != nil {
+					if err := encodeMsgInto(codec, msg, maxMsg, scr.flat[dst*bpm*cfg.B:(dst+1)*bpm*cfg.B]); err != nil {
 						return nil, fmt.Errorf("vp %d round %d → %d: %w", j, round, dst, err)
 					}
 					sentItems[j] += len(msg)
 					if len(msg) > res.MaxMsgObserved {
 						res.MaxMsgObserved = len(msg)
 					}
-					bufs = append(bufs, layout.SplitBlocks(img, cfg.B)...)
 				}
-				if _, err := layout.WriteFIFO(arr, reqs, bufs); err != nil {
+				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
+				if _, err := layout.WriteFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
 					return nil, fmt.Errorf("core: round %d vp %d: write outbox: %w", round, j, err)
 				}
 				account(false)

@@ -9,6 +9,7 @@ import (
 // BenchmarkWriteFIFO measures the DiskWrite scheduler's packing on a full
 // message-matrix outbox.
 func BenchmarkWriteFIFO(b *testing.B) {
+	b.ReportAllocs()
 	const v, bpm, d, blk = 16, 4, 4, 64
 	m, err := NewMatrix(v, bpm, d, 0)
 	if err != nil {

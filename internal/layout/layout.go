@@ -45,14 +45,11 @@ func Pad(ws []pdm.Word, b int) []pdm.Word {
 // SplitBlocks cuts ws (whose length must be a multiple of b) into b-word
 // block views sharing ws's storage.
 func SplitBlocks(ws []pdm.Word, b int) [][]pdm.Word {
-	if len(ws)%b != 0 {
-		panic(fmt.Sprintf("layout: %d words is not a multiple of block size %d", len(ws), b))
-	}
-	out := make([][]pdm.Word, 0, len(ws)/b)
-	for off := 0; off < len(ws); off += b {
-		out = append(out, ws[off:off+b])
-	}
-	return out
+	return SplitBlocksInto(make([][]pdm.Word, 0, len(ws)/b), ws, b)
+}
+
+func badSplit(n, b int) string {
+	return fmt.Sprintf("layout: %d words is not a multiple of block size %d", n, b)
 }
 
 // WriteStriped writes bufs as blocks [startBlock, startBlock+len(bufs))
@@ -60,43 +57,18 @@ func SplitBlocks(ws []pdm.Word, b int) [][]pdm.Word {
 // hit distinct disks, so the transfer proceeds in ⌈len(bufs)/D⌉ fully
 // parallel operations (the last may be partial).
 func WriteStriped(arr *pdm.DiskArray, baseTrack, startBlock int, bufs [][]pdm.Word) error {
-	d := arr.D()
-	for off := 0; off < len(bufs); off += d {
-		end := off + d
-		if end > len(bufs) {
-			end = len(bufs)
-		}
-		reqs := make([]pdm.BlockReq, end-off)
-		for i := range reqs {
-			reqs[i] = Striped(startBlock+off+i, d, baseTrack)
-		}
-		if err := arr.WriteBlocks(reqs, bufs[off:end]); err != nil {
-			return err
-		}
-	}
-	return nil
+	var s Scratch
+	return WriteStripedScratch(arr, baseTrack, startBlock, bufs, &s)
 }
 
 // ReadStriped reads n blocks starting at global index startBlock of the
 // striped region rooted at baseTrack, returning the concatenated words
 // (n·B of them). It issues ⌈n/D⌉ fully parallel operations.
 func ReadStriped(arr *pdm.DiskArray, baseTrack, startBlock, n int) ([]pdm.Word, error) {
-	d, b := arr.D(), arr.B()
-	out := make([]pdm.Word, n*b)
-	for off := 0; off < n; off += d {
-		end := off + d
-		if end > n {
-			end = n
-		}
-		reqs := make([]pdm.BlockReq, end-off)
-		bufs := make([][]pdm.Word, end-off)
-		for i := range reqs {
-			reqs[i] = Striped(startBlock+off+i, d, baseTrack)
-			bufs[i] = out[(off+i)*b : (off+i+1)*b]
-		}
-		if err := arr.ReadBlocks(reqs, bufs); err != nil {
-			return nil, err
-		}
+	var s Scratch
+	out := make([]pdm.Word, n*arr.B())
+	if err := ReadStripedScratch(arr, baseTrack, startBlock, out, &s); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -107,21 +79,22 @@ func ReadStriped(arr *pdm.DiskArray, baseTrack, startBlock, n int) ([]pdm.Word, 
 // of the cycle, then issues the cycle as a single parallel I/O.
 // It returns the number of parallel operations issued.
 func WriteFIFO(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) (int, error) {
-	return fifo(arr, reqs, bufs, false)
+	var s Scratch
+	return fifo(arr, reqs, bufs, false, &s)
 }
 
 // ReadFIFO is the read-side analogue of WriteFIFO: it packs the FIFO
 // request sequence into maximal conflict-free parallel reads.
 func ReadFIFO(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) (int, error) {
-	return fifo(arr, reqs, bufs, true)
+	var s Scratch
+	return fifo(arr, reqs, bufs, true, &s)
 }
 
-func fifo(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, read bool) (int, error) {
+func fifo(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, read bool, s *Scratch) (int, error) {
 	if len(reqs) != len(bufs) {
 		return 0, fmt.Errorf("layout: %d requests but %d buffers", len(reqs), len(bufs))
 	}
-	d := arr.D()
-	used := make([]bool, d)
+	used := s.diskSet(arr.D())
 	ops := 0
 	i := 0
 	for i < len(reqs) {

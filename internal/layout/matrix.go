@@ -89,7 +89,11 @@ func (m Matrix) Place(phase, src, dst int) (region, slot int) {
 // staggered read of slot dst from every region. The k-th group of BPM
 // requests holds the message from source k.
 func (m Matrix) InboxReqs(phase, dst int) []pdm.BlockReq {
-	reqs := make([]pdm.BlockReq, 0, m.V*m.BPM)
+	return m.AppendInboxReqs(make([]pdm.BlockReq, 0, m.V*m.BPM), phase, dst)
+}
+
+// AppendInboxReqs is InboxReqs appending into caller-owned storage.
+func (m Matrix) AppendInboxReqs(reqs []pdm.BlockReq, phase, dst int) []pdm.BlockReq {
 	for src := 0; src < m.V; src++ {
 		r, a := m.Place(phase, src, dst)
 		for q := 0; q < m.BPM; q++ {
@@ -105,7 +109,11 @@ func (m Matrix) InboxReqs(phase, dst int) []pdm.BlockReq {
 // messages of phase p are read as inboxes in phase p+1, so they are placed
 // with Place(phase+1, ...).
 func (m Matrix) OutboxReqs(phase, src int) []pdm.BlockReq {
-	reqs := make([]pdm.BlockReq, 0, m.V*m.BPM)
+	return m.AppendOutboxReqs(make([]pdm.BlockReq, 0, m.V*m.BPM), phase, src)
+}
+
+// AppendOutboxReqs is OutboxReqs appending into caller-owned storage.
+func (m Matrix) AppendOutboxReqs(reqs []pdm.BlockReq, phase, src int) []pdm.BlockReq {
 	for dst := 0; dst < m.V; dst++ {
 		r, a := m.Place(phase+1, src, dst)
 		for q := 0; q < m.BPM; q++ {

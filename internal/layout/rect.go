@@ -53,9 +53,13 @@ func (m Rect) SlotBlock(r, a, q int) pdm.BlockReq {
 // SlotReqs returns the BPM block requests of slot a in region r, in block
 // order.
 func (m Rect) SlotReqs(r, a int) []pdm.BlockReq {
-	reqs := make([]pdm.BlockReq, m.BPM)
+	return m.AppendSlotReqs(make([]pdm.BlockReq, 0, m.BPM), r, a)
+}
+
+// AppendSlotReqs is SlotReqs appending into caller-owned storage.
+func (m Rect) AppendSlotReqs(reqs []pdm.BlockReq, r, a int) []pdm.BlockReq {
 	for q := 0; q < m.BPM; q++ {
-		reqs[q] = m.SlotBlock(r, a, q)
+		reqs = append(reqs, m.SlotBlock(r, a, q))
 	}
 	return reqs
 }
@@ -63,7 +67,11 @@ func (m Rect) SlotReqs(r, a int) []pdm.BlockReq {
 // RegionReqs returns the block requests of the whole region r (Slots·BPM
 // blocks, consecutive on disk), grouped slot by slot.
 func (m Rect) RegionReqs(r int) []pdm.BlockReq {
-	reqs := make([]pdm.BlockReq, 0, m.Slots*m.BPM)
+	return m.AppendRegionReqs(make([]pdm.BlockReq, 0, m.Slots*m.BPM), r)
+}
+
+// AppendRegionReqs is RegionReqs appending into caller-owned storage.
+func (m Rect) AppendRegionReqs(reqs []pdm.BlockReq, r int) []pdm.BlockReq {
 	for a := 0; a < m.Slots; a++ {
 		for q := 0; q < m.BPM; q++ {
 			reqs = append(reqs, m.SlotBlock(r, a, q))

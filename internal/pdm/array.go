@@ -2,27 +2,96 @@ package pdm
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// diskOp is one track transfer dispatched to a disk worker. The result is
+// stored through err; wg is signalled when the transfer completes.
+type diskOp struct {
+	track int
+	buf   []Word
+	read  bool
+	err   *error
+	wg    *sync.WaitGroup
+}
+
+// diskWorker services one disk's transfers for the lifetime of the array.
+// It references only its disk and channel — never the DiskArray — so an
+// abandoned array stays collectable and its cleanup can stop the workers.
+func diskWorker(d Disk, ch <-chan diskOp) {
+	for op := range ch {
+		var err error
+		if op.read {
+			err = d.ReadTrack(op.track, op.buf)
+		} else {
+			err = d.WriteTrack(op.track, op.buf)
+		}
+		*op.err = err
+		op.wg.Done()
+	}
+}
+
+// workerStop carries what the GC cleanup needs to terminate the workers of
+// an abandoned array without keeping the array itself alive.
+type workerStop struct {
+	work []chan diskOp
+	stop *sync.Once
+}
+
+func (s workerStop) shutdown() {
+	s.stop.Do(func() {
+		for _, ch := range s.work {
+			close(ch)
+		}
+	})
+}
 
 // DiskArray drives D disks as one parallel I/O device. A single call to
 // ReadBlocks or WriteBlocks is one PDM parallel I/O operation: it may
-// address at most one track per disk and is executed with one goroutine
-// per participating disk, so disk transfers genuinely overlap.
+// address at most one track per disk and is executed by persistent
+// per-disk worker goroutines (started on construction, stopped on Close),
+// so disk transfers genuinely overlap without paying a goroutine spawn
+// per block.
 //
 // The array counts operations exactly as the PDM cost measure does: an
 // operation involving fewer than D blocks still costs one parallel I/O
 // (the model "gives incentives to access all disk drives").
+//
+// A parallel I/O operation is atomic in the model, and the array enforces
+// that: concurrent ReadBlocks/WriteBlocks calls are serialised, which is
+// what lets the dispatch scratch below be reused without allocation.
 type DiskArray struct {
 	disks []Disk
 	b     int
 
-	mu    sync.Mutex
-	stats IOStats
+	// opMu serialises parallel I/O operations and guards the dispatch
+	// scratch (errs, seen) and the closed flag.
+	opMu   sync.Mutex
+	work   []chan diskOp
+	wg     sync.WaitGroup
+	errs   []error  // per-request result slots, reused every operation
+	seen   []uint64 // disk bitset reused by checkReqs
+	stop   *sync.Once
+	closed bool
+
+	stats ioCounters
+}
+
+// ioCounters is the atomic backing of IOStats: accounting never takes a
+// lock, and Stats can snapshot concurrently with I/O.
+type ioCounters struct {
+	parallelOps atomic.Int64
+	readOps     atomic.Int64
+	writeOps    atomic.Int64
+	blocksMoved atomic.Int64
+	wordsMoved  atomic.Int64
+	fullOps     atomic.Int64
 }
 
 // NewDiskArray builds an array over the given disks, which must all share
-// the same block size.
+// the same block size, and starts one worker goroutine per disk.
 func NewDiskArray(disks []Disk) (*DiskArray, error) {
 	if len(disks) == 0 {
 		return nil, fmt.Errorf("pdm: disk array needs at least one disk")
@@ -33,7 +102,23 @@ func NewDiskArray(disks []Disk) (*DiskArray, error) {
 			return nil, fmt.Errorf("pdm: disk %d has block size %d, want %d", i, d.BlockSize(), b)
 		}
 	}
-	return &DiskArray{disks: disks, b: b}, nil
+	a := &DiskArray{
+		disks: disks,
+		b:     b,
+		work:  make([]chan diskOp, len(disks)),
+		errs:  make([]error, len(disks)),
+		seen:  make([]uint64, (len(disks)+63)/64),
+		stop:  new(sync.Once),
+	}
+	for i, d := range disks {
+		ch := make(chan diskOp, 1)
+		a.work[i] = ch
+		go diskWorker(d, ch)
+	}
+	// Backstop for arrays dropped without Close: closing the request
+	// channels lets the workers exit once the array is unreachable.
+	runtime.AddCleanup(a, workerStop.shutdown, workerStop{work: a.work, stop: a.stop})
+	return a, nil
 }
 
 // NewMemArray is a convenience constructor: D in-memory disks of block
@@ -61,132 +146,114 @@ func (a *DiskArray) Disk(i int) Disk { return a.disks[i] }
 
 // Stats returns a snapshot of the accumulated I/O statistics.
 func (a *DiskArray) Stats() IOStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	return IOStats{
+		ParallelOps: a.stats.parallelOps.Load(),
+		ReadOps:     a.stats.readOps.Load(),
+		WriteOps:    a.stats.writeOps.Load(),
+		BlocksMoved: a.stats.blocksMoved.Load(),
+		WordsMoved:  a.stats.wordsMoved.Load(),
+		FullOps:     a.stats.fullOps.Load(),
+	}
 }
 
 // ResetStats zeroes the accumulated statistics.
 func (a *DiskArray) ResetStats() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.stats = IOStats{}
+	a.stats.parallelOps.Store(0)
+	a.stats.readOps.Store(0)
+	a.stats.writeOps.Store(0)
+	a.stats.blocksMoved.Store(0)
+	a.stats.wordsMoved.Store(0)
+	a.stats.fullOps.Store(0)
 }
 
-// checkReqs validates the one-track-per-disk PDM rule.
+// checkReqs validates the one-track-per-disk PDM rule. Called with opMu
+// held; the seen bitset is cleared and reused across operations.
 func (a *DiskArray) checkReqs(reqs []BlockReq) error {
-	if len(reqs) == 0 {
-		return nil
-	}
 	if len(reqs) > len(a.disks) {
 		return fmt.Errorf("pdm: %d blocks in one parallel I/O, array has D=%d: %w",
 			len(reqs), len(a.disks), ErrDiskConflict)
 	}
-	var seen [64]bool
-	var seenMap map[int]bool
-	if len(a.disks) > 64 {
-		seenMap = make(map[int]bool, len(reqs))
+	seen := a.seen
+	for i := range seen {
+		seen[i] = 0
 	}
 	for _, r := range reqs {
 		if r.Disk < 0 || r.Disk >= len(a.disks) {
 			return fmt.Errorf("pdm: disk index %d out of range [0,%d)", r.Disk, len(a.disks))
 		}
-		if seenMap != nil {
-			if seenMap[r.Disk] {
-				return fmt.Errorf("pdm: disk %d addressed twice: %w", r.Disk, ErrDiskConflict)
-			}
-			seenMap[r.Disk] = true
-		} else {
-			if seen[r.Disk] {
-				return fmt.Errorf("pdm: disk %d addressed twice: %w", r.Disk, ErrDiskConflict)
-			}
-			seen[r.Disk] = true
+		w, bit := r.Disk>>6, uint64(1)<<(r.Disk&63)
+		if seen[w]&bit != 0 {
+			return fmt.Errorf("pdm: disk %d addressed twice: %w", r.Disk, ErrDiskConflict)
 		}
+		seen[w] |= bit
 	}
 	return nil
 }
 
 // ReadBlocks performs one parallel I/O reading reqs[i] into bufs[i]
-// (each of length B). Transfers run concurrently, one goroutine per disk.
+// (each of length B). Transfers run concurrently on the per-disk workers.
 // An empty request list performs no I/O and costs nothing.
 func (a *DiskArray) ReadBlocks(reqs []BlockReq, bufs [][]Word) error {
-	if len(reqs) != len(bufs) {
-		return fmt.Errorf("pdm: %d requests but %d buffers", len(reqs), len(bufs))
-	}
-	if len(reqs) == 0 {
-		return nil
-	}
-	if err := a.checkReqs(reqs); err != nil {
-		return err
-	}
-	errs := make([]error, len(reqs))
-	var wg sync.WaitGroup
-	for i, r := range reqs {
-		wg.Add(1)
-		go func(i int, r BlockReq) {
-			defer wg.Done()
-			errs[i] = a.disks[r.Disk].ReadTrack(r.Track, bufs[i])
-		}(i, r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	a.account(len(reqs), true)
-	return nil
+	return a.doBlocks(reqs, bufs, true)
 }
 
 // WriteBlocks performs one parallel I/O writing bufs[i] (length B) to
-// reqs[i]. Transfers run concurrently, one goroutine per disk.
+// reqs[i]. Transfers run concurrently on the per-disk workers.
 func (a *DiskArray) WriteBlocks(reqs []BlockReq, bufs [][]Word) error {
+	return a.doBlocks(reqs, bufs, false)
+}
+
+func (a *DiskArray) doBlocks(reqs []BlockReq, bufs [][]Word, read bool) error {
 	if len(reqs) != len(bufs) {
 		return fmt.Errorf("pdm: %d requests but %d buffers", len(reqs), len(bufs))
 	}
 	if len(reqs) == 0 {
 		return nil
 	}
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	if a.closed {
+		return ErrClosed
+	}
 	if err := a.checkReqs(reqs); err != nil {
 		return err
 	}
-	errs := make([]error, len(reqs))
-	var wg sync.WaitGroup
+	a.wg.Add(len(reqs))
 	for i, r := range reqs {
-		wg.Add(1)
-		go func(i int, r BlockReq) {
-			defer wg.Done()
-			errs[i] = a.disks[r.Disk].WriteTrack(r.Track, bufs[i])
-		}(i, r)
+		a.errs[i] = nil
+		a.work[r.Disk] <- diskOp{track: r.Track, buf: bufs[i], read: read, err: &a.errs[i], wg: &a.wg}
 	}
-	wg.Wait()
-	for _, err := range errs {
+	a.wg.Wait()
+	for _, err := range a.errs[:len(reqs)] {
 		if err != nil {
 			return err
 		}
 	}
-	a.account(len(reqs), false)
+	a.account(len(reqs), read)
 	return nil
 }
 
 func (a *DiskArray) account(blocks int, read bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.stats.ParallelOps++
-	a.stats.BlocksMoved += int64(blocks)
-	a.stats.WordsMoved += int64(blocks) * int64(a.b)
+	a.stats.parallelOps.Add(1)
+	a.stats.blocksMoved.Add(int64(blocks))
+	a.stats.wordsMoved.Add(int64(blocks) * int64(a.b))
 	if read {
-		a.stats.ReadOps++
+		a.stats.readOps.Add(1)
 	} else {
-		a.stats.WriteOps++
+		a.stats.writeOps.Add(1)
 	}
 	if blocks == len(a.disks) {
-		a.stats.FullOps++
+		a.stats.fullOps.Add(1)
 	}
 }
 
-// Close closes every disk, returning the first error encountered.
+// Close stops the worker goroutines and closes every disk, returning the
+// first error encountered. Subsequent I/O fails with ErrClosed.
 func (a *DiskArray) Close() error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	a.closed = true
+	workerStop{work: a.work, stop: a.stop}.shutdown()
 	var first error
 	for _, d := range a.disks {
 		if err := d.Close(); err != nil && first == nil {

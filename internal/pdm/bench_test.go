@@ -8,8 +8,10 @@ import (
 // BenchmarkParallelIO measures the raw cost of one fully parallel I/O as
 // D grows — the substrate's goroutine fan-out overhead.
 func BenchmarkParallelIO(b *testing.B) {
+	b.ReportAllocs()
 	for _, d := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			arr := NewMemArray(d, 512)
 			reqs := make([]BlockReq, d)
 			bufs := make([][]Word, d)
@@ -22,6 +24,39 @@ func BenchmarkParallelIO(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				if err := arr.ReadBlocks(reqs, bufs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiskArrayOp exercises the persistent worker-pool dispatch path
+// end to end — validation, per-disk channel hand-off, wait, atomic
+// accounting — for one write + one read cycle on warm tracks. The
+// steady-state number to watch is allocs/op: it must be 0. D=96 covers
+// the wide-bitset conflict check (D > 64).
+func BenchmarkDiskArrayOp(b *testing.B) {
+	for _, cfg := range []struct{ d, blk int }{{1, 512}, {2, 512}, {8, 512}, {8, 64}, {96, 64}} {
+		b.Run(fmt.Sprintf("D=%d/B=%d", cfg.d, cfg.blk), func(b *testing.B) {
+			b.ReportAllocs()
+			arr := NewMemArray(cfg.d, cfg.blk)
+			defer arr.Close()
+			reqs := make([]BlockReq, cfg.d)
+			bufs := make([][]Word, cfg.d)
+			for i := range reqs {
+				reqs[i] = BlockReq{Disk: i, Track: 0}
+				bufs[i] = make([]Word, cfg.blk)
+			}
+			if err := arr.WriteBlocks(reqs, bufs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := arr.WriteBlocks(reqs, bufs); err != nil {
+					b.Fatal(err)
+				}
 				if err := arr.ReadBlocks(reqs, bufs); err != nil {
 					b.Fatal(err)
 				}

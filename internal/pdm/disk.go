@@ -9,8 +9,9 @@ import (
 // that was never written returns ErrTrackOutOfRange.
 //
 // Implementations must be safe for concurrent use on *distinct* tracks
-// (the DiskArray issues one goroutine per disk, and layouts never address
-// the same disk twice within one parallel operation).
+// (the DiskArray runs one persistent worker goroutine per disk, and
+// layouts never address the same disk twice within one parallel
+// operation).
 type Disk interface {
 	// ReadTrack copies track t into dst, which must have length B.
 	ReadTrack(t int, dst []Word) error
@@ -24,12 +25,18 @@ type Disk interface {
 	Close() error
 }
 
+// memDiskArenaTracks is how many tracks' worth of storage a MemDisk
+// allocates at once: first writes slice their track out of the current
+// arena chunk instead of paying one make per track.
+const memDiskArenaTracks = 64
+
 // MemDisk is an in-memory Disk. The zero value is not usable; construct
 // with NewMemDisk.
 type MemDisk struct {
 	mu     sync.RWMutex
 	b      int
 	tracks [][]Word
+	arena  []Word // unused tail of the current chunk
 	closed bool
 }
 
@@ -85,7 +92,11 @@ func (d *MemDisk) WriteTrack(t int, src []Word) error {
 		d.tracks = append(d.tracks, nil)
 	}
 	if d.tracks[t] == nil {
-		d.tracks[t] = make([]Word, d.b)
+		if len(d.arena) < d.b {
+			d.arena = make([]Word, memDiskArenaTracks*d.b)
+		}
+		d.tracks[t] = d.arena[:d.b:d.b]
+		d.arena = d.arena[d.b:]
 	}
 	copy(d.tracks[t], src)
 	return nil
@@ -97,6 +108,7 @@ func (d *MemDisk) Close() error {
 	defer d.mu.Unlock()
 	d.closed = true
 	d.tracks = nil
+	d.arena = nil
 	return nil
 }
 

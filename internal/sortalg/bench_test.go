@@ -10,6 +10,7 @@ import (
 
 // BenchmarkPSRSInMemory measures the CGM sort on the in-memory runtime.
 func BenchmarkPSRSInMemory(b *testing.B) {
+	b.ReportAllocs()
 	const n, v = 1 << 16, 8
 	keys := workload.Int64s(1, n)
 	b.ResetTimer()
@@ -22,6 +23,7 @@ func BenchmarkPSRSInMemory(b *testing.B) {
 
 // BenchmarkExternalMergeSort measures the PDM baseline.
 func BenchmarkExternalMergeSort(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 16
 	src := workload.Uint64s(2, n)
 	b.ResetTimer()

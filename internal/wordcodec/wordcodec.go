@@ -25,24 +25,38 @@ type Codec[T any] interface {
 	Decode(src []pdm.Word) T
 }
 
-// EncodeSlice appends the encoding of items to dst and returns it.
+// EncodeSlice appends the encoding of items to dst and returns it. It
+// grows dst at most once and encodes through the codec's bulk fast path
+// when it has one (see BulkCodec).
 func EncodeSlice[T any](c Codec[T], dst []pdm.Word, items []T) []pdm.Word {
 	w := c.Words()
 	off := len(dst)
-	dst = append(dst, make([]pdm.Word, w*len(items))...)
-	for i, v := range items {
-		c.Encode(dst[off+i*w:off+(i+1)*w], v)
+	need := off + w*len(items)
+	if cap(dst) >= need {
+		dst = dst[:need]
+	} else {
+		grown := make([]pdm.Word, need)
+		copy(grown, dst)
+		dst = grown
 	}
+	EncodeInto(c, dst[off:], items)
 	return dst
 }
 
 // DecodeSlice decodes n items from src (which must hold at least n·Words()
-// words), appending to dst.
+// words), appending to dst. It grows dst at most once and decodes through
+// the codec's bulk fast path when it has one.
 func DecodeSlice[T any](c Codec[T], dst []T, src []pdm.Word, n int) []T {
-	w := c.Words()
-	for i := 0; i < n; i++ {
-		dst = append(dst, c.Decode(src[i*w:(i+1)*w]))
+	off := len(dst)
+	need := off + n
+	if cap(dst) >= need {
+		dst = dst[:need]
+	} else {
+		grown := make([]T, need)
+		copy(grown, dst)
+		dst = grown
 	}
+	DecodeInto(c, dst[off:], src)
 	return dst
 }
 
