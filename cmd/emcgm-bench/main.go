@@ -3,7 +3,10 @@
 //	emcgm-bench                 # all figures at the default scale
 //	emcgm-bench -fig 5          # just Figure 5 (the problem table)
 //	emcgm-bench -n 262144 -v 16 # bigger instances
-//	emcgm-bench -csv            # machine-readable output
+//	emcgm-bench -csv            # machine-readable output (CSV)
+//	emcgm-bench -json           # machine-readable output (JSON)
+//	emcgm-bench -trace out.json # Chrome trace of every EM run (Perfetto)
+//	emcgm-bench -debug-addr :6060   # live /metrics, /trace.json, pprof
 //
 // Figures: 3 (VM vs EM-CGM sort), 4 (1 vs 2 disks), 5 (measured problem
 // table, Groups A/B/C), 6/7 (parameter-space surface), 8 (block-size
@@ -11,11 +14,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/pdm"
 	"repro/internal/trace"
 )
 
@@ -26,6 +32,9 @@ func main() {
 	p := flag.Int("p", 0, "real processors (0 = default 4)")
 	b := flag.Int("b", 0, "block size in words (0 = default 512)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit one JSON array of tables instead of aligned tables")
+	traceOut := flag.String("trace", "", "write a Chrome trace of every EM-CGM run to this file (load in Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	s := experiments.DefaultScale()
@@ -42,14 +51,30 @@ func main() {
 		s.B = *b
 	}
 
+	if *traceOut != "" || *debugAddr != "" {
+		s.Rec = obs.NewRecorder()
+	}
+	opTime := pdm.DefaultTimeModel().OpTime(s.B)
+	if *debugAddr != "" {
+		go func() {
+			if err := obs.Serve(*debugAddr, s.Rec, opTime); err != nil {
+				fmt.Fprintf(os.Stderr, "emcgm-bench: debug endpoint: %v\n", err)
+			}
+		}()
+	}
+
+	var tables []*trace.Table
 	emit := func(t *trace.Table, err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			tables = append(tables, t)
+		case *csv:
 			t.CSV(os.Stdout)
-		} else {
+		default:
 			t.Render(os.Stdout)
 		}
 	}
@@ -69,12 +94,39 @@ func main() {
 		for _, k := range []string{"3", "4", "5", "6", "7", "8", "balance", "cache", "sweep"} {
 			run[k]()
 		}
-		return
+	} else {
+		f, ok := run[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		f()
 	}
-	f, ok := run[*fig]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "emcgm-bench: unknown figure %q\n", *fig)
-		os.Exit(2)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	f()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Rec.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if d := s.Rec.DroppedEvents(); d > 0 {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: trace buffer full, dropped %d events\n", d)
+		}
+	}
 }

@@ -13,6 +13,8 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/pdm"
 	"repro/internal/rec"
 	"repro/internal/workload"
 )
@@ -26,7 +28,21 @@ func main() {
 	d := flag.Int("d", 2, "disks per processor")
 	b := flag.Int("b", 256, "block size in words")
 	seed := flag.Int64("seed", 1, "workload seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace of all pipeline phases to this file (load in Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	var recorder *obs.Recorder
+	if *traceOut != "" || *debugAddr != "" {
+		recorder = obs.NewRecorder()
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := obs.Serve(*debugAddr, recorder, pdm.DefaultTimeModel().OpTime(*b)); err != nil {
+				fmt.Fprintf(os.Stderr, "emcgm-graph: debug endpoint: %v\n", err)
+			}
+		}()
+	}
 
 	var edges []workload.Edge
 	nv := *n
@@ -43,6 +59,7 @@ func main() {
 	}
 
 	e1 := rec.NewEM(*v, *p, *d, *b)
+	e1.Recorder = recorder
 	labels, forest, err := graph.ConnectedComponents(e1, nv, edges)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emcgm-graph: components: %v\n", err)
@@ -58,6 +75,7 @@ func main() {
 		e1.Rounds, e1.IO.ParallelOps, e1.CommItems)
 
 	e2 := rec.NewEM(*v, *p, *d, *b)
+	e2.Recorder = recorder
 	blocks, err := graph.Biconn(e2, nv, edges)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emcgm-graph: biconnectivity: %v\n", err)
@@ -77,6 +95,7 @@ func main() {
 	fmt.Printf("  λ = %d rounds, %d parallel I/Os\n", e2.Rounds, e2.IO.ParallelOps)
 
 	e3 := rec.NewEM(*v, *p, *d, *b)
+	e3.Recorder = recorder
 	arts, err := graph.ArticulationPoints(e3, nv, edges)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emcgm-graph: articulation points: %v\n", err)
@@ -84,4 +103,24 @@ func main() {
 	}
 	fmt.Printf("articulation points: %d\n", len(arts))
 	fmt.Printf("  λ = %d rounds, %d parallel I/Os\n", e3.Rounds, e3.IO.ParallelOps)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-graph: %v\n", err)
+			os.Exit(1)
+		}
+		if err := recorder.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-graph: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-graph: %v\n", err)
+			os.Exit(1)
+		}
+		if dr := recorder.DroppedEvents(); dr > 0 {
+			fmt.Fprintf(os.Stderr, "emcgm-graph: trace buffer full, dropped %d events\n", dr)
+		}
+		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 }

@@ -5,6 +5,8 @@
 //	emcgm-sort -n 1000000 -v 16 -p 4 -d 2 -b 512
 //	emcgm-sort -n 100000 -balanced          # with BalancedRouting
 //	emcgm-sort -n 100000 -disks /tmp/emcgm  # real file-backed disks
+//	emcgm-sort -n 100000 -trace out.json    # Chrome trace (Perfetto)
+//	emcgm-sort -n 100000 -steps             # per-superstep I/O table
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pdm"
 	"repro/internal/sortalg"
 	"repro/internal/theory"
@@ -31,9 +34,23 @@ func main() {
 	balanced := flag.Bool("balanced", false, "route messages through BalancedRouting")
 	seed := flag.Int64("seed", 1, "workload seed")
 	disks := flag.String("disks", "", "directory for file-backed disks (empty = in-memory)")
+	traceOut := flag.String("trace", "", "write a Chrome trace to this file (load in Perfetto)")
+	steps := flag.Bool("steps", false, "print the per-superstep I/O table")
+	msgs := flag.Bool("msgs", false, "print BalancedRouting message sizes vs the Theorem 1 bound (needs -balanced)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	cfg := core.Config{V: *v, P: *p, D: *d, B: *b, Balanced: *balanced}
+	if *traceOut != "" || *steps || *msgs || *debugAddr != "" {
+		cfg.Recorder = obs.NewRecorder()
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := obs.Serve(*debugAddr, cfg.Recorder, pdm.DefaultTimeModel().OpTime(*b)); err != nil {
+				fmt.Fprintf(os.Stderr, "emcgm-sort: debug endpoint: %v\n", err)
+			}
+		}()
+	}
 	if *disks != "" {
 		if err := os.MkdirAll(*disks, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "emcgm-sort: %v\n", err)
@@ -87,4 +104,30 @@ func main() {
 	fmt.Printf("  modelled I/O time:     %v (1990s disk: %v/op at B=%d)\n",
 		tm.IOTime(res.IO.ParallelOps/int64(*p), *b), tm.OpTime(*b), *b)
 	fmt.Printf("  wall time (simulated): %v\n", elapsed)
+
+	if *steps {
+		cfg.Recorder.SuperstepTable(tm.OpTime(*b)).Render(os.Stdout)
+	}
+	if *msgs {
+		cfg.Recorder.MsgTable().Render(os.Stdout)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-sort: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cfg.Recorder.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-sort: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-sort: %v\n", err)
+			os.Exit(1)
+		}
+		if dr := cfg.Recorder.DroppedEvents(); dr > 0 {
+			fmt.Fprintf(os.Stderr, "emcgm-sort: trace buffer full, dropped %d events\n", dr)
+		}
+		fmt.Printf("  trace:                 %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 }

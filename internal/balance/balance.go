@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/cgm"
+	"repro/internal/obs"
 	"repro/internal/pdm"
 	"repro/internal/wordcodec"
 )
@@ -143,11 +144,20 @@ var _ wordcodec.BulkCodec[Item[int64]] = Codec[int64]{Inner: wordcodec.I64{}}
 // scatters its outbox per PhaseA; wrapped round 2r+1 regroups per PhaseB.
 type program[T any] struct {
 	inner cgm.Program[T]
+	rec   *obs.Recorder
 }
 
 // Wrap returns the balanced version of p: identical outputs, 2λ rounds,
 // message sizes within Theorem 1's bounds.
 func Wrap[T any](p cgm.Program[T]) cgm.Program[Item[T]] { return program[T]{inner: p} }
+
+// WrapObserved is Wrap with observability: every message the balanced
+// program produces is folded into rec's per-round size statistics, which
+// the obs.Recorder.MsgTable report compares against the Theorem 1 slot
+// bound. rec may be nil, in which case this is exactly Wrap.
+func WrapObserved[T any](p cgm.Program[T], rec *obs.Recorder) cgm.Program[Item[T]] {
+	return program[T]{inner: p, rec: rec}
+}
 
 // WrapInputs tags raw input partitions for a wrapped program.
 func WrapInputs[T any](ins [][]T) [][]Item[T] {
@@ -200,7 +210,9 @@ func (p program[T]) Init(vp *cgm.VP[Item[T]], input []Item[T]) {
 func (p program[T]) Round(vp *cgm.VP[Item[T]], round int, inbox [][]Item[T]) ([][]Item[T], bool) {
 	if round%2 == 1 {
 		// Superstep B: regroup by final destination; state untouched.
-		return PhaseB(vp.V, inbox), false
+		out := PhaseB(vp.V, inbox)
+		p.observe(round, out)
+		return out, false
 	}
 	// Superstep A: deliver previous round's items to the inner program.
 	var innerInbox [][]T
@@ -215,7 +227,19 @@ func (p program[T]) Round(vp *cgm.VP[Item[T]], round int, inbox [][]Item[T]) ([]
 	if done {
 		return nil, true
 	}
-	return PhaseA(vp.ID, vp.V, out), false
+	bins := PhaseA(vp.ID, vp.V, out)
+	p.observe(round, bins)
+	return bins, false
+}
+
+// observe records every produced message's size (items) under the round.
+func (p program[T]) observe(round int, out [][]Item[T]) {
+	if p.rec == nil {
+		return
+	}
+	for _, m := range out {
+		p.rec.MsgSize(round, len(m))
+	}
 }
 
 func (p program[T]) Output(vp *cgm.VP[Item[T]]) []Item[T] {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/cgm"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/pdm"
 	"repro/internal/wordcodec"
 )
@@ -108,6 +109,13 @@ type Config struct {
 	// only the message-matrix I/O. An optimisation the paper's M = Θ(μ)
 	// regime makes legal; ignored when P < V.
 	CacheContexts bool
+	// Recorder, when non-nil, records the run into the observability
+	// layer: one span per compound superstep with its parallel-I/O
+	// accounting in the args, child spans per phase (context read,
+	// inbox read, compute, routing, context write, barrier wait),
+	// per-disk latency histograms, and BalancedRouting message sizes.
+	// nil disables recording; the disabled path is a nil check.
+	Recorder *obs.Recorder
 }
 
 func (c Config) validate() error {
@@ -325,7 +333,14 @@ func runBalanced[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Confi
 	if wcfg.MaxMsgItems == 0 {
 		wcfg.MaxMsgItems = balancedMsgBound(maxH, cfg.V)
 	}
-	wres, err := run(balance.Wrap(prog), balance.Codec[T]{Inner: codec}, wcfg, balance.WrapInputs(inputs))
+	wrapped := balance.Wrap(prog)
+	if cfg.Recorder != nil {
+		// Observe the routed message sizes against the slot bound the
+		// machine actually provisioned (Theorem 1's h/v + (v−1)/2 + 1).
+		cfg.Recorder.SetMsgBound(wcfg.MaxMsgItems)
+		wrapped = balance.WrapObserved(prog, cfg.Recorder)
+	}
+	wres, err := run(wrapped, balance.Codec[T]{Inner: codec}, wcfg, balance.WrapInputs(inputs))
 	if err != nil {
 		return nil, err
 	}

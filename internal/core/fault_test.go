@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cgm"
+	"repro/internal/layout"
+	"repro/internal/pdm"
+	"repro/internal/wordcodec"
+)
+
+// keepOpen shields a disk from the machine's shutdown Close so a test can
+// inspect its contents after the run returns.
+type keepOpen struct{ pdm.Disk }
+
+func (keepOpen) Close() error { return nil }
+
+// TestParDiskFaultSurfaces injects a disk fault into one real processor of
+// the parallel machine and checks that (a) the run returns ErrInjected
+// rather than deadlocking at the round barrier — the erroring processor
+// must still emit the batches its peers' receive loops count on — and
+// (b) the other processor's on-disk contexts stay intact.
+func TestParDiskFaultSurfaces(t *testing.T) {
+	const (
+		v, p, d, b = 4, 2, 2, 8
+		maxCtx     = 16
+		localV     = v / p
+	)
+	parts := cgm.Scatter(seq64(32), v)
+
+	// Keep handles on every healthy disk; fault proc 1's disk 0 after a
+	// handful of operations so it fires inside the round-0 VP loop.
+	disks := make([][]pdm.Disk, p)
+	for i := range disks {
+		disks[i] = make([]pdm.Disk, d)
+	}
+	cfg := Config{
+		V: v, P: p, D: d, B: b, MaxMsgItems: 16, MaxCtxItems: maxCtx,
+		NewDisk: func(proc, disk int) pdm.Disk {
+			var dk pdm.Disk = keepOpen{pdm.NewMemDisk(b)}
+			if proc == 1 && disk == 0 {
+				dk = pdm.NewFaultyDisk(dk, 5)
+			}
+			disks[proc][disk] = dk
+			return dk
+		},
+	}
+	_, err := RunPar[int64](rotate{k: 3}, wordcodec.I64{}, cfg, parts)
+	if !errors.Is(err, pdm.ErrInjected) {
+		t.Fatalf("err = %v, want injected disk fault", err)
+	}
+
+	// Proc 0 never faulted: each of its local contexts must decode
+	// cleanly and hold exactly its original partition (rotate does not
+	// mutate state in round 0, the round the fault interrupts).
+	arr, err := pdm.NewDiskArray(disks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := wordcodec.I64{}
+	cw := ctxWords(maxCtx, codec.Words())
+	cb := pdm.BlocksFor(cw, b)
+	img := make([]pdm.Word, cb*b)
+	var scr layout.Scratch
+	for l := 0; l < localV; l++ {
+		j := 0*localV + l
+		if err := layout.ReadStripedScratch(arr, 0, l*cb, img, &scr); err != nil {
+			t.Fatalf("vp %d: read context: %v", j, err)
+		}
+		state, err := decodeCtx[int64](codec, img)
+		if err != nil {
+			t.Fatalf("vp %d: context corrupted: %v", j, err)
+		}
+		want := parts[j]
+		if len(state) != len(want) {
+			t.Fatalf("vp %d: context has %d items, want %d", j, len(state), len(want))
+		}
+		for k := range want {
+			if state[k] != want[k] {
+				t.Fatalf("vp %d item %d = %d, want %d", j, k, state[k], want[k])
+			}
+		}
+	}
+}

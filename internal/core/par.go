@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cgm"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/pdm"
 	"repro/internal/wordcodec"
 )
@@ -100,6 +102,18 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		}
 	}()
 
+	rec := cfg.Recorder
+	var mtrack obs.TrackID
+	var tracks []obs.TrackID
+	if rec != nil {
+		mtrack = rec.Track("machine")
+		tracks = make([]obs.TrackID, p)
+		for i := 0; i < p; i++ {
+			tracks[i] = rec.Track(fmt.Sprintf("proc %d", i))
+			arrays[i].SetRecorder(rec, i)
+		}
+	}
+
 	owner := func(vp int) int { return vp / localV }
 	localIdx := func(vp int) int { return vp % localV }
 	cacheCtx := cfg.CacheContexts && localV == 1
@@ -124,6 +138,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	res := &Result[T]{Outputs: make([][]T, v)}
 
 	// Input distribution.
+	initSpan := rec.Begin(mtrack, "input distribution", "init")
 	for j := 0; j < v; j++ {
 		vp := &cgm.VP[T]{ID: j, V: v}
 		prog.Init(vp, inputs[j])
@@ -146,6 +161,14 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		initOps += a.Stats().ParallelOps
 	}
 	res.CtxOps = initOps
+	if rec != nil {
+		var blocks int64
+		for _, a := range arrays {
+			blocks += a.Stats().BlocksMoved
+		}
+		initSpan.EndIO(obs.SuperstepIO{Proc: -1, Round: -1, VP: -1, Label: "init",
+			CtxOps: initOps, Blocks: blocks})
+	}
 
 	chans := make([]chan batch[T], p)
 	for i := range chans {
@@ -159,6 +182,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		sent, recv     []int // per local VP items
 		comm           int64
 		maxMsg, maxCtx int
+		finish         time.Time // when this proc's work ended (recording only)
 	}
 
 	prevOps := make([]int64, p)
@@ -174,11 +198,30 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		recvItems[i] = make([]int, localV)
 	}
 
-	runProc := func(i, round int) procOut {
-		out := procOut{sent: sentItems[i], recv: recvItems[i]}
+	runProc := func(i, round int) (out procOut) {
+		out = procOut{sent: sentItems[i], recv: recvItems[i]}
 		for l := 0; l < localV; l++ {
 			out.sent[l], out.recv[l] = 0, 0
 		}
+		var track obs.TrackID
+		if rec != nil {
+			track = tracks[i]
+		}
+		// Every processor's receive loop expects exactly v batches per
+		// round. If this processor aborts mid-superstep it must still
+		// emit the batches its remaining local VPs owe, or its peers
+		// block forever on their drain loops.
+		sentVPs := 0
+		defer func() {
+			if out.err == nil {
+				return
+			}
+			for l := sentVPs; l < localV; l++ {
+				for k := 0; k < p; k++ {
+					chans[k] <- batch[T]{srcVP: i*localV + l, final: true}
+				}
+			}
+		}()
 		arr := arrays[i]
 		scr := scrs[i]
 		readM := matrices[i][round%2]
@@ -198,22 +241,30 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		doneLocal := false
 		for l := 0; l < localV; l++ {
 			j := i*localV + l
+			var ssCtx0, ssMsg0, ssBlk0 int64
+			ss := rec.Begin(track, "superstep", "superstep")
+			if rec != nil {
+				ssCtx0, ssMsg0, ssBlk0 = ctxOps, msgOps, arr.Stats().BlocksMoved
+			}
 			// (a) Context in (skipped when resident).
 			var state []T
 			if cacheCtx {
 				state = cached[i]
 			} else {
+				sp := rec.Begin(track, "ctx read", "phase")
 				var err error
 				state, err = readCtx(i, l)
 				if err != nil {
 					out.err = fmt.Errorf("core: round %d vp %d: read context: %w", round, j, err)
 					return out
 				}
+				sp.End()
 				account(true)
 			}
 			// (b) Inbox in.
 			inbox := make([][]T, v)
 			if round > 0 {
+				sp := rec.Begin(track, "inbox read", "phase")
 				scr.reqs = readM.AppendRegionReqs(scr.reqs[:0], l)
 				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
 				if _, err := layout.ReadFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
@@ -229,11 +280,14 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 					inbox[src] = msg
 					out.recv[l] += len(msg)
 				}
+				sp.End()
 				account(false)
 			}
 			// (c) Compute.
+			cp := rec.Begin(track, "compute", "phase")
 			vp := &cgm.VP[T]{ID: j, V: v, State: state}
 			outbox, done := prog.Round(vp, round, inbox)
+			cp.End()
 			if outbox != nil && len(outbox) != v {
 				out.err = fmt.Errorf("core: vp %d round %d returned outbox of length %d, want %d or nil",
 					j, round, len(outbox), v)
@@ -249,6 +303,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				res.Outputs[j] = prog.Output(vp)
 			}
 			// (d) Send generated messages to their real destinations.
+			sp := rec.Begin(track, "send", "phase")
 			for k := 0; k < p; k++ {
 				b := batch[T]{srcVP: j, final: done}
 				if !done {
@@ -271,6 +326,8 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				}
 				chans[k] <- b
 			}
+			sp.End()
+			sentVPs++
 			// (e) Context out (or keep resident).
 			if len(vp.State) > out.maxCtx {
 				out.maxCtx = len(vp.State)
@@ -283,16 +340,28 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				}
 				cached[i] = vp.State
 			} else {
+				wp := rec.Begin(track, "ctx write", "phase")
 				if err := writeCtx(i, l, vp.State); err != nil {
 					out.err = fmt.Errorf("core: round %d vp %d: write context: %w", round, j, err)
 					return out
 				}
+				wp.End()
 				account(true)
+			}
+			if rec != nil {
+				ss.EndIO(obs.SuperstepIO{Proc: i, Round: round, VP: j, Label: "superstep",
+					CtxOps: ctxOps - ssCtx0, MsgOps: msgOps - ssMsg0,
+					Blocks: arr.Stats().BlocksMoved - ssBlk0})
 			}
 		}
 
 		// Receive exactly v batches (one per virtual processor in the
 		// machine) and lay their messages out for the next superstep.
+		var rtMsg0, rtBlk0 int64
+		rt := rec.Begin(track, "route batches", "route")
+		if rec != nil {
+			rtMsg0, rtBlk0 = msgOps, arr.Stats().BlocksMoved
+		}
 		writeM := matrices[i][writeParity]
 		for got := 0; got < v; got++ {
 			b := <-chans[i]
@@ -314,6 +383,11 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			}
 			account(false)
 		}
+		if rec != nil {
+			rt.EndIO(obs.SuperstepIO{Proc: i, Round: round, VP: -1, Label: "route",
+				MsgOps: msgOps - rtMsg0, Blocks: arr.Stats().BlocksMoved - rtBlk0})
+			out.finish = time.Now()
+		}
 
 		out.done = doneLocal
 		out.ctxOps, out.msgOps = ctxOps, msgOps
@@ -326,6 +400,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		if round >= maxRounds {
 			return nil, fmt.Errorf("core: program exceeded %d rounds", maxRounds)
 		}
+		rd := rec.Begin(mtrack, "round", "round")
 		outs := make([]procOut, p)
 		var wg sync.WaitGroup
 		for i := 0; i < p; i++ {
@@ -336,6 +411,16 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			}(i)
 		}
 		wg.Wait()
+		if rec != nil {
+			// Barrier wait: the gap between each processor finishing its
+			// round work and the slowest processor releasing the barrier.
+			for i := 0; i < p; i++ {
+				if !outs[i].finish.IsZero() {
+					rec.SpanSince(tracks[i], "barrier wait", "wait", outs[i].finish)
+				}
+			}
+		}
+		rd.End()
 
 		for i := range outs {
 			if outs[i].err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cgm"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/pdm"
 	"repro/internal/wordcodec"
 )
@@ -55,6 +56,13 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	}
 	defer arr.Close()
 
+	rec := cfg.Recorder
+	var track obs.TrackID
+	if rec != nil {
+		track = rec.Track("proc 0")
+		arr.SetRecorder(rec, 0)
+	}
+
 	res := &Result[T]{Outputs: make([][]T, v)}
 	scr := newSuperstepScratch(cb, v*bpm, cfg.B)
 
@@ -76,6 +84,7 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	}
 
 	// Input distribution: initialise and write every context.
+	initSpan := rec.Begin(track, "input distribution", "init")
 	for j := 0; j < v; j++ {
 		vp := &cgm.VP[T]{ID: j, V: v}
 		prog.Init(vp, inputs[j])
@@ -84,6 +93,10 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		}
 	}
 	res.CtxOps = arr.Stats().ParallelOps
+	if rec != nil {
+		initSpan.EndIO(obs.SuperstepIO{Proc: 0, Round: -1, VP: -1, Label: "init",
+			CtxOps: res.CtxOps, Blocks: arr.Stats().BlocksMoved})
+	}
 
 	var prevOps int64 = res.CtxOps
 	account := func(isCtx bool) {
@@ -110,16 +123,25 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		}
 
 		for j := 0; j < v; j++ {
+			var ssCtx0, ssMsg0, ssBlk0 int64
+			ss := rec.Begin(track, "superstep", "superstep")
+			if rec != nil {
+				ssCtx0, ssMsg0, ssBlk0 = res.CtxOps, res.MsgOps, arr.Stats().BlocksMoved
+			}
+
 			// (a) Read the context of virtual processor j.
+			sp := rec.Begin(track, "ctx read", "phase")
 			state, err := readCtx(j)
 			if err != nil {
 				return nil, fmt.Errorf("core: round %d vp %d: read context: %w", round, j, err)
 			}
+			sp.End()
 			account(true)
 
 			// (b) Read the packets received by virtual processor j.
 			inbox := make([][]T, v)
 			if round > 0 {
+				sp = rec.Begin(track, "inbox read", "phase")
 				scr.reqs = matrix.AppendInboxReqs(scr.reqs[:0], round, j)
 				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
 				if _, err := layout.ReadFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
@@ -133,12 +155,15 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 					inbox[src] = msg
 					recvItems[j] += len(msg)
 				}
+				sp.End()
 				account(false)
 			}
 
 			// (c) Simulate the local computation.
+			sp = rec.Begin(track, "compute", "phase")
 			vp := &cgm.VP[T]{ID: j, V: v, State: state}
 			outbox, done := prog.Round(vp, round, inbox)
+			sp.End()
 			if outbox != nil && len(outbox) != v {
 				return nil, fmt.Errorf("core: vp %d round %d returned outbox of length %d, want %d or nil",
 					j, round, len(outbox), v)
@@ -151,6 +176,7 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 
 			// (d) Write the packets sent by virtual processor j (staggered).
 			if !done {
+				sp = rec.Begin(track, "outbox write", "phase")
 				scr.reqs = matrix.AppendOutboxReqs(scr.reqs[:0], round, j)
 				for dst := 0; dst < v; dst++ {
 					var msg []T
@@ -169,16 +195,25 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				if _, err := layout.WriteFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
 					return nil, fmt.Errorf("core: round %d vp %d: write outbox: %w", round, j, err)
 				}
+				sp.End()
 				account(false)
 			} else {
 				res.Outputs[j] = prog.Output(vp)
 			}
 
 			// (e) Write the changed context back (consecutive).
+			sp = rec.Begin(track, "ctx write", "phase")
 			if err := writeCtx(j, vp.State); err != nil {
 				return nil, err
 			}
+			sp.End()
 			account(true)
+
+			if rec != nil {
+				ss.EndIO(obs.SuperstepIO{Proc: 0, Round: round, VP: j, Label: "superstep",
+					CtxOps: res.CtxOps - ssCtx0, MsgOps: res.MsgOps - ssMsg0,
+					Blocks: arr.Stats().BlocksMoved - ssBlk0})
+			}
 		}
 
 		res.Rounds = round + 1

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cgm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pdm"
 	"repro/internal/sortalg"
 	"repro/internal/theory"
@@ -29,6 +30,9 @@ type Scale struct {
 	V int // virtual processors
 	P int // real processors
 	B int // block size (words)
+
+	// Rec, when non-nil, traces every EM-CGM run an experiment performs.
+	Rec *obs.Recorder
 }
 
 // DefaultScale is used by the CLI and the benchmarks.
@@ -54,7 +58,7 @@ func Fig3(s Scale) (*trace.Table, error) {
 	}
 	for _, n := range []int{s.N / 8, s.N / 4, s.N / 2, s.N, 2 * s.N} {
 		keys := workload.Int64s(int64(n), n)
-		cfg := core.Config{V: s.V, P: s.P, D: 2, B: s.B}
+		cfg := core.Config{V: s.V, P: s.P, D: 2, B: s.B, Recorder: s.Rec}
 		_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig3 n=%d: %w", n, err)
@@ -81,7 +85,7 @@ func Fig4(s Scale) (*trace.Table, error) {
 	for _, n := range []int{s.N / 4, s.N / 2, s.N} {
 		for _, d := range []int{1, 2} {
 			keys := workload.Int64s(int64(n), n)
-			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B}
+			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec}
 			_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig4 n=%d d=%d: %w", n, d, err)
@@ -238,7 +242,7 @@ func Sweep(s Scale) (*trace.Table, error) {
 		if s.V%p != 0 {
 			continue
 		}
-		cfg := core.Config{V: s.V, P: p, D: 2, B: s.B}
+		cfg := core.Config{V: s.V, P: p, D: 2, B: s.B, Recorder: s.Rec}
 		_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("sweep p=%d: %w", p, err)
@@ -252,7 +256,7 @@ func Sweep(s Scale) (*trace.Table, error) {
 		t.AddRow(s.N, s.V, p, 2, res.IO.ParallelOps, maxOps, res.CommItems)
 	}
 	for _, d := range []int{1, 2, 4, 8} {
-		cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B}
+		cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec}
 		_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("sweep d=%d: %w", d, err)

@@ -36,10 +36,12 @@ type fig5Row struct {
 // returns the two I/O constants.
 func runEM(s Scale, n int, run func(e *rec.Exec, n int) error) (r1, r2 *rec.Exec, err error) {
 	e1 := rec.NewEM(s.V, s.P, 2, s.B)
+	e1.Recorder = s.Rec
 	if err := run(e1, n); err != nil {
 		return nil, nil, err
 	}
 	e2 := rec.NewEM(s.V, s.P, 2, s.B)
+	e2.Recorder = s.Rec
 	if err := run(e2, 2*n); err != nil {
 		return nil, nil, err
 	}
@@ -78,7 +80,7 @@ func Fig5(s Scale) (*trace.Table, error) {
 	{
 		run := func(n int) (*core.Result[int64], error) {
 			keys := workload.Int64s(int64(n), n)
-			_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, core.Config{V: s.V, P: s.P, D: d, B: s.B})
+			_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec})
 			return res, err
 		}
 		r1, err := run(nA)
@@ -121,7 +123,7 @@ func Fig5(s Scale) (*trace.Table, error) {
 		run := func(n int) (*core.Result[permute.Item], error) {
 			vals := workload.Int64s(int64(n), n)
 			dests := workload.Permutation(int64(n)+1, n)
-			_, res, err := permute.EMPermute(vals, dests, core.Config{V: s.V, P: s.P, D: d, B: s.B})
+			_, res, err := permute.EMPermute(vals, dests, core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec})
 			return res, err
 		}
 		r1, err := run(nA)
@@ -143,7 +145,7 @@ func Fig5(s Scale) (*trace.Table, error) {
 		run := func(n int) (*core.Result[permute.Item], error) {
 			l := n / k
 			vals := workload.Int64s(int64(n), k*l)
-			_, res, err := transpose.EMTranspose(vals, k, l, core.Config{V: s.V, P: s.P, D: d, B: s.B})
+			_, res, err := transpose.EMTranspose(vals, k, l, core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec})
 			return res, err
 		}
 		r1, err := run(nA)

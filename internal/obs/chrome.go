@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export: the recorder renders as the JSON object
+// format of the Trace Event spec, loadable in chrome://tracing and
+// https://ui.perfetto.dev. Every registered track becomes one named
+// thread (tid) of a single process; spans are complete ("X") events with
+// microsecond timestamps, and superstep spans carry their I/O accounting
+// in args.
+
+// chromeEvent is one entry of traceEvents. Field order is fixed so the
+// golden test can compare bytes.
+type chromeEvent struct {
+	Name string   `json:"name"`
+	Cat  string   `json:"cat,omitempty"`
+	Ph   string   `json:"ph"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur,omitempty"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	Args any      `json:"args,omitempty"`
+}
+
+// chromeIOArgs renders SuperstepIO into event args.
+type chromeIOArgs struct {
+	Proc   int    `json:"proc"`
+	Round  int    `json:"round"`
+	VP     int    `json:"vp"`
+	Label  string `json:"label"`
+	CtxOps int64  `json:"ctxOps"`
+	MsgOps int64  `json:"msgOps"`
+	Blocks int64  `json:"blocks"`
+}
+
+type chromeName struct {
+	Name string `json:"name"`
+}
+
+type chromeSort struct {
+	SortIndex int `json:"sort_index"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorded spans as Chrome trace-event JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	r.mu.Lock()
+	tracks := append([]string(nil), r.tracks...)
+	events := append([]event(nil), r.events...)
+	r.mu.Unlock()
+
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+2*len(tracks)+1),
+		DisplayTimeUnit: "ms",
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Args: chromeName{Name: "emcgm"},
+	})
+	for tid, name := range tracks {
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "thread_name", Ph: "M", Tid: tid, Args: chromeName{Name: name}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", Tid: tid, Args: chromeSort{SortIndex: tid}},
+		)
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.name,
+			Cat:  e.cat,
+			Ts:   float64(e.ts.Nanoseconds()) / 1e3,
+			Tid:  int(e.track),
+		}
+		if e.dur < 0 {
+			ce.Ph = "i"
+		} else {
+			ce.Ph = "X"
+			dur := float64(e.dur.Nanoseconds()) / 1e3
+			ce.Dur = &dur
+		}
+		if e.io != nil {
+			ce.Args = chromeIOArgs{
+				Proc: e.io.Proc, Round: e.io.Round, VP: e.io.VP, Label: e.io.Label,
+				CtxOps: e.io.CtxOps, MsgOps: e.io.MsgOps, Blocks: e.io.Blocks,
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two histogram buckets: bucket k
+// counts observations v with bits.Len64(v) == k, i.e. v ≤ 2^k − 1, which
+// spans 0 up to ~1.1 × 10^12 (18 minutes in nanoseconds) before the final
+// catch-all bucket.
+const histBuckets = 41
+
+// Histogram is a lock-free power-of-two histogram. Observing is one
+// atomic add per field — cheap enough for the per-transfer disk path.
+// A nil *Histogram ignores observations.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe folds v into the histogram; negative values clamp to 0.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram for export.
+type HistSnapshot struct {
+	Name    string
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64 // Buckets[k] counts values ≤ 2^k − 1 band
+}
+
+// BucketUpper returns the inclusive upper bound of bucket k.
+func BucketUpper(k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<k - 1
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Name: h.name, Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil on a nil recorder.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, h := range r.hists {
+		if h.name == name {
+			return h
+		}
+	}
+	h := &Histogram{name: name}
+	r.hists = append(r.hists, h)
+	return h
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the debug endpoint served behind the CLIs' -debug-addr
+// flag:
+//
+//	/            index
+//	/metrics     Prometheus-style text exposition of counters/histograms
+//	/trace.json  the Chrome trace recorded so far (Perfetto-loadable)
+//	/steps       the per-superstep I/O table (opTime prices modelled time)
+//	/msgs        BalancedRouting per-round message sizes vs Theorem 1
+//	/debug/pprof the standard Go profiler endpoints
+//
+// The handler serves live state: scraping mid-run sees the spans and
+// histograms recorded up to that point.
+func Handler(r *Recorder, opTime time.Duration) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "emcgm debug endpoint\n\n/metrics\n/trace.json\n/steps\n/msgs\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WriteMetrics(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/steps", func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			fmt.Fprintln(w, "recorder disabled")
+			return
+		}
+		r.SuperstepTable(opTime).Render(w)
+	})
+	mux.HandleFunc("/msgs", func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			fmt.Fprintln(w, "recorder disabled")
+			return
+		}
+		r.MsgTable().Render(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve blocks serving the debug endpoint on addr; the CLIs run it in a
+// goroutine for the duration of the process.
+func Serve(addr string, r *Recorder, opTime time.Duration) error {
+	return http.ListenAndServe(addr, Handler(r, opTime))
+}

@@ -1,0 +1,231 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wordcodec"
+)
+
+// shuffle is a small multi-round program: each VP scatters its items by
+// value modulo v for k rounds, so every round moves real messages.
+type shuffle struct{ k int }
+
+func (shuffle) Init(vp *cgm.VP[int64], input []int64) { vp.State = append([]int64(nil), input...) }
+func (p shuffle) Round(vp *cgm.VP[int64], round int, inbox [][]int64) ([][]int64, bool) {
+	if round > 0 {
+		vp.State = vp.State[:0]
+		for _, msg := range inbox {
+			vp.State = append(vp.State, msg...)
+		}
+	}
+	if round == p.k {
+		return nil, true
+	}
+	out := make([][]int64, vp.V)
+	for _, x := range vp.State {
+		d := int(x % int64(vp.V))
+		out[d] = append(out[d], x+1)
+	}
+	return out, false
+}
+func (p shuffle) Output(vp *cgm.VP[int64]) []int64 { return vp.State }
+
+func seqInputs(n, v int) [][]int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	return cgm.Scatter(xs, v)
+}
+
+// traceEvent mirrors the subset of the Chrome trace-event schema the
+// validation below needs.
+type traceEvent struct {
+	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
+	Ph   string   `json:"ph"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Tid  int      `json:"tid"`
+	Args struct {
+		Name   string `json:"name"`
+		Label  string `json:"label"`
+		CtxOps int64  `json:"ctxOps"`
+		MsgOps int64  `json:"msgOps"`
+		Blocks int64  `json:"blocks"`
+	} `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// reconcile checks the recorder's accounting against the run's: the
+// trace rows must sum exactly to the machine's I/O counters, and the
+// Chrome export must be well-formed with phases nested in their
+// enclosing superstep/init/route spans.
+func reconcile(t *testing.T, rec *obs.Recorder, res *core.Result[int64]) {
+	t.Helper()
+
+	var ctx, msg, blocks int64
+	for _, s := range rec.Supersteps() {
+		ctx += s.CtxOps
+		msg += s.MsgOps
+		blocks += s.Blocks
+	}
+	if ctx != res.CtxOps {
+		t.Errorf("trace ctx ops = %d, run counted %d", ctx, res.CtxOps)
+	}
+	if msg != res.MsgOps {
+		t.Errorf("trace msg ops = %d, run counted %d", msg, res.MsgOps)
+	}
+	if ctx+msg != res.IO.ParallelOps {
+		t.Errorf("trace total ops = %d, IOStats.ParallelOps = %d", ctx+msg, res.IO.ParallelOps)
+	}
+	if blocks != res.IO.BlocksMoved {
+		t.Errorf("trace blocks = %d, IOStats.BlocksMoved = %d", blocks, res.IO.BlocksMoved)
+	}
+	if d := rec.DroppedEvents(); d != 0 {
+		t.Errorf("dropped %d events", d)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// Every phase span must nest inside a superstep/init/route span on
+	// the same track. Timestamps are microseconds rounded from
+	// nanoseconds, so allow a rounding epsilon.
+	const eps = 0.002
+	var parents, phases []traceEvent
+	argTotal := struct{ ctx, msg, blocks int64 }{}
+	for _, e := range tf.TraceEvents {
+		switch {
+		case e.Ph != "X":
+		case e.Cat == "superstep" || e.Cat == "init" || e.Cat == "route":
+			parents = append(parents, e)
+			argTotal.ctx += e.Args.CtxOps
+			argTotal.msg += e.Args.MsgOps
+			argTotal.blocks += e.Args.Blocks
+		case e.Cat == "phase":
+			phases = append(phases, e)
+		}
+	}
+	if len(parents) == 0 || len(phases) == 0 {
+		t.Fatalf("trace has %d parent and %d phase spans", len(parents), len(phases))
+	}
+	if argTotal.ctx != res.CtxOps || argTotal.msg != res.MsgOps || argTotal.blocks != res.IO.BlocksMoved {
+		t.Errorf("chrome args totals (%d ctx, %d msg, %d blocks) differ from run (%d, %d, %d)",
+			argTotal.ctx, argTotal.msg, argTotal.blocks, res.CtxOps, res.MsgOps, res.IO.BlocksMoved)
+	}
+	for _, ph := range phases {
+		end := ph.Ts
+		if ph.Dur != nil {
+			end += *ph.Dur
+		}
+		nested := false
+		for _, pa := range parents {
+			if pa.Tid != ph.Tid || pa.Dur == nil {
+				continue
+			}
+			if pa.Ts-eps <= ph.Ts && pa.Ts+*pa.Dur+eps >= end {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			t.Errorf("phase span %q at tid %d ts %v dur %v not nested in any superstep span",
+				ph.Name, ph.Tid, ph.Ts, ph.Dur)
+		}
+	}
+}
+
+func TestSeqTraceReconciles(t *testing.T) {
+	rec := obs.NewRecorder()
+	cfg := core.Config{V: 4, P: 1, D: 2, B: 16, MaxMsgItems: 16, MaxCtxItems: 32, Recorder: rec}
+	res, err := core.RunSeq[int64](shuffle{k: 3}, wordcodec.I64{}, cfg, seqInputs(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, rec, res)
+}
+
+func TestParTraceReconciles(t *testing.T) {
+	rec := obs.NewRecorder()
+	cfg := core.Config{V: 4, P: 2, D: 2, B: 16, MaxMsgItems: 16, MaxCtxItems: 32, Recorder: rec}
+	res, err := core.RunPar[int64](shuffle{k: 3}, wordcodec.I64{}, cfg, seqInputs(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconcile(t, rec, res)
+
+	// The parallel machine traces per-disk spans onto their own tracks
+	// and observes every transfer in the per-disk latency histograms.
+	var buf bytes.Buffer
+	if err := rec.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"pdm_p0_disk0_latency_ns_count",
+		"pdm_p1_disk1_latency_ns_count",
+		"pdm_p0_queue_depth_count",
+		"pdm_p0_blocks_per_op_count",
+		"pdm_p0_parallel_ops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestBalancedParTrace checks the BalancedRouting message-size recording:
+// every round's messages stay within the Theorem 1 slot bound the
+// recorder was configured with.
+func TestBalancedParTrace(t *testing.T) {
+	rec := obs.NewRecorder()
+	cfg := core.Config{V: 4, P: 2, D: 2, B: 16, MaxCtxItems: 64, Recorder: rec, Balanced: true}
+	res, err := core.RunPar[int64](shuffle{k: 3}, wordcodec.I64{}, cfg, seqInputs(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.ParallelOps == 0 {
+		t.Fatal("balanced run did no I/O")
+	}
+	st := rec.MsgStats()
+	if len(st) == 0 {
+		t.Fatal("no message statistics recorded")
+	}
+	for _, s := range st {
+		if s.Bound <= 0 {
+			t.Fatalf("round %d has no bound", s.Round)
+		}
+		if s.Max > s.Bound {
+			t.Errorf("round %d max message %d exceeds Theorem 1 bound %d", s.Round, s.Max, s.Bound)
+		}
+		if s.Count != 4*4 {
+			t.Errorf("round %d recorded %d messages, want v² = 16", s.Round, s.Count)
+		}
+	}
+	if rows := rec.MsgTable().Rows; len(rows) != len(st) {
+		t.Errorf("msg table has %d rows, want %d", len(rows), len(st))
+	}
+}

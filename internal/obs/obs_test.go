@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsInert exercises every exported method on a nil
+// recorder: the disabled path must be a no-op, never a panic.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	tr := r.Track("x")
+	if tr != 0 {
+		t.Errorf("nil Track = %d, want 0", tr)
+	}
+	s := r.Begin(tr, "a", "b")
+	s.End()
+	s.EndIO(SuperstepIO{CtxOps: 1})
+	r.SpanSince(tr, "a", "b", time.Now())
+	r.Event(tr, "a", "b")
+	r.Counter("c").Add(1)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	r.Histogram("h").Observe(7)
+	if got := r.Histogram("h").Mean(); got != 0 {
+		t.Errorf("nil histogram mean = %v", got)
+	}
+	r.Gauge("g", func() int64 { return 1 })
+	r.SetMsgBound(10)
+	r.MsgSize(0, 5)
+	if st := r.MsgStats(); st != nil {
+		t.Errorf("nil MsgStats = %v", st)
+	}
+	if st := r.Supersteps(); st != nil {
+		t.Errorf("nil Supersteps = %v", st)
+	}
+	if d := r.DroppedEvents(); d != 0 {
+		t.Errorf("nil DroppedEvents = %d", d)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n" {
+		t.Errorf("nil trace = %q", buf.String())
+	}
+	buf.Reset()
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Errorf("nil metrics = %q", buf.String())
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRecorder()
+	c := r.Counter("ops")
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	if r.Counter("ops") != c {
+		t.Error("Counter not idempotent by name")
+	}
+	r.Gauge("g", func() int64 { return 42 })
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ops counter\nops 7\n",
+		"# TYPE g gauge\ng 42\n",
+		"emcgm_trace_events 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRecorder()
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 3, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1004 {
+		t.Errorf("count=%d sum=%d, want 5, 1004", s.Count, s.Sum)
+	}
+	// -5 clamps to 0; bits.Len64: 0→bucket 0, 1→1, 3→2, 1000→10.
+	wantBuckets := map[int]int64{0: 2, 1: 1, 2: 1, 10: 1}
+	for k, want := range wantBuckets {
+		if s.Buckets[k] != want {
+			t.Errorf("bucket %d = %d, want %d", k, s.Buckets[k], want)
+		}
+	}
+	if got := h.Mean(); got != 1004.0/5 {
+		t.Errorf("mean = %v", got)
+	}
+	if BucketUpper(0) != 0 || BucketUpper(10) != 1023 || BucketUpper(64) != 1<<63-1 {
+		t.Errorf("BucketUpper wrong: %d %d %d", BucketUpper(0), BucketUpper(10), BucketUpper(64))
+	}
+	if r.Histogram("lat") != h {
+		t.Error("Histogram not idempotent by name")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat histogram\n",
+		`lat_bucket{le="0"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="3"} 4`,
+		`lat_bucket{le="1023"} 5`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_sum 1004",
+		"lat_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMsgStats(t *testing.T) {
+	r := NewRecorder()
+	r.SetMsgBound(9)
+	r.MsgSize(1, 4)
+	r.MsgSize(0, 7)
+	r.MsgSize(0, 3)
+	r.MsgSize(0, 5)
+	st := r.MsgStats()
+	if len(st) != 2 || st[0].Round != 0 || st[1].Round != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].Count != 3 || st[0].Min != 3 || st[0].Max != 7 || st[0].Sum != 15 || st[0].Bound != 9 {
+		t.Errorf("round 0 stats = %+v", st[0])
+	}
+	tb := r.MsgTable()
+	if len(tb.Rows) != 2 || tb.Rows[0][6] != "yes" {
+		t.Errorf("msg table rows = %v", tb.Rows)
+	}
+}
+
+func TestEventCapDrops(t *testing.T) {
+	r := NewRecorder()
+	tr := r.Track("t")
+	r.mu.Lock()
+	r.events = make([]event, maxEvents) // simulate a full buffer
+	r.mu.Unlock()
+	r.Event(tr, "x", "y")
+	r.Begin(tr, "s", "c").End()
+	if d := r.DroppedEvents(); d != 2 {
+		t.Errorf("dropped = %d, want 2", d)
+	}
+}
+
+func TestSuperstepTable(t *testing.T) {
+	r := NewRecorder()
+	tr := r.Track("proc 0")
+	s := r.Begin(tr, "superstep", "superstep")
+	s.EndIO(SuperstepIO{Proc: 0, Round: 1, VP: 0, Label: "superstep", CtxOps: 4, MsgOps: 2, Blocks: 12})
+	s = r.Begin(tr, "input distribution", "init")
+	s.EndIO(SuperstepIO{Proc: 0, Round: -1, VP: -1, Label: "init", CtxOps: 8, Blocks: 16})
+	tb := r.SuperstepTable(time.Millisecond)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	// init (round -1) must sort before the round-1 superstep.
+	if tb.Rows[0][3] != "init" || tb.Rows[1][3] != "superstep" {
+		t.Errorf("row order: %v", tb.Rows)
+	}
+	if tb.Rows[1][8] != "6ms" {
+		t.Errorf("modelled time = %q, want 6ms", tb.Rows[1][8])
+	}
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "12 context + 2 message") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("totals note missing: %v", tb.Notes)
+	}
+	// opTime 0 renders "-" instead of a modelled time.
+	if tb0 := r.SuperstepTable(0); tb0.Rows[0][8] != "-" {
+		t.Errorf("modelled time without opTime = %q", tb0.Rows[0][8])
+	}
+}
+
+// TestChromeTraceGolden pins the exact bytes of the Chrome trace export
+// under an injected deterministic clock: field order, metadata events,
+// microsecond timestamps, span args.
+func TestChromeTraceGolden(t *testing.T) {
+	r := NewRecorder()
+	tick := 0
+	r.clock = func() time.Duration {
+		d := time.Duration(tick) * 100 * time.Microsecond
+		tick++
+		return d
+	}
+	tr := r.Track("proc 0")
+	ss := r.Begin(tr, "superstep", "superstep") // t=0
+	sp := r.Begin(tr, "ctx read", "phase")      // t=100µs
+	sp.End()                                    // ends at 200µs
+	ss.EndIO(SuperstepIO{Proc: 0, Round: 0, VP: 0, Label: "superstep",
+		CtxOps: 2, MsgOps: 1, Blocks: 6}) // ends at 300µs
+	r.Event(tr, "fault", "disk") // t=400µs
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"emcgm"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"proc 0"}},` +
+		`{"name":"thread_sort_index","ph":"M","ts":0,"pid":0,"tid":0,"args":{"sort_index":0}},` +
+		`{"name":"ctx read","cat":"phase","ph":"X","ts":100,"dur":100,"pid":0,"tid":0},` +
+		`{"name":"superstep","cat":"superstep","ph":"X","ts":0,"dur":300,"pid":0,"tid":0,` +
+		`"args":{"proc":0,"round":0,"vp":0,"label":"superstep","ctxOps":2,"msgOps":1,"blocks":6}},` +
+		`{"name":"fault","cat":"disk","ph":"i","ts":400,"pid":0,"tid":0}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if buf.String() != want {
+		t.Errorf("golden mismatch:\ngot  %s\nwant %s", buf.String(), want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"pdm_p0_disk0_latency_ns": "pdm_p0_disk0_latency_ns",
+		"p0 disk 0":               "p0_disk_0",
+		"0abc":                    "_abc",
+		"a:b":                     "a:b",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Prometheus-style text export. The recorder is not a full Prometheus
+// client: it renders its counters, gauges and histograms in the text
+// exposition format (metric names sanitised, histogram buckets
+// cumulative with an le label) so that a scrape of the -debug-addr
+// /metrics endpoint — or a plain curl — yields machine-readable state.
+
+// promName sanitises a metric name to [a-zA-Z0-9_:].
+func promName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b[i] = '_'
+			}
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WriteMetrics renders all registered counters, gauges and histograms.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "# recorder disabled")
+		return err
+	}
+	r.mu.Lock()
+	counters := append([]*Counter(nil), r.counters...)
+	gauges := append([]gauge(nil), r.gauges...)
+	hists := append([]*Histogram(nil), r.hists...)
+	dropped := r.dropped
+	events := int64(len(r.events))
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counters {
+		n := promName(c.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		n := promName(g.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.f()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		s := h.Snapshot()
+		n := promName(s.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		// Cumulative buckets; leading and trailing all-empty bands are
+		// elided to keep the exposition compact.
+		var cum int64
+		for k := 0; k < histBuckets; k++ {
+			if s.Buckets[k] == 0 && (cum == 0 || cum == s.Count) {
+				continue
+			}
+			cum += s.Buckets[k]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, BucketUpper(k), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, s.Count, n, s.Sum, n, s.Count); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE emcgm_trace_events gauge\nemcgm_trace_events %d\n"+
+		"# TYPE emcgm_trace_events_dropped gauge\nemcgm_trace_events_dropped %d\n", events, dropped)
+	return err
+}

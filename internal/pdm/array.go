@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // diskOp is one track transfer dispatched to a disk worker. The result is
@@ -17,16 +20,44 @@ type diskOp struct {
 	wg    *sync.WaitGroup
 }
 
+// diskObs is one disk's observability state, shared between the array and
+// its worker. SetRecorder fills it under opMu while no transfer is in
+// flight; the worker reads it only while servicing an op, and the channel
+// hand-off orders those accesses, so no atomics are needed.
+type diskObs struct {
+	rec      *obs.Recorder
+	track    obs.TrackID
+	lat      *obs.Histogram // per-transfer service time, nanoseconds
+	inflight *atomic.Int64  // array-wide outstanding transfers
+}
+
 // diskWorker services one disk's transfers for the lifetime of the array.
-// It references only its disk and channel — never the DiskArray — so an
-// abandoned array stays collectable and its cleanup can stop the workers.
-func diskWorker(d Disk, ch <-chan diskOp) {
+// It references only its disk, channel and observability slot — never the
+// DiskArray — so an abandoned array stays collectable and its cleanup can
+// stop the workers. With a recorder attached, each transfer is timed into
+// the disk's latency histogram and emitted as a span on the disk's track;
+// the disabled path is the original straight-line transfer.
+func diskWorker(d Disk, ch <-chan diskOp, ob *diskObs) {
 	for op := range ch {
 		var err error
-		if op.read {
-			err = d.ReadTrack(op.track, op.buf)
+		if ob.rec == nil {
+			if op.read {
+				err = d.ReadTrack(op.track, op.buf)
+			} else {
+				err = d.WriteTrack(op.track, op.buf)
+			}
 		} else {
-			err = d.WriteTrack(op.track, op.buf)
+			t0 := time.Now()
+			name := "write"
+			if op.read {
+				err = d.ReadTrack(op.track, op.buf)
+				name = "read"
+			} else {
+				err = d.WriteTrack(op.track, op.buf)
+			}
+			ob.lat.Observe(int64(time.Since(t0)))
+			ob.rec.SpanSince(ob.track, name, "disk", t0)
+			ob.inflight.Add(-1)
 		}
 		*op.err = err
 		op.wg.Done()
@@ -77,6 +108,14 @@ type DiskArray struct {
 	closed bool
 
 	stats ioCounters
+
+	// Observability (nil when recording is disabled — the hot path then
+	// pays exactly one nil check per parallel operation).
+	rec       *obs.Recorder
+	diskObs   []*diskObs
+	depthHist *obs.Histogram // outstanding transfers observed per op
+	fullHist  *obs.Histogram // blocks per parallel op (fullness numerator)
+	inflight  atomic.Int64
 }
 
 // ioCounters is the atomic backing of IOStats: accounting never takes a
@@ -103,17 +142,19 @@ func NewDiskArray(disks []Disk) (*DiskArray, error) {
 		}
 	}
 	a := &DiskArray{
-		disks: disks,
-		b:     b,
-		work:  make([]chan diskOp, len(disks)),
-		errs:  make([]error, len(disks)),
-		seen:  make([]uint64, (len(disks)+63)/64),
-		stop:  new(sync.Once),
+		disks:   disks,
+		b:       b,
+		work:    make([]chan diskOp, len(disks)),
+		errs:    make([]error, len(disks)),
+		seen:    make([]uint64, (len(disks)+63)/64),
+		stop:    new(sync.Once),
+		diskObs: make([]*diskObs, len(disks)),
 	}
 	for i, d := range disks {
 		ch := make(chan diskOp, 1)
 		a.work[i] = ch
-		go diskWorker(d, ch)
+		a.diskObs[i] = &diskObs{}
+		go diskWorker(d, ch, a.diskObs[i])
 	}
 	// Backstop for arrays dropped without Close: closing the request
 	// channels lets the workers exit once the array is unreachable.
@@ -143,6 +184,42 @@ func (a *DiskArray) B() int { return a.b }
 
 // Disk returns the i-th underlying disk (used by tests and layouts).
 func (a *DiskArray) Disk(i int) Disk { return a.disks[i] }
+
+// SetRecorder attaches an observability recorder to the array: one trace
+// track and latency histogram per disk (named after the owning real
+// processor proc), queue-depth and blocks-per-op histograms, and gauges
+// mirroring the atomic I/O counters for the /metrics endpoint. A nil rec
+// detaches. Serialised against I/O by opMu, so it must not be called from
+// inside a transfer; attach before the run starts.
+//
+// Recording never changes the counted operations — the PDM accounting
+// stays bit-identical with and without a recorder.
+func (a *DiskArray) SetRecorder(rec *obs.Recorder, proc int) {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	a.rec = rec
+	if rec == nil {
+		for _, ob := range a.diskObs {
+			*ob = diskObs{}
+		}
+		a.depthHist, a.fullHist = nil, nil
+		return
+	}
+	for i, ob := range a.diskObs {
+		ob.rec = rec
+		ob.track = rec.Track(fmt.Sprintf("p%d disk %d", proc, i))
+		ob.lat = rec.Histogram(fmt.Sprintf("pdm_p%d_disk%d_latency_ns", proc, i))
+		ob.inflight = &a.inflight
+	}
+	a.depthHist = rec.Histogram(fmt.Sprintf("pdm_p%d_queue_depth", proc))
+	a.fullHist = rec.Histogram(fmt.Sprintf("pdm_p%d_blocks_per_op", proc))
+	rec.Gauge(fmt.Sprintf("pdm_p%d_parallel_ops", proc), a.stats.parallelOps.Load)
+	rec.Gauge(fmt.Sprintf("pdm_p%d_read_ops", proc), a.stats.readOps.Load)
+	rec.Gauge(fmt.Sprintf("pdm_p%d_write_ops", proc), a.stats.writeOps.Load)
+	rec.Gauge(fmt.Sprintf("pdm_p%d_blocks_moved", proc), a.stats.blocksMoved.Load)
+	rec.Gauge(fmt.Sprintf("pdm_p%d_words_moved", proc), a.stats.wordsMoved.Load)
+	rec.Gauge(fmt.Sprintf("pdm_p%d_full_ops", proc), a.stats.fullOps.Load)
+}
 
 // Stats returns a snapshot of the accumulated I/O statistics.
 func (a *DiskArray) Stats() IOStats {
@@ -218,6 +295,13 @@ func (a *DiskArray) doBlocks(reqs []BlockReq, bufs [][]Word, read bool) error {
 	if err := a.checkReqs(reqs); err != nil {
 		return err
 	}
+	if a.rec != nil {
+		// Operations are serialised, so the outstanding-transfer count
+		// at dispatch is this op's own fan-out — the per-op queue depth.
+		a.fullHist.Observe(int64(len(reqs)))
+		a.inflight.Add(int64(len(reqs)))
+		a.depthHist.Observe(a.inflight.Load())
+	}
 	a.wg.Add(len(reqs))
 	for i, r := range reqs {
 		a.errs[i] = nil
@@ -289,8 +373,12 @@ func (s *IOStats) Add(other IOStats) {
 
 // Fullness reports the fraction of disk slots actually used across all
 // parallel operations: BlocksMoved / (ParallelOps · D). 1.0 means every
-// operation was fully parallel.
+// operation was fully parallel. A non-positive d is meaningless and
+// returns 0 rather than dividing by it; an idle array reports 1.
 func (s IOStats) Fullness(d int) float64 {
+	if d <= 0 {
+		return 0
+	}
 	if s.ParallelOps == 0 {
 		return 1
 	}

@@ -163,6 +163,25 @@ func TestIOStatsAdd(t *testing.T) {
 	}
 }
 
+func TestIOStatsFullness(t *testing.T) {
+	s := IOStats{ParallelOps: 4, BlocksMoved: 6}
+	if got := s.Fullness(2); got != 0.75 {
+		t.Errorf("Fullness(2) = %v, want 0.75", got)
+	}
+	for _, d := range []int{0, -1} {
+		if got := s.Fullness(d); got != 0 {
+			t.Errorf("Fullness(%d) = %v, want 0", d, got)
+		}
+	}
+	idle := IOStats{}
+	if got := idle.Fullness(2); got != 1 {
+		t.Errorf("idle Fullness(2) = %v, want 1", got)
+	}
+	if got := idle.Fullness(0); got != 0 {
+		t.Errorf("idle Fullness(0) = %v, want 0", got)
+	}
+}
+
 func TestFaultyDiskInjectsAfterBudget(t *testing.T) {
 	inner := NewMemDisk(2)
 	fd := NewFaultyDisk(inner, 2)

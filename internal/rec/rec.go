@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cgm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pdm"
 )
 
@@ -65,6 +66,11 @@ type Exec struct {
 	MaxMsgItems int  // per-phase message slot override (0 = worst case)
 	Balanced    bool
 
+	// Recorder, when non-nil, traces every EM phase run through this
+	// executor; phases share one recorder, so a composite algorithm's
+	// trace shows its phase boundaries as consecutive spans.
+	Recorder *obs.Recorder
+
 	// Accumulated accounting.
 	Rounds     int
 	IO         pdm.IOStats
@@ -112,7 +118,7 @@ func (e *Exec) Run(prog cgm.Program[R], inputs [][]R) ([][]R, error) {
 		}
 		maxMsg = 6*((total+e.V-1)/e.V) + e.V + 16
 	}
-	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced}
+	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced, Recorder: e.Recorder}
 	res, err := core.RunPar[R](prog, Codec{}, cfg, inputs)
 	if err != nil {
 		return nil, err

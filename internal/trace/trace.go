@@ -4,17 +4,19 @@
 package trace
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
 )
 
-// Table is a rendered experiment result.
+// Table is a rendered experiment result. The JSON tags give the
+// benchmark CLI's -json output stable lowercase keys.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a row of stringified cells.
@@ -85,11 +87,13 @@ func (t *Table) Render(w io.Writer) {
 	}
 }
 
-// CSV emits the table as comma-separated values (quotes not needed for
-// our cell contents).
+// CSV emits the table as RFC 4180 comma-separated values: cells
+// containing commas, quotes, or newlines are quoted and escaped.
 func (t *Table) CSV(w io.Writer) {
-	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	cw := csv.NewWriter(w)
+	cw.Write(t.Columns)
 	for _, row := range t.Rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+		cw.Write(row)
 	}
+	cw.Flush()
 }

@@ -30,6 +30,20 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableCSVEscaping(t *testing.T) {
+	tb := &Table{Columns: []string{"problem", "note"}}
+	tb.AddRow("sorting, balanced", `the "fast" path`)
+	tb.AddRow("multi\nline", "plain")
+	var sb strings.Builder
+	tb.CSV(&sb)
+	want := "problem,note\n" +
+		`"sorting, balanced","the ""fast"" path"` + "\n" +
+		"\"multi\nline\",plain\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
 func TestFormatFloat(t *testing.T) {
 	cases := map[float64]string{
 		0:       "0",
