@@ -1,11 +1,13 @@
 # Repo verification. `make verify` is the tier-1 gate every PR must pass:
-# build + full test suite, plus a race-detector pass over the concurrent
-# packages (the disk-array worker pool and the parallel compound-superstep
-# machine), so data races in the hot path are caught on every change.
+# build + full test suite, plus a race-detector pass over every package,
+# so data races in the hot path are caught on every change. `make lint`
+# runs the project's own invariant analyzers (cmd/emcgm-lint) and, when
+# installed, golangci-lint; `make fuzz` smoke-runs the native fuzz targets.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: verify build test race bench allocs
+.PHONY: verify build test race bench allocs lint fuzz
 
 verify: build test race
 
@@ -16,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/pdm/... ./internal/core/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -27,3 +29,22 @@ bench:
 allocs:
 	$(GO) test -bench 'BenchmarkDiskArrayOp' -benchmem ./internal/pdm/
 	$(GO) test -bench 'BenchmarkFig5GroupA/sort-emcgm' -benchmem .
+
+# Invariant lint: hotpathalloc (no heap allocation in emcgm:hotpath
+# functions), recorderguard (obs calls behind nil guards), ioerrcheck
+# (no dropped I/O errors). golangci-lint runs too when present; it is
+# not vendored, so the target degrades gracefully without it.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/emcgm-lint ./...
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; skipped (CI runs it)"; \
+	fi
+
+# Native fuzz smoke: go test -fuzz accepts one target per invocation, so
+# each property gets its own run. FUZZTIME=2m make fuzz for a longer soak.
+fuzz:
+	$(GO) test ./internal/wordcodec -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/balance -run '^$$' -fuzz FuzzBalancedRouting -fuzztime $(FUZZTIME)

@@ -37,6 +37,20 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
+	for _, f := range []struct {
+		name string
+		val  int
+	}{{"-n", *n}, {"-v", *v}, {"-p", *p}, {"-b", *b}} {
+		if f.val < 0 {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: %s must be positive (or 0 for the default), got %d\n", f.name, f.val)
+			os.Exit(2)
+		}
+	}
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "emcgm-bench: -csv and -json are mutually exclusive")
+		os.Exit(2)
+	}
+
 	s := experiments.DefaultScale()
 	if *n > 0 {
 		s.N = *n

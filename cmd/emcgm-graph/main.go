@@ -32,6 +32,20 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
+	for _, f := range []struct {
+		name string
+		val  int
+	}{{"-v", *v}, {"-p", *p}, {"-d", *d}, {"-b", *b}} {
+		if f.val < 1 {
+			fmt.Fprintf(os.Stderr, "emcgm-graph: %s must be at least 1, got %d\n", f.name, f.val)
+			os.Exit(2)
+		}
+	}
+	if *grid == "" && (*n < 1 || *m < 0) {
+		fmt.Fprintf(os.Stderr, "emcgm-graph: need -n >= 1 and -m >= 0, got n=%d m=%d\n", *n, *m)
+		os.Exit(2)
+	}
+
 	var recorder *obs.Recorder
 	if *traceOut != "" || *debugAddr != "" {
 		recorder = obs.NewRecorder()
@@ -48,8 +62,8 @@ func main() {
 	nv := *n
 	if *grid != "" {
 		var w, h int
-		if _, err := fmt.Sscanf(strings.ToLower(*grid), "%dx%d", &w, &h); err != nil {
-			fmt.Fprintf(os.Stderr, "emcgm-graph: bad -grid %q: %v\n", *grid, err)
+		if _, err := fmt.Sscanf(strings.ToLower(*grid), "%dx%d", &w, &h); err != nil || w < 1 || h < 1 {
+			fmt.Fprintf(os.Stderr, "emcgm-graph: bad -grid %q: want WxH with both at least 1\n", *grid)
 			os.Exit(2)
 		}
 		edges = workload.GridGraph(w, h)

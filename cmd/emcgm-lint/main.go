@@ -1,0 +1,80 @@
+// Command emcgm-lint runs the repository's invariant lint suite: the
+// custom analyzers that enforce contracts the compiler cannot see.
+//
+//	emcgm-lint ./...                  # run every analyzer
+//	emcgm-lint -run hotpathalloc ./...
+//	emcgm-lint -list
+//
+// Exit status is 1 when any diagnostic is reported, 2 on load failure.
+// See internal/analysis for the framework and each analyzer's package
+// documentation for the rules it enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/ioerrcheck"
+	"repro/internal/analysis/recorderguard"
+)
+
+var analyzers = []*analysis.Analyzer{
+	hotpathalloc.Analyzer,
+	recorderguard.Analyzer,
+	ioerrcheck.Analyzer,
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: emcgm-lint [-run names] [-list] packages...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *runFlag != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*runFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "emcgm-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := analysis.Run(selected, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emcgm-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -40,6 +40,24 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
+	for _, f := range []struct {
+		name string
+		val  int
+	}{{"n", *n}, {"v", *v}, {"p", *p}, {"d", *d}, {"b", *b}} {
+		if f.val < 1 {
+			fmt.Fprintf(os.Stderr, "emcgm-sort: -%s must be >= 1 (got %d)\n", f.name, f.val)
+			os.Exit(2)
+		}
+	}
+	if *v%*p != 0 {
+		fmt.Fprintf(os.Stderr, "emcgm-sort: -p (%d) must divide -v (%d)\n", *p, *v)
+		os.Exit(2)
+	}
+	if *msgs && !*balanced {
+		fmt.Fprintln(os.Stderr, "emcgm-sort: -msgs needs -balanced (no message rounds to report otherwise)")
+		os.Exit(2)
+	}
+
 	cfg := core.Config{V: *v, P: *p, D: *d, B: *b, Balanced: *balanced}
 	if *traceOut != "" || *steps || *msgs || *debugAddr != "" {
 		cfg.Recorder = obs.NewRecorder()
@@ -105,11 +123,11 @@ func main() {
 		tm.IOTime(res.IO.ParallelOps/int64(*p), *b), tm.OpTime(*b), *b)
 	fmt.Printf("  wall time (simulated): %v\n", elapsed)
 
-	if *steps {
-		cfg.Recorder.SuperstepTable(tm.OpTime(*b)).Render(os.Stdout)
+	if rec := cfg.Recorder; *steps && rec != nil {
+		rec.SuperstepTable(tm.OpTime(*b)).Render(os.Stdout)
 	}
-	if *msgs {
-		cfg.Recorder.MsgTable().Render(os.Stdout)
+	if rec := cfg.Recorder; *msgs && rec != nil {
+		rec.MsgTable().Render(os.Stdout)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

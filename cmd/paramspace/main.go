@@ -29,6 +29,10 @@ func main() {
 		experiments.Fig7().Render(os.Stdout)
 		return
 	}
+	if *n <= 0 || *v < 1 || *d < 1 || *b < 1 {
+		fmt.Fprintf(os.Stderr, "paramspace: need -n > 0, -v/-d/-b >= 1; got n=%g v=%d d=%d b=%d\n", *n, *v, *d, *b)
+		os.Exit(2)
+	}
 	c := theory.ConstantForParams(*n, float64(*v), float64(*b))
 	fmt.Printf("N=%g, v=%d, B=%d: log_{M/B}(N/B) collapses to c = %d (M = N/v = %g)\n",
 		*n, *v, *b, c, *n/float64(*v))

@@ -1,0 +1,121 @@
+// Package analysis is a self-contained static-analysis framework for the
+// repository's invariant lint suite. It mirrors the shape of
+// golang.org/x/tools/go/analysis — an Analyzer owns a Run function that
+// receives a type-checked Pass and reports Diagnostics — but is built
+// entirely on the standard library (go/ast, go/types, go/importer plus a
+// `go list -export` loader), because the module deliberately has no
+// external dependencies.
+//
+// The suite enforces contracts the compiler cannot see:
+//
+//   - hotpathalloc: functions marked `// emcgm:hotpath` must not allocate
+//     (PR 1's 0-allocs/op guarantee, checked at lint time rather than only
+//     by benchmarks);
+//   - recorderguard: obs.Recorder calls with non-trivial arguments must be
+//     dominated by a nil guard, so disabled observability costs one nil
+//     check (PR 2's contract);
+//   - ioerrcheck: errors from the pdm/layout/core/rec/obs I/O surfaces
+//     must not be silently dropped.
+//
+// Marker comments recognised in function doc comments and bodies:
+//
+//	// emcgm:hotpath    — the function must follow the allocation-free
+//	//                    discipline (see hotpathalloc for the rules)
+//	// emcgm:coldpath   — the annotated statement is exempt: it is an
+//	//                    amortised or error path (arena refill, scratch
+//	//                    growth) that steady-state operation never takes
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Name appears in diagnostics; Doc is a
+// one-paragraph description shown by the driver's -help.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Markers maps a function key (see FuncKey) to the emcgm: marker
+	// directives found in its doc comment, for every function of every
+	// module package in the load — including dependencies of the package
+	// under analysis, so cross-package hot-path calls can be validated
+	// without a fact store.
+	Markers map[string][]string
+
+	// report receives diagnostics; set by the driver.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// SetReport installs the diagnostic sink; called by the driver and the
+// antest harness before Run.
+func (p *Pass) SetReport(fn func(Diagnostic)) { p.report = fn }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// HasMarker reports whether the function identified by key carries the
+// given emcgm: directive.
+func (p *Pass) HasMarker(key, marker string) bool {
+	for _, m := range p.Markers[key] {
+		if m == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncKey builds the marker-registry key of a function: pkgpath.Name for
+// package functions, pkgpath.Recv.Name for methods (pointer receivers and
+// generic instantiations are folded onto the base named type).
+func FuncKey(pkgPath, recv, name string) string {
+	if recv == "" {
+		return pkgPath + "." + name
+	}
+	return pkgPath + "." + recv + "." + name
+}
+
+// FuncObjKey returns the marker-registry key of a resolved function
+// object, or "" when the object is not a module-level named function
+// (builtins, locals, interface methods).
+func FuncObjKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	origin := fn.Origin()
+	recv := ""
+	if sig, ok := origin.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "" // interface or unnamed receiver: not registrable
+		}
+		recv = named.Obj().Name()
+	}
+	return FuncKey(fn.Pkg().Path(), recv, origin.Name())
+}

@@ -1,0 +1,121 @@
+// Package antest is the expectation-matching test harness for the
+// invariant lint suite, in the style of
+// golang.org/x/tools/go/analysis/analysistest: testdata packages annotate
+// the lines an analyzer must flag with trailing comments of the form
+//
+//	x := make([]int, n) // want `make allocates`
+//	y := alloc()        // want `regexp one` `regexp two`
+//
+// Run loads the testdata packages with the production loader (so tests
+// exercise the same type-checking and marker collection as emcgm-lint),
+// applies the analyzer, and fails the test when a diagnostic appears on a
+// line with no matching expectation or an expectation goes unmatched —
+// positive and negative cases in one pass.
+package antest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one `want` regexp anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run applies the analyzer to the packages matched by patterns and
+// checks every diagnostic against the testdata's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, markers, err := analysis.Load(fset, patterns...)
+	if err != nil {
+		t.Fatalf("load %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %v: no packages", patterns)
+	}
+
+	var expects []*expectation
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrs {
+			t.Errorf("type error in %s: %v", pkg.PkgPath, terr)
+		}
+		expects = append(expects, collectWants(t, fset, pkg.Syntax)...)
+
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Markers:   markers,
+		}
+		pass.SetReport(func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !consume(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectWants extracts want expectations from every comment of every file.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want`") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment with no backquoted regexp", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func consume(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IsRecorderPtr reports whether t is *obs.Recorder — the type whose nil
+// state encodes "observability disabled" throughout the repository.
+func IsRecorderPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "repro/internal/obs" || obj.Pkg().Name() == "obs")
+}
+
+// exprKey renders a side-effect-free expression (identifier or selector
+// chain) to a comparable string; "" for anything more complex.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	}
+	return ""
+}
+
+// nilCompare decomposes `X == nil` / `nil == X` (op token.EQL) and the
+// NEQ analogues, returning the non-nil operand key and the operator.
+func nilCompare(info *types.Info, e ast.Expr) (key string, op token.Token, ok bool) {
+	b, isBin := e.(*ast.BinaryExpr)
+	if !isBin || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return "", 0, false
+	}
+	x, y := b.X, b.Y
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return "", 0, false
+	}
+	if !IsRecorderPtr(info.TypeOf(x)) {
+		return "", 0, false
+	}
+	k := exprKey(x)
+	if k == "" {
+		return "", 0, false
+	}
+	return k, b.Op, true
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// condNonNilConjuncts collects recorder expressions X such that cond
+// being true implies X != nil (top-level && conjuncts of `X != nil`).
+func condNonNilConjuncts(info *types.Info, cond ast.Expr, out map[string]bool) {
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		condNonNilConjuncts(info, b.X, out)
+		condNonNilConjuncts(info, b.Y, out)
+		return
+	}
+	if p, ok := cond.(*ast.ParenExpr); ok {
+		condNonNilConjuncts(info, p.X, out)
+		return
+	}
+	if key, op, ok := nilCompare(info, cond); ok && op == token.NEQ {
+		out[key] = true
+	}
+}
+
+// condNilDisjuncts collects recorder expressions X such that X == nil
+// implies cond (top-level || disjuncts of `X == nil`): when cond is
+// false, X must be non-nil.
+func condNilDisjuncts(info *types.Info, cond ast.Expr, out map[string]bool) {
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op == token.LOR {
+		condNilDisjuncts(info, b.X, out)
+		condNilDisjuncts(info, b.Y, out)
+		return
+	}
+	if p, ok := cond.(*ast.ParenExpr); ok {
+		condNilDisjuncts(info, p.X, out)
+		return
+	}
+	if key, op, ok := nilCompare(info, cond); ok && op == token.EQL {
+		out[key] = true
+	}
+}
+
+// CondNonNilConjuncts exposes condNonNilConjuncts to analyzer packages.
+func CondNonNilConjuncts(info *types.Info, cond ast.Expr, out map[string]bool) {
+	condNonNilConjuncts(info, cond, out)
+}
+
+// CondNilDisjuncts exposes condNilDisjuncts to analyzer packages.
+func CondNilDisjuncts(info *types.Info, cond ast.Expr, out map[string]bool) {
+	condNilDisjuncts(info, cond, out)
+}
+
+// terminates reports whether a statement unconditionally leaves the
+// enclosing scope: return, panic, os.Exit, continue, break, goto.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "Exit" || fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf"
+		}
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && terminates(s.List[len(s.List)-1])
+	}
+	return false
+}
+
+// blockTerminates reports whether the block's last statement terminates.
+func blockTerminates(b *ast.BlockStmt) bool {
+	return b != nil && len(b.List) > 0 && terminates(b.List[len(b.List)-1])
+}
+
+// RecorderGuarded reports whether the node whose ancestor stack is given
+// (outermost first, node itself last) sits in a region where some
+// *obs.Recorder expression is known non-nil:
+//
+//   - inside the then-branch of `if X != nil (&& ...)`,
+//   - inside the else-branch of `if X == nil (|| ...)`,
+//   - after a statement `if X == nil { ...; return/panic }` in any
+//     enclosing block.
+func RecorderGuarded(info *types.Info, stack []ast.Node) bool {
+	for i := 0; i < len(stack)-1; i++ {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		child := stack[i+1]
+		keys := map[string]bool{}
+		if child == ast.Node(ifs.Body) {
+			condNonNilConjuncts(info, ifs.Cond, keys)
+		} else if ifs.Else != nil && child == ast.Node(ifs.Else) {
+			condNilDisjuncts(info, ifs.Cond, keys)
+		}
+		if len(keys) > 0 {
+			return true
+		}
+	}
+	// Early-return dominance: scan enclosing blocks for a preceding
+	// `if X == nil { ... return }`.
+	for i := 0; i < len(stack)-1; i++ {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		childPos := stack[i+1].Pos()
+		for _, s := range block.List {
+			if s.End() >= childPos {
+				break
+			}
+			ifs, ok := s.(*ast.IfStmt)
+			if !ok || !blockTerminates(ifs.Body) {
+				continue
+			}
+			keys := map[string]bool{}
+			condNilDisjuncts(info, ifs.Cond, keys)
+			if len(keys) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WalkStack traverses root depth-first, calling fn with the ancestor
+// stack (root first, current node last). fn returning false prunes the
+// subtree below the current node.
+func WalkStack(root ast.Node, fn func(stack []ast.Node) bool) {
+	var stack []ast.Node
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		stack = append(stack, n)
+		if fn(stack) {
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == nil || c == n {
+					return c == n
+				}
+				visit(c)
+				return false
+			})
+		}
+		stack = stack[:len(stack)-1]
+	}
+	visit(root)
+}

@@ -1,0 +1,15 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+// TestAnalyzer runs hotpathalloc over the seeded-bug testdata package:
+// every `want` line is an allocation the analyzer must catch, every
+// other line an idiom it must accept.
+func TestAnalyzer(t *testing.T) {
+	antest.Run(t, hotpathalloc.Analyzer, "../testdata/src/hotpathalloc/hp")
+}

@@ -1,0 +1,106 @@
+// Package ioerrcheck flags silently dropped errors from the simulation's
+// I/O surfaces. A pdm.DiskArray or rec.Exec call whose error is discarded
+// turns a layout violation or disk conflict into silent data corruption —
+// exactly the failure mode the PDM cost model cannot survive. The
+// analyzer reports any expression statement that calls a function from
+// the repository's I/O packages (pdm, layout, core, rec, obs, trace) and
+// whose last result is an error.
+//
+// An explicit `_ = call()` assignment acknowledges the drop and is
+// accepted, as are `defer` statements (the deferred-Close idiom); the
+// point is to make discarding an error a visible decision, not an
+// accident.
+package ioerrcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ioerrcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "ioerrcheck",
+	Doc:  "reports dropped errors from pdm/layout/core/rec/obs/trace calls",
+	Run:  run,
+}
+
+// ioPackages are the repository surfaces whose errors must be handled.
+var ioPackages = map[string]bool{
+	"repro/internal/pdm":    true,
+	"repro/internal/layout": true,
+	"repro/internal/core":   true,
+	"repro/internal/rec":    true,
+	"repro/internal/obs":    true,
+	"repro/internal/trace":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(info, call)
+			if fn == nil {
+				return true
+			}
+			pkg := fn.Pkg()
+			if pkg == nil || !ioPkg(pkg.Path()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			res := sig.Results()
+			if res.Len() == 0 {
+				return true
+			}
+			last := res.At(res.Len() - 1).Type()
+			if !isErrorType(last) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s returns an error that is dropped; handle it or assign to _ explicitly", pkg.Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+func ioPkg(path string) bool {
+	return ioPackages[path]
+}
+
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.ObjectOf(f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.ObjectOf(f.Sel).(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		return callee(info, &ast.CallExpr{Fun: f.X, Args: call.Args})
+	case *ast.IndexExpr:
+		return callee(info, &ast.CallExpr{Fun: f.X, Args: call.Args})
+	case *ast.IndexListExpr:
+		return callee(info, &ast.CallExpr{Fun: f.X, Args: call.Args})
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	return t.String() == "error"
+}

@@ -1,0 +1,13 @@
+package ioerrcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/ioerrcheck"
+)
+
+// TestAnalyzer runs ioerrcheck over the seeded-bug testdata package.
+func TestAnalyzer(t *testing.T) {
+	antest.Run(t, ioerrcheck.Analyzer, "../testdata/src/ioerrcheck/ioe")
+}

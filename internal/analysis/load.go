@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked root package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	TypeErrs  []error
+}
+
+// Load resolves patterns (`./...`, explicit directories) with the go
+// tool, type-checks every matched package from source, and returns them
+// together with the module-wide marker registry. Dependencies — standard
+// library and module packages alike — are imported from compiler export
+// data produced by `go list -export`, so loading works fully offline.
+//
+// Test files are not loaded: the lint suite governs production code; the
+// tier-1 test suite governs the tests.
+func Load(fset *token.FileSet, patterns ...string) ([]*Package, map[string][]string, error) {
+	metas, err := goList(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var roots, moduleDeps []*listPkg
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+		switch {
+		case !m.DepOnly:
+			roots = append(roots, m)
+		case !m.Standard:
+			moduleDeps = append(moduleDeps, m)
+		}
+	}
+
+	// One shared gc importer serves every import of every root from the
+	// build-cache export data the go tool just produced. Sharing a single
+	// instance is load-bearing: its internal package cache guarantees that
+	// repro/internal/pdm (say) is one *types.Package whether reached
+	// directly or through another dependency's export data, so type
+	// identity holds across packages.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	markers := map[string][]string{}
+	for _, m := range roots {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse %s: %w", m.ImportPath, err)
+		}
+		collectMarkers(m.ImportPath, files, markers)
+
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Instances:  map[*ast.Ident]types.Instance{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		var terrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { terrs = append(terrs, err) },
+		}
+		tpkg, _ := conf.Check(m.ImportPath, fset, files, info)
+		pkgs = append(pkgs, &Package{
+			PkgPath:   m.ImportPath,
+			Dir:       m.Dir,
+			Syntax:    files,
+			Types:     tpkg,
+			TypesInfo: info,
+			TypeErrs:  terrs,
+		})
+	}
+
+	// Module dependencies of the roots contribute markers only: their
+	// sources are parsed (comments included) but never type-checked, so
+	// cross-package hot-path calls resolve against the same registry the
+	// callee's own lint run uses.
+	for _, m := range moduleDeps {
+		files, err := parseFiles(fset, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse %s: %w", m.ImportPath, err)
+		}
+		collectMarkers(m.ImportPath, files, markers)
+	}
+	return pkgs, markers, nil
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+func goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var metas []*listPkg
+	for {
+		m := &listPkg{}
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// collectMarkers records every `emcgm:` directive in function doc
+// comments into the registry.
+func collectMarkers(pkgPath string, files []*ast.File, markers map[string][]string) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var ms []string
+			for _, c := range fd.Doc.List {
+				for _, m := range commentMarkers(c.Text) {
+					ms = append(ms, m)
+				}
+			}
+			if len(ms) == 0 {
+				continue
+			}
+			key := FuncKey(pkgPath, recvName(fd), fd.Name.Name)
+			markers[key] = append(markers[key], ms...)
+		}
+	}
+}
+
+// commentMarkers extracts `emcgm:<word>` directives from one comment line.
+func commentMarkers(text string) []string {
+	var out []string
+	for _, field := range strings.Fields(text) {
+		if strings.HasPrefix(field, "emcgm:") {
+			out = append(out, field)
+		}
+	}
+	return out
+}
+
+// recvName returns the base type name of a method receiver ("" for plain
+// functions), unwrapping pointers and generic type parameter lists.
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

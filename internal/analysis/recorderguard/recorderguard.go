@@ -1,0 +1,167 @@
+// Package recorderguard enforces PR 2's observability contract: with
+// recording disabled (nil *obs.Recorder), the only cost a call site may
+// pay is the nil check inside the Recorder method itself. Every method is
+// nil-safe, so correctness never needs a guard — but argument evaluation
+// happens before the call, so a call like
+//
+//	rec.EndIO(span, obs.SuperstepIO{Reads: r, Writes: w})
+//
+// builds its struct (and evaluates any nested calls) even when rec is
+// nil. The analyzer therefore flags method calls on obs-package types
+// whose arguments are non-trivial — composite literals, function calls,
+// anything beyond identifiers, selectors, constants, and cheap arithmetic
+// — unless the call is dominated by a nil guard:
+//
+//	if rec != nil { rec.EndIO(span, obs.SuperstepIO{...}) }   // ok
+//	if rec == nil { return }
+//	rec.EndIO(...)                                            // ok
+//
+// Calls with trivial arguments (rec.Begin(track, "superstep", "io"),
+// rec.Counter("x").Add(1)) are left alone: they match the repository's
+// existing idiom and cost only the nil check the contract budgets for.
+// The obs package itself and chained calls rooted at obs.NewRecorder()
+// are exempt.
+package recorderguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the recorderguard analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "recorderguard",
+	Doc:  "reports obs.Recorder calls with non-trivial arguments outside a nil/enabled guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == "repro/internal/obs" {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analysis.WalkStack(fd.Body, func(stack []ast.Node) bool {
+				call, ok := stack[len(stack)-1].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := info.Selections[sel]
+				if !ok || selection.Kind() != types.MethodVal {
+					return true
+				}
+				if !obsReceiver(selection.Recv()) {
+					return true
+				}
+				if !hasNonTrivialArg(info, call) {
+					return true
+				}
+				if provablyEnabled(info, sel.X) {
+					return true
+				}
+				if analysis.RecorderGuarded(info, stack) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "obs.%s call with non-trivial arguments must be inside an `if rec != nil` guard: arguments are evaluated even when recording is disabled", sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// obsReceiver reports whether t names a type from repro/internal/obs
+// (directly or through one pointer).
+func obsReceiver(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "repro/internal/obs" || pkg.Name() == "obs")
+}
+
+// provablyEnabled reports whether the receiver expression is a direct
+// constructor call, e.g. obs.NewRecorder(...).Counter("x").
+func provablyEnabled(info *types.Info, recv ast.Expr) bool {
+	for {
+		switch r := recv.(type) {
+		case *ast.CallExpr:
+			if sel, ok := r.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := info.ObjectOf(id).(*types.PkgName); ok && pn.Imported().Name() == "obs" && sel.Sel.Name == "NewRecorder" {
+						return true
+					}
+				}
+				recv = sel.X
+				continue
+			}
+			return false
+		case *ast.ParenExpr:
+			recv = r.X
+		default:
+			return false
+		}
+	}
+}
+
+// hasNonTrivialArg reports whether any argument could allocate or do real
+// work when evaluated: anything beyond identifiers, selectors, constants,
+// conversions/len/cap of trivial operands, and arithmetic on them.
+func hasNonTrivialArg(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if !trivial(info, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+func trivial(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true // compile-time constant
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit, *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return trivial(info, e.X)
+	case *ast.ParenExpr:
+		return trivial(info, e.X)
+	case *ast.StarExpr:
+		return trivial(info, e.X)
+	case *ast.IndexExpr:
+		return trivial(info, e.X) && trivial(info, e.Index)
+	case *ast.UnaryExpr:
+		return trivial(info, e.X)
+	case *ast.BinaryExpr:
+		return trivial(info, e.X) && trivial(info, e.Y)
+	case *ast.CallExpr:
+		// Conversions and len/cap of trivial operands stay trivial;
+		// any other call is real work.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			return len(e.Args) == 1 && trivial(info, e.Args[0])
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := info.ObjectOf(id).(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return len(e.Args) == 1 && trivial(info, e.Args[0])
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package recorderguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/recorderguard"
+)
+
+// TestAnalyzer runs recorderguard over the seeded-bug testdata package.
+func TestAnalyzer(t *testing.T) {
+	antest.Run(t, recorderguard.Analyzer, "../testdata/src/recorderguard/rg")
+}

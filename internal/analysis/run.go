@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// PositionedDiagnostic is a Diagnostic resolved to a file position, ready
+// for printing or matching against expectations.
+type PositionedDiagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// Run loads the packages matched by patterns, applies every analyzer to
+// every package, and returns the diagnostics sorted by position. Packages
+// that fail to type-check abort the run: analyzers assume complete type
+// information.
+func Run(analyzers []*Analyzer, patterns ...string) ([]PositionedDiagnostic, error) {
+	fset := token.NewFileSet()
+	pkgs, markers, err := Load(fset, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v", pkg.PkgPath, pkg.TypeErrs[0])
+		}
+	}
+
+	var out []PositionedDiagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Markers:   markers,
+			}
+			pass.report = func(d Diagnostic) {
+				out = append(out, PositionedDiagnostic{
+					Position: fset.Position(d.Pos),
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,154 @@
+// Package hp is the hotpathalloc testdata: every line carrying a `want`
+// comment is a seeded bug the analyzer must flag; every other line must
+// stay clean.
+package hp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/analysis/testdata/src/hotpathalloc/hpdep"
+	"repro/internal/obs"
+)
+
+type scratch struct {
+	reqs []int
+	n    int64
+}
+
+type point struct{ x, y int }
+
+// marked carries the hot-path contract.
+//
+// emcgm:hotpath
+func marked(s *scratch, rec *obs.Recorder, n int) {
+	_ = make([]int, n)  // want `make allocates`
+	_ = new(point)      // want `new allocates`
+	_ = []int{1, 2, 3}  // want `slice literal allocates`
+	_ = map[int]int{}   // want `map literal allocates`
+	_ = &point{1, 2}    // want `composite literal escapes`
+	_ = point{1, 2}     // struct value literal: stack-allocated, clean
+	f := func() int { return n } // want `closure`
+	_ = f
+	atomic.AddInt64(&s.n, 1) // whitelisted stdlib: clean
+}
+
+// appends checks the scratch idiom.
+//
+// emcgm:hotpath
+func appends(s *scratch, other []int) {
+	s.reqs = append(s.reqs, 1)  // self-append growth: clean
+	_ = append(other, 1)        // want `append outside`
+	s.reqs = append(other, 2)   // want `append outside`
+}
+
+// calls checks callee-marker closure and stdlib policy.
+//
+// emcgm:hotpath
+func calls(s *scratch, n int) {
+	_ = hpdep.Fast(n)       // marked callee: clean
+	_ = hpdep.Slow(n)       // want `not marked emcgm:hotpath`
+	_ = fmt.Sprintf("x%d", n) // want `call into fmt` `boxes into interface`
+	_ = helperMarked(n)     // clean
+	_ = helperUnmarked(n)   // want `not marked emcgm:hotpath`
+}
+
+// helperMarked is a marked in-package callee.
+//
+// emcgm:hotpath
+func helperMarked(x int) int { return x * 2 }
+
+func helperUnmarked(x int) int { return x * 3 }
+
+// boxing checks interface conversions at call boundaries.
+//
+// emcgm:hotpath
+func boxing(n int) {
+	sinkAny(n)       // want `boxes into interface`
+	var e error
+	sinkErr(e)       // interface-to-interface: clean
+	_ = any(n)       // want `boxes on the hot path`
+}
+
+// sinkAny is marked so only the boxing diagnostic fires at its call site.
+//
+// emcgm:hotpath
+func sinkAny(v any) { _ = v }
+
+// sinkErr is marked so only boxing rules apply at its call site.
+//
+// emcgm:hotpath
+func sinkErr(err error) { _ = err }
+
+// strings checks concatenation and conversions.
+//
+// emcgm:hotpath
+func strings2(a, b string, bs []byte) {
+	_ = a + b        // want `string concatenation`
+	_ = string(bs)   // want `conversion to string`
+	_ = []byte(a)    // want `conversion to \[\]byte`
+	_ = a + "lit" + b // want `string concatenation`
+}
+
+// pruned checks the exemptions: enabled-observability branches, cold
+// error exits, and explicit coldpath markers.
+//
+// emcgm:hotpath
+func pruned(s *scratch, rec *obs.Recorder, n int) error {
+	if rec != nil {
+		_ = make([]int, n) // enabled-obs branch: clean
+	}
+	if rec == nil {
+		_ = n
+	} else {
+		_ = make([]int, n) // else of == nil guard: clean
+	}
+	if n < 0 {
+		return fmt.Errorf("bad n %d: %v", n, []int{n}) // error exit: clean
+	}
+	if n > 1<<20 {
+		panic(fmt.Sprintf("huge n %d", n)) // panic exit: clean
+	}
+	// emcgm:coldpath amortised growth, exercised only on first use
+	if cap(s.reqs) < n {
+		s.reqs = make([]int, n)
+	}
+	return nil
+}
+
+// spawns checks goroutine and method-value diagnostics.
+//
+// emcgm:hotpath
+func spawns(s *scratch) {
+	go helperMarked(1) // want `go statement`
+	m := s.method      // want `method value`
+	_ = m
+	s.method() // direct method call on marked method: clean
+}
+
+// method is a marked method callee.
+//
+// emcgm:hotpath
+func (s *scratch) method() {}
+
+// dynamic checks that interface dispatch is exempt.
+//
+// emcgm:hotpath
+func dynamic(w worker, n int) {
+	w.work(n) // interface method: clean
+}
+
+type worker interface{ work(int) }
+
+// funcValues cannot be verified against the registry.
+//
+// emcgm:hotpath
+func funcValues(f func(int) int, n int) {
+	_ = f(n) // want `function value`
+}
+
+// unmarked is not subject to the contract at all: allocations are fine.
+func unmarked(n int) []int {
+	s := make([]int, n)
+	return append(s, n)
+}

@@ -1,0 +1,12 @@
+// Package hpdep is a dependency of the hotpathalloc testdata: it
+// exercises the cross-package marker registry — Fast carries the hotpath
+// marker, Slow does not.
+package hpdep
+
+// Fast is allocation-free.
+//
+// emcgm:hotpath
+func Fast(x int) int { return x + 1 }
+
+// Slow is unmarked: calling it from a hot path must be flagged.
+func Slow(x int) []int { return make([]int, x) }

@@ -1,0 +1,41 @@
+// Package ioe is the ioerrcheck testdata: dropped errors from the
+// repository's I/O surfaces must be flagged; explicit `_ =` and defer
+// are acknowledged drops.
+package ioe
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+)
+
+func dropped(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) {
+	arr.ReadBlocks(reqs, bufs)  // want `error that is dropped`
+	arr.WriteBlocks(reqs, bufs) // want `error that is dropped`
+	arr.Close()                 // want `error that is dropped`
+}
+
+func handled(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	if err := arr.ReadBlocks(reqs, bufs); err != nil {
+		return err
+	}
+	err := arr.WriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	_ = arr.Close() // explicit acknowledgement: clean
+	return nil
+}
+
+func deferred(arr *pdm.DiskArray) {
+	defer arr.Close() // defer idiom: clean
+}
+
+func otherPackages(n int) {
+	fmt.Println(n) // non-I/O package: clean
+}
+
+func noError(arr *pdm.DiskArray) {
+	_ = arr.D() // no error result: clean either way
+	arr.B()     // no error result: clean
+}

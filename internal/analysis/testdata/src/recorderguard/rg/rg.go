@@ -1,0 +1,70 @@
+// Package rg is the recorderguard testdata: obs method calls with
+// non-trivial arguments must sit behind a nil guard; trivial calls rely
+// on the methods' own nil checks.
+package rg
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+func build() obs.SuperstepIO { return obs.SuperstepIO{} }
+
+func opTime() time.Duration { return time.Millisecond }
+
+// unguarded seeds the bugs the analyzer must catch.
+func unguarded(rec *obs.Recorder, track obs.TrackID, span obs.Span, r, w int64) {
+	span.EndIO(obs.SuperstepIO{CtxOps: r, MsgOps: w}) // want `non-trivial arguments`
+	span.EndIO(build())                               // want `non-trivial arguments`
+	rec.SuperstepTable(opTime())                      // want `non-trivial arguments`
+}
+
+// trivialArgs calls cost only the callee's nil check: clean.
+func trivialArgs(rec *obs.Recorder, track obs.TrackID, n int, name string) {
+	rec.Begin(track, "superstep", "io")
+	rec.Counter(name).Add(int64(n))
+	rec.MsgSize(n, n*2+1)
+	rec.Event(track, name, "cat")
+}
+
+// guardedBranch dominates the call with `rec != nil`.
+func guardedBranch(rec *obs.Recorder, span obs.Span, r int64, on bool) {
+	if rec != nil {
+		span.EndIO(obs.SuperstepIO{CtxOps: r})
+	}
+	if on && rec != nil {
+		span.EndIO(obs.SuperstepIO{MsgOps: r})
+	}
+	if rec == nil {
+		_ = r
+	} else {
+		span.EndIO(obs.SuperstepIO{Blocks: r})
+	}
+}
+
+// earlyReturn dominates via `if rec == nil { return }`.
+func earlyReturn(rec *obs.Recorder, span obs.Span, r int64) {
+	if rec == nil {
+		return
+	}
+	span.EndIO(obs.SuperstepIO{CtxOps: r})
+}
+
+// constructed receivers are provably enabled.
+func constructed(n int) {
+	obs.NewRecorder().Counter(mkName()).Add(int64(n))
+}
+
+func mkName() string { return "x" }
+
+// wrongGuard checks that a guard on a different recorder does not count…
+// it does count under the conservative any-recorder rule, so this stays
+// clean by design: the analyzer asks for *a* guard, not flow-sensitive
+// aliasing.
+func wrongGuard(a, b *obs.Recorder, span obs.Span, r int64) {
+	if a != nil {
+		span.EndIO(obs.SuperstepIO{CtxOps: r})
+	}
+	span.EndIO(obs.SuperstepIO{MsgOps: r}) // want `non-trivial arguments`
+}

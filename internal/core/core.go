@@ -103,6 +103,12 @@ type Config struct {
 	// NewDisk, when non-nil, supplies the disk for (real processor, index)
 	// — e.g. file-backed disks. nil means in-memory disks.
 	NewDisk func(proc, disk int) pdm.Disk
+	// CheckedIO runs every disk array in checked mode: each parallel I/O
+	// is validated against the layout discipline (bounds, intra-op
+	// overlap, read-before-write) before it touches a disk — the runtime
+	// sanitizer companion of the lint suite. Validation allocates; use in
+	// tests and debugging runs, not benchmarks. I/O counts are unchanged.
+	CheckedIO bool
 	// CacheContexts keeps virtual-processor contexts resident in the real
 	// processor's memory when P = V (one context per processor, M = Θ(μ)),
 	// eliminating the context-swap I/O entirely — the machine then pays
@@ -142,14 +148,29 @@ func (c Config) validate() error {
 
 // newArray builds the disk array of real processor proc.
 func (c Config) newArray(proc int) (*pdm.DiskArray, error) {
+	var arr *pdm.DiskArray
 	if c.NewDisk == nil {
-		return pdm.NewMemArray(c.D, c.B), nil
+		arr = pdm.NewMemArray(c.D, c.B)
+	} else {
+		disks := make([]pdm.Disk, c.D)
+		for i := range disks {
+			disks[i] = c.NewDisk(proc, i)
+		}
+		var err error
+		arr, err = pdm.NewDiskArray(disks)
+		if err != nil {
+			return nil, err
+		}
 	}
-	disks := make([]pdm.Disk, c.D)
-	for i := range disks {
-		disks[i] = c.NewDisk(proc, i)
+	if c.CheckedIO {
+		// Contexts are written during input distribution before any read,
+		// and every message slot is rewritten each round before its inbox
+		// is read, so read-before-write holds for the whole superstep
+		// schedule. Stripe stays off: the staggered matrix and FIFO packs
+		// are not consecutive runs.
+		arr.EnableChecked(pdm.CheckConfig{RequireInit: true})
 	}
-	return pdm.NewDiskArray(disks)
+	return arr, nil
 }
 
 // Result reports the outcome and the cost accounting of an EM-CGM run.
@@ -230,16 +251,19 @@ func balancedMsgBound(maxH, v int) int {
 
 // slotWords returns the words per message slot: a count header plus
 // maxMsg encoded items.
+// emcgm:hotpath
 func slotWords(maxMsg, itemWords int) int { return 1 + maxMsg*itemWords }
 
 // ctxWords returns the words per context run: a count header plus maxCtx
 // encoded items.
+// emcgm:hotpath
 func ctxWords(maxCtx, itemWords int) int { return 1 + maxCtx*itemWords }
 
 // encodeCtxInto serialises state into the context image img (header +
 // items + zero padding), overwriting every word. The image is caller-owned
 // scratch: reusing it across supersteps is what keeps the hot path
 // allocation-free.
+// emcgm:hotpath
 func encodeCtxInto[T any](codec wordcodec.Codec[T], state []T, maxCtx int, img []pdm.Word) error {
 	if len(state) > maxCtx {
 		return fmt.Errorf("core: context of %d items exceeds the declared bound μ = %d items; set Config.MaxCtxItems or implement cgm.ContextSizer", len(state), maxCtx)
@@ -263,6 +287,7 @@ func decodeCtx[T any](codec wordcodec.Codec[T], img []pdm.Word) ([]T, error) {
 
 // encodeMsgInto serialises one message into the slot image img,
 // overwriting every word. Like encodeCtxInto, img is caller-owned scratch.
+// emcgm:hotpath
 func encodeMsgInto[T any](codec wordcodec.Codec[T], msg []T, maxMsg int, img []pdm.Word) error {
 	if len(msg) > maxMsg {
 		return fmt.Errorf("core: message of %d items exceeds the slot bound %d items; set Config.MaxMsgItems (or Balanced) accordingly", len(msg), maxMsg)

@@ -98,7 +98,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	}
 	defer func() {
 		for _, a := range arrays {
-			a.Close()
+			_ = a.Close() // cleanup path; I/O errors already surfaced per op
 		}
 	}()
 

@@ -26,6 +26,7 @@ import (
 // round-robin striping with the given base track: disk g mod D, track
 // base + g/D. This is the paper's consecutive format with the run's disk
 // offset folded into g.
+// emcgm:hotpath
 func Striped(g, d, base int) pdm.BlockReq {
 	if g < 0 {
 		panic("layout: negative block index")
@@ -90,6 +91,7 @@ func ReadFIFO(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) (int, 
 	return fifo(arr, reqs, bufs, true, &s)
 }
 
+// emcgm:hotpath
 func fifo(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, read bool, s *Scratch) (int, error) {
 	if len(reqs) != len(bufs) {
 		return 0, fmt.Errorf("layout: %d requests but %d buffers", len(reqs), len(bufs))

@@ -51,20 +51,24 @@ func NewMatrix(v, bpm, d, baseTrack int) (Matrix, error) {
 
 // RegionTracks returns the number of tracks occupied by one region:
 // ⌈V·BPM/D⌉ plus one track of slack for the staggered disk offset.
+// emcgm:hotpath
 func (m Matrix) RegionTracks() int {
 	return (m.V*m.BPM+m.D-1)/m.D + 1
 }
 
 // TotalTracks returns the number of tracks occupied by the whole matrix.
+// emcgm:hotpath
 func (m Matrix) TotalTracks() int { return m.V * m.RegionTracks() }
 
 // regionStart returns the base track and disk offset of region r.
+// emcgm:hotpath
 func (m Matrix) regionStart(r int) (track, diskOff int) {
 	return m.BaseTrack + r*m.RegionTracks(), (r * m.BPM) % m.D
 }
 
 // SlotBlock returns the disk address of block q (0 ≤ q < BPM) of slot a
 // within region r.
+// emcgm:hotpath
 func (m Matrix) SlotBlock(r, a, q int) pdm.BlockReq {
 	if r < 0 || r >= m.V || a < 0 || a >= m.V || q < 0 || q >= m.BPM {
 		panic(fmt.Sprintf("layout: slot block (r=%d a=%d q=%d) out of range", r, a, q))
@@ -76,6 +80,7 @@ func (m Matrix) SlotBlock(r, a, q int) pdm.BlockReq {
 
 // Place returns the (region, slot) holding the message src→dst in the
 // given phase (superstep parity), per Observation 2's alternation.
+// emcgm:hotpath
 func (m Matrix) Place(phase, src, dst int) (region, slot int) {
 	if phase%2 == 0 {
 		return dst, src
@@ -93,6 +98,7 @@ func (m Matrix) InboxReqs(phase, dst int) []pdm.BlockReq {
 }
 
 // AppendInboxReqs is InboxReqs appending into caller-owned storage.
+// emcgm:hotpath
 func (m Matrix) AppendInboxReqs(reqs []pdm.BlockReq, phase, dst int) []pdm.BlockReq {
 	for src := 0; src < m.V; src++ {
 		r, a := m.Place(phase, src, dst)
@@ -113,6 +119,7 @@ func (m Matrix) OutboxReqs(phase, src int) []pdm.BlockReq {
 }
 
 // AppendOutboxReqs is OutboxReqs appending into caller-owned storage.
+// emcgm:hotpath
 func (m Matrix) AppendOutboxReqs(reqs []pdm.BlockReq, phase, src int) []pdm.BlockReq {
 	for dst := 0; dst < m.V; dst++ {
 		r, a := m.Place(phase+1, src, dst)

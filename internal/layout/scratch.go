@@ -22,10 +22,13 @@ type Scratch struct {
 
 // grow returns the scratch request and buffer slices with length n,
 // reusing capacity when possible.
+// emcgm:hotpath
 func (s *Scratch) grow(n int) ([]pdm.BlockReq, [][]pdm.Word) {
+	// emcgm:coldpath growth to the largest operation seen, amortised
 	if cap(s.reqs) < n {
 		s.reqs = make([]pdm.BlockReq, n)
 	}
+	// emcgm:coldpath growth to the largest operation seen, amortised
 	if cap(s.bufs) < n {
 		s.bufs = make([][]pdm.Word, n)
 	}
@@ -34,7 +37,9 @@ func (s *Scratch) grow(n int) ([]pdm.BlockReq, [][]pdm.Word) {
 
 // diskSet returns the scratch per-disk conflict markers, cleared, for d
 // disks.
+// emcgm:hotpath
 func (s *Scratch) diskSet(d int) []bool {
+	// emcgm:coldpath sized to D on first use, reused afterwards
 	if cap(s.used) < d {
 		s.used = make([]bool, d)
 	}
@@ -49,6 +54,7 @@ func (s *Scratch) diskSet(d int) []bool {
 // startBlock+n) of the striped region rooted at baseTrack to dst and
 // returns it. It is the allocation-free form of building the request
 // sequence Striped produces one at a time.
+// emcgm:hotpath
 func AppendStripedReqs(dst []pdm.BlockReq, d, baseTrack, startBlock, n int) []pdm.BlockReq {
 	for i := 0; i < n; i++ {
 		dst = append(dst, Striped(startBlock+i, d, baseTrack))
@@ -59,6 +65,7 @@ func AppendStripedReqs(dst []pdm.BlockReq, d, baseTrack, startBlock, n int) []pd
 // SplitBlocksInto appends b-word block views of ws (whose length must be
 // a multiple of b) to dst and returns it; the views share ws's storage.
 // It is the allocation-free form of SplitBlocks.
+// emcgm:hotpath
 func SplitBlocksInto(dst [][]pdm.Word, ws []pdm.Word, b int) [][]pdm.Word {
 	if len(ws)%b != 0 {
 		panic(badSplit(len(ws), b))
@@ -71,6 +78,7 @@ func SplitBlocksInto(dst [][]pdm.Word, ws []pdm.Word, b int) [][]pdm.Word {
 
 // WriteStripedScratch is WriteStriped with caller-owned scratch: the
 // per-cycle request slices come from s instead of fresh allocations.
+// emcgm:hotpath
 func WriteStripedScratch(arr *pdm.DiskArray, baseTrack, startBlock int, bufs [][]pdm.Word, s *Scratch) error {
 	d := arr.D()
 	for off := 0; off < len(bufs); off += d {
@@ -92,6 +100,7 @@ func WriteStripedScratch(arr *pdm.DiskArray, baseTrack, startBlock int, bufs [][
 // ReadStripedScratch is ReadStriped with a caller-owned destination and
 // scratch: it reads len(dst)/B blocks starting at global index startBlock
 // into dst (whose length must be a multiple of the array's block size).
+// emcgm:hotpath
 func ReadStripedScratch(arr *pdm.DiskArray, baseTrack, startBlock int, dst []pdm.Word, s *Scratch) error {
 	d, b := arr.D(), arr.B()
 	if len(dst)%b != 0 {
@@ -117,11 +126,13 @@ func ReadStripedScratch(arr *pdm.DiskArray, baseTrack, startBlock int, dst []pdm
 
 // WriteFIFOScratch is WriteFIFO with the per-cycle disk conflict markers
 // taken from s instead of a fresh allocation.
+// emcgm:hotpath
 func WriteFIFOScratch(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, s *Scratch) (int, error) {
 	return fifo(arr, reqs, bufs, false, s)
 }
 
 // ReadFIFOScratch is the read-side analogue of WriteFIFOScratch.
+// emcgm:hotpath
 func ReadFIFOScratch(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, s *Scratch) (int, error) {
 	return fifo(arr, reqs, bufs, true, s)
 }

@@ -30,11 +30,11 @@ func Handler(r *Recorder, opTime time.Duration) http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		r.WriteMetrics(w)
+		_ = r.WriteMetrics(w) // write error = client went away mid-scrape
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		r.WriteChromeTrace(w)
+		_ = r.WriteChromeTrace(w) // write error = client went away mid-scrape
 	})
 	mux.HandleFunc("/steps", func(w http.ResponseWriter, req *http.Request) {
 		if r == nil {

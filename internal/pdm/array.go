@@ -37,6 +37,8 @@ type diskObs struct {
 // stop the workers. With a recorder attached, each transfer is timed into
 // the disk's latency histogram and emitted as a span on the disk's track;
 // the disabled path is the original straight-line transfer.
+//
+// emcgm:hotpath
 func diskWorker(d Disk, ch <-chan diskOp, ob *diskObs) {
 	for op := range ch {
 		var err error
@@ -106,6 +108,11 @@ type DiskArray struct {
 	seen   []uint64 // disk bitset reused by checkReqs
 	stop   *sync.Once
 	closed bool
+
+	// check, when non-nil, validates every operation against the layout
+	// discipline before dispatch (see EnableChecked). nil in production:
+	// the hot path pays one nil check, like the recorder.
+	check *checker
 
 	stats ioCounters
 
@@ -177,9 +184,13 @@ func NewMemArray(d, b int) *DiskArray {
 }
 
 // D returns the number of disks.
+//
+// emcgm:hotpath
 func (a *DiskArray) D() int { return len(a.disks) }
 
 // B returns the block size in words.
+//
+// emcgm:hotpath
 func (a *DiskArray) B() int { return a.b }
 
 // Disk returns the i-th underlying disk (used by tests and layouts).
@@ -245,6 +256,8 @@ func (a *DiskArray) ResetStats() {
 
 // checkReqs validates the one-track-per-disk PDM rule. Called with opMu
 // held; the seen bitset is cleared and reused across operations.
+//
+// emcgm:hotpath
 func (a *DiskArray) checkReqs(reqs []BlockReq) error {
 	if len(reqs) > len(a.disks) {
 		return fmt.Errorf("pdm: %d blocks in one parallel I/O, array has D=%d: %w",
@@ -270,16 +283,27 @@ func (a *DiskArray) checkReqs(reqs []BlockReq) error {
 // ReadBlocks performs one parallel I/O reading reqs[i] into bufs[i]
 // (each of length B). Transfers run concurrently on the per-disk workers.
 // An empty request list performs no I/O and costs nothing.
+//
+// emcgm:hotpath
 func (a *DiskArray) ReadBlocks(reqs []BlockReq, bufs [][]Word) error {
 	return a.doBlocks(reqs, bufs, true)
 }
 
 // WriteBlocks performs one parallel I/O writing bufs[i] (length B) to
 // reqs[i]. Transfers run concurrently on the per-disk workers.
+//
+// emcgm:hotpath
 func (a *DiskArray) WriteBlocks(reqs []BlockReq, bufs [][]Word) error {
 	return a.doBlocks(reqs, bufs, false)
 }
 
+// doBlocks dispatches one parallel I/O to the per-disk workers. This is
+// the innermost superstep hot path: between the serialising mutex and the
+// reused errs/seen scratch it performs zero heap allocations per call,
+// which hotpathalloc enforces statically and BenchmarkDiskArrayOp
+// re-measures.
+//
+// emcgm:hotpath
 func (a *DiskArray) doBlocks(reqs []BlockReq, bufs [][]Word, read bool) error {
 	if len(reqs) != len(bufs) {
 		return fmt.Errorf("pdm: %d requests but %d buffers", len(reqs), len(bufs))
@@ -291,6 +315,13 @@ func (a *DiskArray) doBlocks(reqs []BlockReq, bufs [][]Word, read bool) error {
 	defer a.opMu.Unlock()
 	if a.closed {
 		return ErrClosed
+	}
+	// emcgm:coldpath checked mode is a debugging sanitizer; validation
+	// runs before checkReqs so each violation keeps its own sentinel
+	if a.check != nil {
+		if err := a.check.validate(reqs, read); err != nil {
+			return err
+		}
 	}
 	if err := a.checkReqs(reqs); err != nil {
 		return err
@@ -314,9 +345,16 @@ func (a *DiskArray) doBlocks(reqs []BlockReq, bufs [][]Word, read bool) error {
 		}
 	}
 	a.account(len(reqs), read)
+	// emcgm:coldpath checked-mode bookkeeping of initialised blocks
+	if a.check != nil {
+		a.check.commit(reqs, read)
+	}
 	return nil
 }
 
+// account updates the atomic PDM counters for one completed operation.
+//
+// emcgm:hotpath
 func (a *DiskArray) account(blocks int, read bool) {
 	a.stats.parallelOps.Add(1)
 	a.stats.blocksMoved.Add(int64(blocks))

@@ -1,0 +1,149 @@
+package pdm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Checked mode is the runtime sanitizer companion to the static lint
+// suite: where hotpathalloc and friends enforce what the code *is*,
+// checked mode validates what each parallel I/O operation *does* against
+// the layout discipline of Algorithm 2 — analogous to MSan for the
+// parallel disk model. It is a debugging tool: validation allocates and
+// is deliberately kept off the production hot path (the disabled state
+// costs one nil check per operation, mirroring the observability
+// contract).
+//
+// Violation classes, each with its own sentinel:
+//
+//   - ErrCheckBounds: a request addresses a negative track, a disk
+//     outside [0, D), or a track at or beyond the configured MaxTracks;
+//   - ErrCheckOverlap: two requests of one parallel operation address the
+//     same (disk, track) block — for writes, silent last-writer-wins
+//     corruption; for reads, a wasted slot the layouts never produce;
+//   - ErrCheckUninitRead: a read of a block no prior operation wrote
+//     (requires RequireInit) — the PDM analogue of reading uninitialised
+//     memory;
+//   - ErrCheckStripe: the operation's requests do not form a contiguous
+//     ascending run of global block indices g = Track·D + Disk (requires
+//     Stripe) — the consecutive-format conformance check for striped
+//     context runs.
+var (
+	ErrCheckBounds     = errors.New("pdm: checked: block address out of bounds")
+	ErrCheckOverlap    = errors.New("pdm: checked: overlapping blocks in one parallel op")
+	ErrCheckUninitRead = errors.New("pdm: checked: read of never-written block")
+	ErrCheckStripe     = errors.New("pdm: checked: parallel op violates striping")
+)
+
+// CheckConfig selects what the sanitizer validates. The zero value checks
+// bounds (against D only) and intra-op overlap.
+type CheckConfig struct {
+	// MaxTracks, when positive, bounds the track index of every request:
+	// track ∈ [0, MaxTracks). Zero leaves tracks bounded below only.
+	MaxTracks int
+	// RequireInit makes reading a block that no prior operation has
+	// written an ErrCheckUninitRead.
+	RequireInit bool
+	// Stripe requires every operation to address a contiguous ascending
+	// run of global block indices g = Track·D + Disk, the consecutive
+	// format of the paper's appendix. Only meaningful for workloads built
+	// entirely from striped runs (the message matrix's staggered and FIFO
+	// operations are not runs).
+	Stripe bool
+}
+
+// blockAddr identifies one block for the written-set.
+type blockAddr struct{ disk, track int }
+
+// checker is the per-array sanitizer state. Guarded by the array's opMu.
+type checker struct {
+	cfg     CheckConfig
+	d       int
+	written map[blockAddr]struct{}
+}
+
+// EnableChecked switches the array into checked mode: every subsequent
+// ReadBlocks/WriteBlocks call is validated against cfg before it touches
+// a disk, and failed validation rejects the whole operation without
+// performing any I/O (or counting it). The written-block set starts
+// empty: blocks written before EnableChecked count as uninitialised.
+//
+// Checked mode is for tests and debugging runs; it allocates per
+// operation and serialises no differently than normal mode (opMu already
+// serialises operations).
+func (a *DiskArray) EnableChecked(cfg CheckConfig) {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	a.check = &checker{cfg: cfg, d: len(a.disks), written: map[blockAddr]struct{}{}}
+}
+
+// DisableChecked leaves checked mode, dropping the written-block set.
+func (a *DiskArray) DisableChecked() {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	a.check = nil
+}
+
+// validate checks one parallel operation's requests. Called with opMu
+// held, before the one-track-per-disk check, so each violation class
+// reports its own sentinel rather than degenerating into ErrDiskConflict.
+func (c *checker) validate(reqs []BlockReq, read bool) error {
+	for i, r := range reqs {
+		if r.Disk < 0 || r.Disk >= c.d {
+			return fmt.Errorf("%w: request %d addresses disk %d, array has D=%d",
+				ErrCheckBounds, i, r.Disk, c.d)
+		}
+		if r.Track < 0 {
+			return fmt.Errorf("%w: request %d addresses negative track %d",
+				ErrCheckBounds, i, r.Track)
+		}
+		if c.cfg.MaxTracks > 0 && r.Track >= c.cfg.MaxTracks {
+			return fmt.Errorf("%w: request %d addresses track %d, configured bound is %d",
+				ErrCheckBounds, i, r.Track, c.cfg.MaxTracks)
+		}
+	}
+	seen := make(map[blockAddr]int, len(reqs))
+	for i, r := range reqs {
+		addr := blockAddr{r.Disk, r.Track}
+		if j, dup := seen[addr]; dup {
+			kind := "reads"
+			if !read {
+				kind = "writes last-writer-wins"
+			}
+			return fmt.Errorf("%w: requests %d and %d both address disk %d track %d (%s)",
+				ErrCheckOverlap, j, i, r.Disk, r.Track, kind)
+		}
+		seen[addr] = i
+	}
+	if read && c.cfg.RequireInit {
+		for i, r := range reqs {
+			if _, ok := c.written[blockAddr{r.Disk, r.Track}]; !ok {
+				return fmt.Errorf("%w: request %d reads disk %d track %d before any write",
+					ErrCheckUninitRead, i, r.Disk, r.Track)
+			}
+		}
+	}
+	if c.cfg.Stripe && len(reqs) > 1 {
+		prev := reqs[0].Track*c.d + reqs[0].Disk
+		for i := 1; i < len(reqs); i++ {
+			g := reqs[i].Track*c.d + reqs[i].Disk
+			if g != prev+1 {
+				return fmt.Errorf("%w: request %d has global block index %d, want %d (consecutive format g = track·D + disk)",
+					ErrCheckStripe, i, g, prev+1)
+			}
+			prev = g
+		}
+	}
+	return nil
+}
+
+// commit records a successful operation's effects: written blocks become
+// initialised. Called with opMu held, after the transfers succeed.
+func (c *checker) commit(reqs []BlockReq, read bool) {
+	if read {
+		return
+	}
+	for _, r := range reqs {
+		c.written[blockAddr{r.Disk, r.Track}] = struct{}{}
+	}
+}

@@ -1,0 +1,152 @@
+package pdm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fault-injection tests: one per violation class, each asserting both the
+// sentinel and a descriptive message — silent corruption is the failure
+// mode the sanitizer exists to prevent.
+
+func checkedArray(t *testing.T, d, b int, cfg CheckConfig) *DiskArray {
+	t.Helper()
+	a := NewMemArray(d, b)
+	t.Cleanup(func() { _ = a.Close() })
+	a.EnableChecked(cfg)
+	return a
+}
+
+func blocks(b, n int) [][]Word {
+	out := make([][]Word, n)
+	for i := range out {
+		out[i] = make([]Word, b)
+	}
+	return out
+}
+
+func TestCheckedBoundsDisk(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{})
+	err := a.WriteBlocks([]BlockReq{{Disk: 2, Track: 0}}, blocks(4, 1))
+	if !errors.Is(err, ErrCheckBounds) {
+		t.Fatalf("disk out of range: got %v, want ErrCheckBounds", err)
+	}
+	if !strings.Contains(err.Error(), "disk 2") || !strings.Contains(err.Error(), "D=2") {
+		t.Errorf("error should name the offending disk and the bound: %v", err)
+	}
+}
+
+func TestCheckedBoundsNegativeTrack(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{})
+	err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: -1}}, blocks(4, 1))
+	if !errors.Is(err, ErrCheckBounds) {
+		t.Fatalf("negative track: got %v, want ErrCheckBounds", err)
+	}
+	if !strings.Contains(err.Error(), "track -1") {
+		t.Errorf("error should name the offending track: %v", err)
+	}
+}
+
+func TestCheckedBoundsMaxTracks(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{MaxTracks: 8})
+	if err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: 7}}, blocks(4, 1)); err != nil {
+		t.Fatalf("track inside bound rejected: %v", err)
+	}
+	err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: 8}}, blocks(4, 1))
+	if !errors.Is(err, ErrCheckBounds) {
+		t.Fatalf("track at bound: got %v, want ErrCheckBounds", err)
+	}
+	if !strings.Contains(err.Error(), "track 8") || !strings.Contains(err.Error(), "bound is 8") {
+		t.Errorf("error should name track and bound: %v", err)
+	}
+}
+
+func TestCheckedOverlappingWrites(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{})
+	err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: 3}, {Disk: 0, Track: 3}}, blocks(4, 2))
+	if !errors.Is(err, ErrCheckOverlap) {
+		t.Fatalf("overlapping writes: got %v, want ErrCheckOverlap", err)
+	}
+	if !strings.Contains(err.Error(), "disk 0 track 3") {
+		t.Errorf("error should name the contested block: %v", err)
+	}
+	// The overlap sentinel must win over the generic disk-conflict error:
+	// it names the corruption, not just the scheduling violation.
+	if errors.Is(err, ErrDiskConflict) {
+		t.Errorf("overlap should be reported as ErrCheckOverlap, not ErrDiskConflict: %v", err)
+	}
+}
+
+func TestCheckedUninitializedRead(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{RequireInit: true})
+	err := a.ReadBlocks([]BlockReq{{Disk: 1, Track: 5}}, blocks(4, 1))
+	if !errors.Is(err, ErrCheckUninitRead) {
+		t.Fatalf("uninitialised read: got %v, want ErrCheckUninitRead", err)
+	}
+	if !strings.Contains(err.Error(), "disk 1 track 5") {
+		t.Errorf("error should name the unwritten block: %v", err)
+	}
+	// After a write the same read must succeed.
+	if err := a.WriteBlocks([]BlockReq{{Disk: 1, Track: 5}}, blocks(4, 1)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := a.ReadBlocks([]BlockReq{{Disk: 1, Track: 5}}, blocks(4, 1)); err != nil {
+		t.Fatalf("read after write still rejected: %v", err)
+	}
+}
+
+func TestCheckedFailedWriteNotCommitted(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{RequireInit: true})
+	// A write rejected by validation must not mark its blocks initialised.
+	if err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: 1}, {Disk: 0, Track: 1}}, blocks(4, 2)); err == nil {
+		t.Fatal("overlapping write unexpectedly accepted")
+	}
+	err := a.ReadBlocks([]BlockReq{{Disk: 0, Track: 1}}, blocks(4, 1))
+	if !errors.Is(err, ErrCheckUninitRead) {
+		t.Fatalf("read after failed write: got %v, want ErrCheckUninitRead", err)
+	}
+}
+
+func TestCheckedStripeConformance(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{Stripe: true})
+	// g = track·D + disk: {0,0}=0, {1,0}... write run g=0,1,2,3 over two ops.
+	if err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: 0}, {Disk: 1, Track: 0}}, blocks(4, 2)); err != nil {
+		t.Fatalf("consecutive run rejected: %v", err)
+	}
+	if err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: 1}, {Disk: 1, Track: 1}}, blocks(4, 2)); err != nil {
+		t.Fatalf("consecutive run rejected: %v", err)
+	}
+	// g=0 then g=3: a gap inside one op violates the consecutive format.
+	err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: 0}, {Disk: 1, Track: 1}}, blocks(4, 2))
+	if !errors.Is(err, ErrCheckStripe) {
+		t.Fatalf("gapped run: got %v, want ErrCheckStripe", err)
+	}
+	if !strings.Contains(err.Error(), "global block index 3, want 1") {
+		t.Errorf("error should name observed and expected index: %v", err)
+	}
+}
+
+func TestCheckedRejectedOpNotCounted(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{})
+	before := a.Stats().ParallelOps
+	if err := a.WriteBlocks([]BlockReq{{Disk: 5, Track: 0}}, blocks(4, 1)); err == nil {
+		t.Fatal("out-of-bounds write unexpectedly accepted")
+	}
+	if got := a.Stats().ParallelOps; got != before {
+		t.Errorf("rejected op was counted: ops %d -> %d", before, got)
+	}
+}
+
+func TestCheckedDisable(t *testing.T) {
+	a := checkedArray(t, 2, 4, CheckConfig{RequireInit: true})
+	a.DisableChecked()
+	// MemDisk itself still rejects truly unallocated tracks, so write
+	// first, then the read must pass without the sanitizer objecting.
+	if err := a.WriteBlocks([]BlockReq{{Disk: 0, Track: 0}}, blocks(4, 1)); err != nil {
+		t.Fatalf("write after disable: %v", err)
+	}
+	if err := a.ReadBlocks([]BlockReq{{Disk: 0, Track: 0}}, blocks(4, 1)); err != nil {
+		t.Fatalf("read after disable: %v", err)
+	}
+}

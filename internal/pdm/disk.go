@@ -59,6 +59,8 @@ func (d *MemDisk) Tracks() int {
 }
 
 // ReadTrack copies track t into dst.
+//
+// emcgm:hotpath
 func (d *MemDisk) ReadTrack(t int, dst []Word) error {
 	if len(dst) != d.b {
 		return ErrBadBlockSize
@@ -76,6 +78,8 @@ func (d *MemDisk) ReadTrack(t int, dst []Word) error {
 }
 
 // WriteTrack stores src as track t.
+//
+// emcgm:hotpath
 func (d *MemDisk) WriteTrack(t int, src []Word) error {
 	if len(src) != d.b {
 		return ErrBadBlockSize
@@ -92,6 +96,8 @@ func (d *MemDisk) WriteTrack(t int, src []Word) error {
 		d.tracks = append(d.tracks, nil)
 	}
 	if d.tracks[t] == nil {
+		// emcgm:coldpath first write of a track slices it from the arena;
+		// the refill make is amortised over memDiskArenaTracks tracks
 		if len(d.arena) < d.b {
 			d.arena = make([]Word, memDiskArenaTracks*d.b)
 		}
