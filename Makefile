@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build test race bench allocs lint fuzz
+.PHONY: verify build test race bench allocs lint lint-tool fuzz
 
 verify: build test race
 
@@ -30,13 +30,25 @@ allocs:
 	$(GO) test -bench 'BenchmarkDiskArrayOp' -benchmem ./internal/pdm/
 	$(GO) test -bench 'BenchmarkFig5GroupA/sort-emcgm' -benchmem .
 
+# Build the invariant lint suite as a standalone vet tool and print its
+# absolute path, so shell substitution composes:
+#
+#	go vet -vettool=$$(make -s lint-tool) ./...
+lint-tool:
+	@$(GO) build -o bin/emcgm-lint ./cmd/emcgm-lint
+	@echo $(CURDIR)/bin/emcgm-lint
+
 # Invariant lint: hotpathalloc (no heap allocation in emcgm:hotpath
 # functions), recorderguard (obs calls behind nil guards), ioerrcheck
-# (no dropped I/O errors). golangci-lint runs too when present; it is
-# not vendored, so the target degrades gracefully without it.
+# (no dropped I/O errors), detorder (determinism scope), barrierpair
+# (compensating barrier sends), lockscope (sends/blocking calls under
+# locks, span pairing), paramcheck (validated core.Config). Driven
+# through `go vet -vettool` so per-package results land in the build
+# cache; golangci-lint runs too when present — it is not vendored, so
+# the target degrades gracefully without it.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/emcgm-lint ./...
+	$(GO) vet -vettool=$$($(MAKE) -s lint-tool) ./...
 	@if command -v golangci-lint >/dev/null 2>&1; then \
 		golangci-lint run ./...; \
 	else \
@@ -48,3 +60,4 @@ lint:
 fuzz:
 	$(GO) test ./internal/wordcodec -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/balance -run '^$$' -fuzz FuzzBalancedRouting -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/layout -run '^$$' -fuzz FuzzStaggeredLayout -fuzztime $(FUZZTIME)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/pdm"
@@ -63,6 +64,14 @@ func main() {
 	}
 	if *b > 0 {
 		s.B = *b
+	}
+	// The experiments derive every machine from this scale; validate it
+	// once up front so a bad -v/-p/-b combination is a descriptive
+	// precondition error instead of a failure deep inside a figure run.
+	scfg := core.Config{V: s.V, P: s.P, D: 1, B: s.B}
+	if err := scfg.ValidateFor(s.N); err != nil {
+		fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+		os.Exit(2)
 	}
 
 	if *traceOut != "" || *debugAddr != "" {

@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/pdm"
@@ -43,6 +44,13 @@ func main() {
 	}
 	if *grid == "" && (*n < 1 || *m < 0) {
 		fmt.Fprintf(os.Stderr, "emcgm-graph: need -n >= 1 and -m >= 0, got n=%d m=%d\n", *n, *m)
+		os.Exit(2)
+	}
+	// Every pipeline stage below runs on this machine shape; fail fast
+	// with the violated paper precondition (e.g. p must divide v).
+	mcfg := core.Config{V: *v, P: *p, D: *d, B: *b}
+	if err := mcfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "emcgm-graph: %v\n", err)
 		os.Exit(2)
 	}
 

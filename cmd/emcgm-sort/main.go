@@ -3,7 +3,7 @@
 // quickstart CLI for the library:
 //
 //	emcgm-sort -n 1000000 -v 16 -p 4 -d 2 -b 512
-//	emcgm-sort -n 100000 -balanced          # with BalancedRouting
+//	emcgm-sort -n 200000 -v 8 -balanced     # with BalancedRouting
 //	emcgm-sort -n 100000 -disks /tmp/emcgm  # real file-backed disks
 //	emcgm-sort -n 100000 -trace out.json    # Chrome trace (Perfetto)
 //	emcgm-sort -n 100000 -steps             # per-superstep I/O table
@@ -49,16 +49,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if *v%*p != 0 {
-		fmt.Fprintf(os.Stderr, "emcgm-sort: -p (%d) must divide -v (%d)\n", *p, *v)
-		os.Exit(2)
-	}
 	if *msgs && !*balanced {
 		fmt.Fprintln(os.Stderr, "emcgm-sort: -msgs needs -balanced (no message rounds to report otherwise)")
 		os.Exit(2)
 	}
 
 	cfg := core.Config{V: *v, P: *p, D: *d, B: *b, Balanced: *balanced}
+	if err := cfg.ValidateFor(*n); err != nil {
+		fmt.Fprintf(os.Stderr, "emcgm-sort: %v\n", err)
+		os.Exit(2)
+	}
 	if *traceOut != "" || *steps || *msgs || *debugAddr != "" {
 		cfg.Recorder = obs.NewRecorder()
 	}

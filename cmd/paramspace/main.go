@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/theory"
 )
@@ -32,6 +33,16 @@ func main() {
 	if *n <= 0 || *v < 1 || *d < 1 || *b < 1 {
 		fmt.Fprintf(os.Stderr, "paramspace: need -n > 0, -v/-d/-b >= 1; got n=%g v=%d d=%d b=%d\n", *n, *v, *d, *b)
 		os.Exit(2)
+	}
+	// Structural machine preconditions first (D ≥ 1, B ≥ 1, p ≤ v);
+	// the Theorem 4 side conditions below assume a well-formed machine.
+	pcfg := core.Config{V: *v, P: 1, D: *d, B: *b}
+	if err := pcfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "paramspace: %v\n", err)
+		os.Exit(2)
+	}
+	if min := pcfg.LemmaMinN(); int(*n) < min {
+		fmt.Printf("note: N=%g is below the Lemma 1–2 balanced-routing bound v²B + v²(v−1)/2 = %d\n", *n, min)
 	}
 	c := theory.ConstantForParams(*n, float64(*v), float64(*b))
 	fmt.Printf("N=%g, v=%d, B=%d: log_{M/B}(N/B) collapses to c = %d (M = N/v = %g)\n",

@@ -39,6 +39,9 @@ func main() {
 	// 2. The same program, simulated on one processor with D disks
 	//    (the paper's Algorithm 2).
 	cfgSeq := sortalg.EMSortConfig(core.Config{V: v, P: 1, D: d, B: b}, n)
+	if err := cfgSeq.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	seq, err := core.RunSeq[int64](prog, wordcodec.I64{}, cfgSeq, cgm.Scatter(keys, v))
 	if err != nil {
 		log.Fatal(err)
@@ -48,6 +51,9 @@ func main() {
 
 	// 3. Four real processors, each with its own disks (Algorithm 3).
 	cfgPar := sortalg.EMSortConfig(core.Config{V: v, P: 4, D: d, B: b}, n)
+	if err := cfgPar.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	par, err := core.RunPar[int64](prog, wordcodec.I64{}, cfgPar, cgm.Scatter(keys, v))
 	if err != nil {
 		log.Fatal(err)

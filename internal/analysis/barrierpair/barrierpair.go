@@ -1,0 +1,281 @@
+// Package barrierpair statically checks the superstep barrier contract
+// that the PR 2 deadlock fix established dynamically: a function
+// annotated
+//
+//	// emcgm:barrier(send=chans,rounds=v)
+//
+// participates in a send/receive barrier — its peers block until they
+// have received every batch the function owes on the channels rooted at
+// `send`. The annotation declares that every exit path either completes
+// the per-round sends or is compensated by a deferred drain. The
+// analyzer enforces the shape that makes the claim true:
+//
+//   - the function must send on the named channels somewhere (an
+//     annotation naming channels the function never touches is stale);
+//   - an unconditional top-level defer must contain a compensating send
+//     on the named channels, so panics and error returns still release
+//     the peers (a defer nested inside a branch only compensates that
+//     branch);
+//   - no return may precede the registration of that defer — an early
+//     exit before the defer is live leaves the barrier short;
+//   - when `rounds` is given, the compensating sends must sit inside a
+//     loop: a single send cannot cover a multi-round debt.
+//
+// The annotation binds to the function declaration carrying it in its
+// doc comment, or — for function literals such as `runProc := func…` —
+// to the first function literal of the annotated statement.
+package barrierpair
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the barrierpair analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "barrierpair",
+	Doc:  "checks emcgm:barrier functions compensate their sends on every exit",
+	Run:  run,
+}
+
+const prefix = "emcgm:barrier("
+
+// spec is one parsed emcgm:barrier annotation.
+type spec struct {
+	send   string // root identifier of the barrier channels
+	rounds string // loop-bound expression, "" when absent
+}
+
+func parseSpec(text string) (spec, bool) {
+	for _, f := range strings.Fields(text) {
+		if !strings.HasPrefix(f, prefix) || !strings.HasSuffix(f, ")") {
+			continue
+		}
+		var s spec
+		args := strings.TrimSuffix(strings.TrimPrefix(f, prefix), ")")
+		for _, kv := range strings.Split(args, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				continue
+			}
+			switch k {
+			case "send":
+				s.send = v
+			case "rounds":
+				s.rounds = v
+			}
+		}
+		if s.send != "" {
+			return s, true
+		}
+	}
+	return spec{}, false
+}
+
+func groupSpec(g *ast.CommentGroup) (spec, bool) {
+	if g == nil {
+		return spec{}, false
+	}
+	for _, c := range g.List {
+		if s, ok := parseSpec(c.Text); ok {
+			return s, true
+		}
+	}
+	return spec{}, false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// Annotated declarations.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if s, ok := groupSpec(fd.Doc); ok {
+				checkFunc(pass, fd.Name.Name, fd.Body, s)
+			}
+		}
+		// Annotated statements binding to function literals.
+		cm := ast.NewCommentMap(pass.Fset, file, file.Comments)
+		for node, groups := range cm {
+			if _, isStmt := node.(ast.Stmt); !isStmt {
+				continue // declarations were handled above
+			}
+			for _, g := range groups {
+				s, ok := groupSpec(g)
+				if !ok {
+					continue
+				}
+				lit := firstFuncLit(node)
+				if lit == nil {
+					pass.Reportf(g.Pos(), "emcgm:barrier annotation is not attached to a function")
+					continue
+				}
+				checkFunc(pass, nameFor(node), lit.Body, s)
+			}
+		}
+	}
+	return nil
+}
+
+// firstFuncLit returns the first function literal in the annotated node
+// (the `name := func…` binding idiom).
+func firstFuncLit(n ast.Node) *ast.FuncLit {
+	var lit *ast.FuncLit
+	ast.Inspect(n, func(c ast.Node) bool {
+		if lit != nil {
+			return false
+		}
+		if fl, ok := c.(*ast.FuncLit); ok {
+			lit = fl
+			return false
+		}
+		return true
+	})
+	return lit
+}
+
+// nameFor labels diagnostics for annotated assignments (`runProc := …`).
+func nameFor(n ast.Node) string {
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) > 0 {
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "function literal"
+}
+
+func checkFunc(pass *analysis.Pass, name string, body *ast.BlockStmt, s spec) {
+	// Locate the compensating defer: a top-level defer whose closure
+	// sends on the barrier channels.
+	var compens *ast.DeferStmt
+	var nested *ast.DeferStmt
+	for _, st := range body.List {
+		if d, ok := st.(*ast.DeferStmt); ok && sendsOn(d, s.send) {
+			compens = d
+			break
+		}
+	}
+	if compens == nil {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok && nested == nil && sendsOn(d, s.send) {
+				nested = d
+			}
+			return true
+		})
+	}
+	switch {
+	case compens != nil:
+	case nested != nil:
+		pass.Reportf(nested.Pos(), "%s: compensating send on %q is registered inside a branch; the emcgm:barrier contract needs an unconditional top-level defer", name, s.send)
+		return
+	default:
+		pass.Reportf(body.Pos(), "%s is annotated emcgm:barrier(send=%s) but has no deferred compensating send on %q", name, s.send, s.send)
+		return
+	}
+
+	// The function must also pay the debt on the normal path.
+	if !sendsOutsideDefer(body, compens, s.send) {
+		pass.Reportf(body.Pos(), "%s never sends on %q outside the compensation defer; the barrier annotation looks stale", name, s.send)
+	}
+
+	// No exit may precede the defer's registration.
+	reportEarlyReturns(pass, name, body, compens, s.send)
+
+	// A multi-round debt needs a looped compensation.
+	if s.rounds != "" && !sendInLoop(compens, s.send) {
+		pass.Reportf(compens.Pos(), "%s declares rounds=%s but the compensating send on %q is not inside a loop; one send cannot cover a multi-round debt", name, s.rounds, s.send)
+	}
+}
+
+// sendsOn reports whether the defer's call (or closure body) contains a
+// send on channels rooted at ident root.
+func sendsOn(d *ast.DeferStmt, root string) bool {
+	found := false
+	ast.Inspect(d, func(n ast.Node) bool {
+		if sd, ok := n.(*ast.SendStmt); ok && chanRoot(sd.Chan) == root {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// chanRoot resolves the root identifier of a channel expression:
+// chans[k] and chans both root at "chans".
+func chanRoot(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// sendsOutsideDefer reports a send on root in body excluding the
+// compensation defer and nested function literals.
+func sendsOutsideDefer(body *ast.BlockStmt, compens *ast.DeferStmt, root string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == ast.Node(compens) {
+			return false
+		}
+		if sd, ok := n.(*ast.SendStmt); ok && chanRoot(sd.Chan) == root {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// reportEarlyReturns flags returns that execute before the compensation
+// defer is registered, skipping nested function literals (their returns
+// do not exit this function).
+func reportEarlyReturns(pass *analysis.Pass, name string, body *ast.BlockStmt, compens *ast.DeferStmt, root string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if n.Pos() < compens.Pos() {
+				pass.Reportf(n.Pos(), "%s returns before the compensating send on %q is deferred; this exit leaves the barrier short", name, root)
+			}
+		}
+		return true
+	})
+}
+
+// sendInLoop reports whether every send on root inside the defer sits
+// under at least one for/range statement.
+func sendInLoop(d *ast.DeferStmt, root string) bool {
+	ok := true
+	analysis.WalkStack(d, func(stack []ast.Node) bool {
+		sd, isSend := stack[len(stack)-1].(*ast.SendStmt)
+		if !isSend || chanRoot(sd.Chan) != root {
+			return true
+		}
+		looped := false
+		for _, anc := range stack[:len(stack)-1] {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				looped = true
+			}
+		}
+		if !looped {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,15 @@
+package barrierpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/barrierpair"
+)
+
+// TestAnalyzer runs barrierpair over the testdata: every `want` line is
+// a barrier-contract violation it must catch, every other function a
+// compensation shape it must accept.
+func TestAnalyzer(t *testing.T) {
+	antest.Run(t, barrierpair.Analyzer, "../testdata/src/barrierpair/bp")
+}

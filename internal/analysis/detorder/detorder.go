@@ -1,0 +1,182 @@
+// Package detorder enforces the determinism contract of the simulation's
+// core packages: a package whose package documentation carries
+// `// emcgm:deterministic` (or a function whose doc comment does) must
+// produce bit-identical I/O schedules and op counts for identical inputs.
+// The paper's accounting — ops_regression's byte-for-byte comparison of
+// figure tables — depends on it.
+//
+// Inside the deterministic scope the analyzer reports:
+//
+//   - range statements over maps whose iteration order can escape into
+//     results. A map range is accepted when its body is visibly
+//     order-insensitive: only commutative accumulations (x++, x--,
+//     x += e, |=, &=, ^=, *=) and writes indexed by the range key
+//     (out[k] = e), which touch distinct elements;
+//   - calls to time.Now, time.Since, or time.Until outside
+//     observability-guarded code (`if rec != nil { ... }` for a
+//     *obs.Recorder) — wall-clock values must never steer the
+//     simulation, only describe it;
+//   - calls to math/rand package-level functions, which draw from the
+//     shared unseeded global source (rand.New(rand.NewSource(seed)) and
+//     methods on an explicit *rand.Rand are fine);
+//   - select statements with two or more communication cases: when
+//     several are ready the runtime picks uniformly at random.
+//
+// A statement annotated `// emcgm:orderok <reason>` is exempt; the
+// annotation is the reviewed claim that the order cannot be observed.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detorder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "reports nondeterminism sources inside emcgm:deterministic scope",
+	Run:  run,
+}
+
+const marker = "emcgm:deterministic"
+
+func run(pass *analysis.Pass) error {
+	pkgMarked := false
+	for _, file := range pass.Files {
+		if analysis.FileMarked(file, marker) {
+			pkgMarked = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		waived := analysis.MarkedNodes(pass.Fset, file, "emcgm:orderok")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pkgMarked && !analysis.FuncMarked(fd, marker) {
+				continue
+			}
+			checkFunc(pass, fd, waived)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, waived map[ast.Node]bool) {
+	info := pass.TypesInfo
+	analysis.WalkStack(fd.Body, func(stack []ast.Node) bool {
+		n := stack[len(stack)-1]
+		if waived[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); ok {
+				if !orderInsensitiveBody(info, n) {
+					pass.Reportf(n.Pos(), "map iteration order escapes in deterministic scope; iterate sorted keys or mark // emcgm:orderok with a reason")
+				}
+			}
+		case *ast.SelectStmt:
+			comm := 0
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comm++
+				}
+			}
+			if comm >= 2 {
+				pass.Reportf(n.Pos(), "select with %d communication cases is scheduled nondeterministically in deterministic scope", comm)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, stack, n)
+		}
+		return true
+	})
+}
+
+// checkCall reports wall-clock reads outside observability guards and
+// draws from the global math/rand source.
+func checkCall(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := analysis.Callee(info, call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			if !analysis.RecorderGuarded(info, stack) {
+				pass.Reportf(call.Pos(), "time.%s outside an observability guard in deterministic scope; wall-clock values must not steer the simulation", fn.Name())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return // methods on an explicit *rand.Rand carry their own seed
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors of seeded generators
+		}
+		pass.Reportf(call.Pos(), "%s.%s draws from the unseeded global source in deterministic scope; use rand.New(rand.NewSource(seed))", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// orderInsensitiveBody reports whether every statement of the range body
+// is a commutative accumulation on integers or a write to a distinct
+// element indexed by the range key — forms whose result is independent of
+// visit order. Floating-point accumulation is not exempt: FP addition is
+// not associative, so reordering changes the rounded sum.
+func orderInsensitiveBody(info *types.Info, rs *ast.RangeStmt) bool {
+	key, _ := rs.Key.(*ast.Ident)
+	for _, st := range rs.Body.List {
+		switch s := st.(type) {
+		case *ast.IncDecStmt:
+			if !isInteger(info.TypeOf(s.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+				token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				for _, lhs := range s.Lhs {
+					if !isInteger(info.TypeOf(lhs)) {
+						return false
+					}
+				}
+			case token.ASSIGN:
+				if key == nil || key.Name == "_" {
+					return false
+				}
+				for _, lhs := range s.Lhs {
+					ix, ok := lhs.(*ast.IndexExpr)
+					if !ok {
+						return false
+					}
+					id, ok := ix.Index.(*ast.Ident)
+					if !ok || id.Name != key.Name {
+						return false
+					}
+				}
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

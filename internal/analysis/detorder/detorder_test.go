@@ -1,0 +1,21 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/detorder"
+)
+
+// TestAnalyzer runs detorder over the package-scoped testdata: every
+// `want` line is a nondeterminism source it must catch, every other line
+// an idiom it must accept.
+func TestAnalyzer(t *testing.T) {
+	antest.Run(t, detorder.Analyzer, "../testdata/src/detorder/det")
+}
+
+// TestFunctionScope checks that in an unmarked package only functions
+// carrying their own emcgm:deterministic marker are analyzed.
+func TestFunctionScope(t *testing.T) {
+	antest.Run(t, detorder.Analyzer, "../testdata/src/detorder/detfn")
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ExprKey renders a side-effect-free expression (identifier or selector
+// chain, possibly parenthesised) as a stable string key, or "" when the
+// expression is anything else. It is the exported form of the key used by
+// the guard helpers, for analyzers that track variables lexically.
+func ExprKey(e ast.Expr) string { return exprKey(e) }
+
+// Terminates reports whether a statement unconditionally leaves the
+// enclosing function: a return, a panic call, or an if/else chain whose
+// branches all terminate.
+func Terminates(s ast.Stmt) bool { return terminates(s) }
+
+// groupHasMarker reports whether any comment in the group carries the
+// marker as a whole field, with or without a parenthesised argument list
+// (`emcgm:barrier(send=chans)` matches marker "emcgm:barrier").
+func groupHasMarker(g *ast.CommentGroup, marker string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		for _, f := range strings.Fields(c.Text) {
+			if f == marker || strings.HasPrefix(f, marker+"(") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileMarked reports whether the file's package documentation carries the
+// marker. Package-scoped contracts (such as `emcgm:deterministic`) are
+// declared once, in the doc comment of the file that documents the
+// package.
+func FileMarked(f *ast.File, marker string) bool {
+	return groupHasMarker(f.Doc, marker)
+}
+
+// FuncMarked reports whether the function's doc comment carries the
+// marker.
+func FuncMarked(fd *ast.FuncDecl, marker string) bool {
+	return groupHasMarker(fd.Doc, marker)
+}
+
+// MarkedNodes returns the set of AST nodes whose associated comments (per
+// ast.NewCommentMap) contain the marker — the statement-level waiver
+// mechanism (`emcgm:lockheld`, `emcgm:orderok`, `emcgm:coldpath`).
+func MarkedNodes(fset *token.FileSet, f *ast.File, marker string) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	cm := ast.NewCommentMap(fset, f, f.Comments)
+	for node, groups := range cm {
+		for _, g := range groups {
+			if groupHasMarker(g, marker) {
+				out[node] = true
+			}
+		}
+	}
+	return out
+}
+
+// Callee resolves the statically-called function for plain, selector,
+// parenthesised, and generic-instantiation call expressions; nil for
+// calls through function values.
+func Callee(info *types.Info, fun ast.Expr) *types.Func {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.ObjectOf(f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.ObjectOf(f.Sel).(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		return Callee(info, f.X)
+	case *ast.IndexExpr:
+		return Callee(info, f.X)
+	case *ast.IndexListExpr:
+		return Callee(info, f.X)
+	}
+	return nil
+}
+
+// IsNamedType reports whether t (or the pointee, when t is a pointer) is
+// the named type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -80,15 +80,7 @@ func Load(fset *token.FileSet, patterns ...string) ([]*Package, map[string][]str
 		}
 		collectMarkers(m.ImportPath, files, markers)
 
-		info := &types.Info{
-			Types:      map[ast.Expr]types.TypeAndValue{},
-			Defs:       map[*ast.Ident]types.Object{},
-			Uses:       map[*ast.Ident]types.Object{},
-			Selections: map[*ast.SelectorExpr]*types.Selection{},
-			Implicits:  map[ast.Node]types.Object{},
-			Instances:  map[*ast.Ident]types.Instance{},
-			Scopes:     map[ast.Node]*types.Scope{},
-		}
+		info := newTypesInfo()
 		var terrs []error
 		conf := types.Config{
 			Importer: imp,
@@ -117,6 +109,20 @@ func Load(fset *token.FileSet, patterns ...string) ([]*Package, map[string][]str
 		collectMarkers(m.ImportPath, files, markers)
 	}
 	return pkgs, markers, nil
+}
+
+// newTypesInfo allocates the full set of type-checker result maps the
+// analyzers consume; shared by the pattern loader and the vet driver.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestLoadHonorsBuildTags loads a package that hides one file behind a
+// never-matching build constraint. The loader takes its file list from
+// `go list`, which already applies constraints; the excluded file must
+// not be parsed (it would type-error), and the marker on its function
+// must not leak into the registry.
+func TestLoadHonorsBuildTags(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, markers, err := Load(fset, "./testdata/src/loader/tagged")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Syntax) != 1 {
+		t.Errorf("got %d files, want 1: the //go:build never file was parsed", len(pkg.Syntax))
+	}
+	if len(pkg.TypeErrs) != 0 {
+		t.Errorf("type errors from an excluded file: %v", pkg.TypeErrs)
+	}
+	for key := range markers {
+		if strings.Contains(key, "NeverBuilt") {
+			t.Errorf("marker registry leaked the excluded file's function: %s", key)
+		}
+	}
+	if key := FuncKey(pkg.PkgPath, "", "Built"); pkg.Types.Scope().Lookup("Built") == nil {
+		t.Errorf("included file not type-checked: %s missing", key)
+	}
+}
+
+// TestLoadSkipsTestOnlyPackages loads a directory whose only source is
+// a _test.go file. The lint suite governs production code, so the
+// loader must resolve the pattern to zero packages — not fail, and not
+// return a package with no files.
+func TestLoadSkipsTestOnlyPackages(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, _, err := Load(fset, "./testdata/src/loader/testonly")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 0 {
+		t.Errorf("got %d packages, want 0 for a _test.go-only directory", len(pkgs))
+	}
+}

@@ -1,0 +1,558 @@
+// Package lockscope enforces the two pairing disciplines the simulation's
+// concurrency depends on.
+//
+// # Lock regions
+//
+// Between a sync.Mutex/RWMutex Lock (or RLock) and its Unlock — or to the
+// end of the function when the Unlock is deferred — the analyzer reports:
+//
+//   - channel sends: a send that blocks while the lock is held stalls
+//     every other lock waiter, the shape of the deadlock class the
+//     barrier protocol exists to avoid;
+//   - calls to functions marked `// emcgm:blocking` (the pdm parallel-I/O
+//     entry points and the layout wrappers over them): blocking I/O under
+//     a lock serialises the array behind the caller.
+//
+// A statement annotated `// emcgm:lockheld <reason>` is exempt; the
+// annotation is the reviewed argument for why that send or call cannot
+// block on a peer that needs the same lock (see pdm.doBlocks).
+//
+// The region tracking is lexical: branches inherit the held set, and a
+// branch-local Unlock does not release the lock for the statements after
+// the branch.
+//
+// # Span pairing
+//
+// Every obs span that is begun must be ended on every exit path —
+// otherwise the Chrome-trace export nests the remaining events under a
+// phantom phase and the superstep histograms drop the round. For each
+// `sp := rec.Begin(...)` (any call returning obs.Span) the analyzer
+// checks, lexically within the span variable's block:
+//
+//   - the fall-through path reaches an End/EndIO — directly, via
+//     `defer sp.End()`, or inside a trailing `if rec != nil { sp.EndIO(…) }`
+//     guard (obs spans are nil-safe, so the disabled path may skip the
+//     call);
+//   - every return between Begin and that close is preceded by an End
+//     on the span, either in its own block or an enclosing one;
+//   - a span begun in a loop body is closed before the iteration ends;
+//   - a Begin whose result is discarded or assigned to _ is reported
+//     outright: such a span can never be ended.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockscope analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "checks sends/blocking I/O under locks and Begin/End span pairing",
+	Run:  run,
+}
+
+const obsPath = "repro/internal/obs"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		waived := analysis.MarkedNodes(pass.Fset, file, "emcgm:lockheld")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, body := range functionBodies(fd) {
+				lc := &lockChecker{pass: pass, waived: waived}
+				lc.block(body, map[string]bool{})
+				if pass.Pkg.Path() != obsPath {
+					checkSpans(pass, body)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// functionBodies returns the declaration's body plus the body of every
+// nested function literal: each is analyzed as its own lexical scope
+// (a closure neither holds its definer's locks when it runs nor shares
+// its return paths).
+func functionBodies(fd *ast.FuncDecl) []*ast.BlockStmt {
+	bodies := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, fl.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// ---------------------------------------------------------------------
+// Lock regions
+// ---------------------------------------------------------------------
+
+type lockChecker struct {
+	pass   *analysis.Pass
+	waived map[ast.Node]bool
+}
+
+func (c *lockChecker) block(b *ast.BlockStmt, held map[string]bool) {
+	for _, st := range b.List {
+		c.stmt(st, held)
+	}
+}
+
+func (c *lockChecker) stmt(st ast.Stmt, held map[string]bool) {
+	if c.waived[st] {
+		return
+	}
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if key, locking, ok := lockOp(c.pass.TypesInfo, s.X); ok {
+			if locking {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		c.exprs(held, s.X)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			c.pass.Reportf(s.Arrow, "channel send while holding %s; a blocked receiver stalls every lock waiter (annotate // emcgm:lockheld with a reason if the send cannot block)", heldNames(held))
+		}
+		c.exprs(held, s.Chan, s.Value)
+	case *ast.DeferStmt:
+		if key, locking, ok := lockOp(c.pass.TypesInfo, s.Call); ok && !locking {
+			_ = key // deferred unlock: the region extends to function end
+			return
+		}
+		c.exprs(held, s.Call.Args...) // arguments are evaluated under the lock
+	case *ast.GoStmt:
+		c.exprs(held, s.Call.Args...) // the goroutine itself does not hold the lock
+	case *ast.AssignStmt:
+		c.exprs(held, s.Rhs...)
+		c.exprs(held, s.Lhs...)
+	case *ast.ReturnStmt:
+		c.exprs(held, s.Results...)
+	case *ast.IncDecStmt:
+		c.exprs(held, s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.exprs(held, vs.Values...)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		c.block(s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.exprs(held, s.Cond)
+		c.block(s.Body, clone(held))
+		if s.Else != nil {
+			c.stmt(s.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		h := clone(held)
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			c.exprs(h, s.Cond)
+		}
+		c.block(s.Body, h)
+		if s.Post != nil {
+			c.stmt(s.Post, h)
+		}
+	case *ast.RangeStmt:
+		c.exprs(held, s.X)
+		c.block(s.Body, clone(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.exprs(held, s.Tag)
+		c.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			h := clone(held)
+			if cc.Comm != nil {
+				c.stmt(cc.Comm, h)
+			}
+			for _, bst := range cc.Body {
+				c.stmt(bst, h)
+			}
+		}
+	}
+}
+
+func (c *lockChecker) clauses(body *ast.BlockStmt, held map[string]bool) {
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		h := clone(held)
+		c.exprs(h, cc.List...)
+		for _, bst := range cc.Body {
+			c.stmt(bst, h)
+		}
+	}
+}
+
+// exprs reports calls to emcgm:blocking functions inside the given
+// expressions while a lock is held, skipping function literals (their
+// bodies are separate scopes).
+func (c *lockChecker) exprs(held map[string]bool, es ...ast.Expr) {
+	if len(held) == 0 {
+		return
+	}
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(c.pass.TypesInfo, call.Fun)
+			if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "repro/") {
+				return true
+			}
+			key := analysis.FuncObjKey(fn)
+			if key != "" && c.pass.HasMarker(key, "emcgm:blocking") {
+				c.pass.Reportf(call.Pos(), "call to %s.%s (emcgm:blocking) while holding %s; blocking I/O under a lock stalls every lock waiter (annotate // emcgm:lockheld with a reason if safe)", fn.Pkg().Name(), fn.Name(), heldNames(held))
+			}
+			return true
+		})
+	}
+}
+
+// lockOp recognises x.Lock/RLock/Unlock/RUnlock calls on sync.Mutex or
+// sync.RWMutex values and returns the lock's lexical key.
+func lockOp(info *types.Info, e ast.Expr) (key string, locking, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || (!analysis.IsNamedType(t, "sync", "Mutex") && !analysis.IsNamedType(t, "sync", "RWMutex")) {
+		return "", false, false
+	}
+	key = analysis.ExprKey(sel.X)
+	if key == "" {
+		key = sel.Sel.Name
+	}
+	return key, locking, true
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Span pairing
+// ---------------------------------------------------------------------
+
+// spanInfo is one tracked Begin: key is the span variable, assign the
+// binding statement, stack its ancestor chain within the function body.
+type spanInfo struct {
+	key    string
+	assign *ast.AssignStmt
+	stack  []ast.Node
+}
+
+type returnSite struct {
+	ret   *ast.ReturnStmt
+	stack []ast.Node
+}
+
+func checkSpans(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var spans []spanInfo
+	var returns []returnSite
+	deferEnds := map[string][]token.Pos{}
+
+	analysis.WalkStack(body, func(stack []ast.Node) bool {
+		n := stack[len(stack)-1]
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are analyzed as their own scopes
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isSpanCall(info, rhs) {
+					continue
+				}
+				key := analysis.ExprKey(n.Lhs[i])
+				if key == "" || key == "_" {
+					pass.Reportf(rhs.Pos(), "span is discarded at birth; it can never be ended")
+					continue
+				}
+				spans = append(spans, spanInfo{key: key, assign: n, stack: append([]ast.Node(nil), stack...)})
+			}
+		case *ast.ExprStmt:
+			if isSpanCall(info, n.X) {
+				pass.Reportf(n.X.Pos(), "span is discarded at birth; it can never be ended")
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, returnSite{ret: n, stack: append([]ast.Node(nil), stack...)})
+		case *ast.DeferStmt:
+			if key, ok := endCallKey(info, n.Call); ok {
+				deferEnds[key] = append(deferEnds[key], n.Pos())
+			}
+		}
+		return true
+	})
+
+	for _, sp := range spans {
+		checkFallThrough(pass, info, sp)
+		checkReturns(pass, info, sp, returns, deferEnds[sp.key])
+	}
+}
+
+// isSpanCall reports a call expression whose result is an obs.Span.
+func isSpanCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(call)
+	return t != nil && analysis.IsNamedType(t, obsPath, "Span")
+}
+
+// endCallKey recognises key.End() / key.EndIO(...) on an obs.Span and
+// returns the span's lexical key.
+func endCallKey(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndIO") {
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !analysis.IsNamedType(t, obsPath, "Span") {
+		return "", false
+	}
+	return analysis.ExprKey(sel.X), true
+}
+
+// closes reports whether st ends the span on the path that executes it:
+// a direct End/EndIO, a deferred one, or a non-branching observability
+// guard `if … { key.EndIO(…) }` whose body ends the span at top level.
+func closes(info *types.Info, st ast.Stmt, key string) bool {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if k, ok := endCallKey(info, call); ok && k == key {
+				return true
+			}
+		}
+	case *ast.DeferStmt:
+		if k, ok := endCallKey(info, s.Call); ok && k == key {
+			return true
+		}
+	case *ast.IfStmt:
+		// The nil-safe obs idiom: the enabled branch ends the span, the
+		// disabled branch holds a no-op span for which End is optional.
+		for _, bst := range s.Body.List {
+			if es, ok := bst.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if k, ok := endCallKey(info, call); ok && k == key {
+						return true
+					}
+				}
+			}
+		}
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				for _, bst := range blk.List {
+					if closes(info, bst, key) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// reassigns reports whether st rebinds key to a fresh span.
+func reassigns(info *types.Info, st ast.Stmt, key string) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, rhs := range as.Rhs {
+		if isSpanCall(info, rhs) && analysis.ExprKey(as.Lhs[i]) == key {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtList(n ast.Node) ([]ast.Stmt, bool) {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List, true
+	case *ast.CaseClause:
+		return n.Body, true
+	case *ast.CommClause:
+		return n.Body, true
+	}
+	return nil, false
+}
+
+// checkFallThrough walks outward from the Begin, requiring the span to
+// be closed before control falls off the end of its scope. Loop bodies
+// are a hard boundary: an un-ended span leaks once per iteration.
+func checkFallThrough(pass *analysis.Pass, info *types.Info, sp spanInfo) {
+	for i := len(sp.stack) - 2; i >= 0; i-- {
+		parent := sp.stack[i]
+		cur := sp.stack[i+1] // the child statement at this nesting level
+		list, ok := stmtList(parent)
+		if !ok {
+			switch parent.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				pass.Reportf(sp.assign.Pos(), "span %q is not ended before the end of its loop body; the next iteration leaks it", sp.key)
+				return
+			}
+			continue
+		}
+		scanning := false
+		for _, st := range list {
+			if !scanning {
+				scanning = st == ast.Node(cur)
+				continue
+			}
+			if closes(info, st, sp.key) {
+				return
+			}
+			if reassigns(info, st, sp.key) {
+				pass.Reportf(st.Pos(), "span %q is reassigned before being ended", sp.key)
+				return
+			}
+			if analysis.Terminates(st) {
+				return // this exit is checked as a return path
+			}
+		}
+		cur = parent
+	}
+	pass.Reportf(sp.assign.Pos(), "span %q is not ended on the fall-through path to function exit", sp.key)
+}
+
+// checkReturns requires every return lexically inside the span's scope
+// and after its Begin to be preceded — in its own block or an enclosing
+// one, after the Begin — by an End on the span, unless a defer already
+// guarantees it.
+func checkReturns(pass *analysis.Pass, info *types.Info, sp spanInfo, returns []returnSite, deferEnds []token.Pos) {
+	scope := sp.stack[len(sp.stack)-2] // the node owning the Begin's statement list
+	beginPos := sp.assign.Pos()
+	for _, rs := range returns {
+		if rs.ret.Pos() <= sp.assign.End() || !stackContains(rs.stack, scope) {
+			continue
+		}
+		if coveredByDefer(deferEnds, beginPos, rs.ret.Pos()) {
+			continue
+		}
+		if returnCovered(info, sp, rs) {
+			continue
+		}
+		pos := pass.Fset.Position(beginPos)
+		pass.Reportf(rs.ret.Pos(), "span %q begun at line %d is not ended on this return path", sp.key, pos.Line)
+	}
+}
+
+func coveredByDefer(deferEnds []token.Pos, begin, ret token.Pos) bool {
+	for _, p := range deferEnds {
+		if p > begin && p < ret {
+			return true
+		}
+	}
+	return false
+}
+
+// returnCovered scans each block enclosing the return, from innermost
+// out to the span's own block, for a closing statement between the Begin
+// and the return.
+func returnCovered(info *types.Info, sp spanInfo, rs returnSite) bool {
+	for i := len(rs.stack) - 2; i >= 0; i-- {
+		list, ok := stmtList(rs.stack[i])
+		if !ok {
+			continue
+		}
+		bound := rs.stack[i+1].Pos()
+		for _, st := range list {
+			if st.End() > bound {
+				break
+			}
+			if st.Pos() > sp.assign.Pos() && closes(info, st, sp.key) {
+				return true
+			}
+		}
+		if rs.stack[i] == sp.stack[len(sp.stack)-2] {
+			break // do not scan outside the span's scope
+		}
+	}
+	return false
+}
+
+func stackContains(stack []ast.Node, n ast.Node) bool {
+	for _, s := range stack {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/lockscope"
+)
+
+// TestLockRegions runs lockscope over the lock-region testdata: sends
+// and emcgm:blocking calls under held mutexes.
+func TestLockRegions(t *testing.T) {
+	antest.Run(t, lockscope.Analyzer, "../testdata/src/lockscope/ls")
+}
+
+// TestSpanPairing runs lockscope over the span testdata: every Begin
+// must be paired with an End on all exits.
+func TestSpanPairing(t *testing.T) {
+	antest.Run(t, lockscope.Analyzer, "../testdata/src/lockscope/span")
+}

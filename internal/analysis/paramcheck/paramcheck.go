@@ -1,0 +1,136 @@
+// Package paramcheck enforces the paper's parameter preconditions at the
+// simulation's entry points: a core.Config built from a struct literal
+// outside package core must flow through Config.Validate (or ValidateFor,
+// which adds the Lemma 1–2 bound N ≥ v²B + v²(v−1)/2) before it reaches a
+// function marked `// emcgm:needsvalidated` — RunSeq, RunPar, and the EM
+// wrappers. An unvalidated literal compiles fine and fails deep inside a
+// superstep (or worse, silently breaks the balanced-routing guarantees);
+// the analyzer moves that failure to vet time.
+//
+// The tracking is lexical and per function:
+//
+//   - `cfg := core.Config{...}` taints cfg;
+//   - a call to cfg.Validate(...) or cfg.ValidateFor(...) — in any
+//     position, including `if err := cfg.Validate(); …` — clears it;
+//   - reassignment from anything that is not a Config literal clears it
+//     too (helpers like sortalg.EMSortConfig return a vetted copy);
+//   - passing a tainted variable, or an inline core.Config{...} literal,
+//     as an argument to a marked function is reported.
+//
+// Config values received as parameters or loaded from elsewhere are the
+// caller's responsibility and are not tracked. Package core itself is
+// exempt (it validates at the boundary), as are test files, which the
+// loader never parses.
+package paramcheck
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the paramcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "paramcheck",
+	Doc:  "reports unvalidated core.Config literals reaching emcgm:needsvalidated functions",
+	Run:  run,
+}
+
+const (
+	corePath = "repro/internal/core"
+	marker   = "emcgm:needsvalidated"
+)
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == corePath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	tainted := map[string]bool{} // Config vars built from a literal, not yet validated
+
+	// A single pre-order walk visits nodes in lexical order, which is
+	// exactly the order the taint state must evolve in.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				key := analysis.ExprKey(n.Lhs[i])
+				if key == "" || key == "_" {
+					continue
+				}
+				if isConfigLiteral(pass, rhs) {
+					tainted[key] = true
+				} else {
+					delete(tainted, key)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, tainted, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, tainted map[string]bool, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// cfg.Validate() / cfg.ValidateFor(n) clears the taint.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Validate" || sel.Sel.Name == "ValidateFor" {
+			if analysis.IsNamedType(info.TypeOf(sel.X), corePath, "Config") {
+				delete(tainted, analysis.ExprKey(sel.X))
+				return
+			}
+		}
+	}
+
+	fn := analysis.Callee(info, call.Fun)
+	if fn == nil {
+		return
+	}
+	key := analysis.FuncObjKey(fn)
+	if key == "" || !pass.HasMarker(key, marker) {
+		return
+	}
+	for _, arg := range call.Args {
+		if !analysis.IsNamedType(info.TypeOf(arg), corePath, "Config") {
+			continue
+		}
+		if isConfigLiteral(pass, arg) {
+			pass.Reportf(arg.Pos(), "inline core.Config literal reaches %s, which requires a validated configuration; bind it and call Validate (paper preconditions: p ≤ v, p | v, D ≥ 1, B ≥ 1)", fn.Name())
+			continue
+		}
+		if k := analysis.ExprKey(arg); k != "" && tainted[k] {
+			pass.Reportf(arg.Pos(), "core.Config %q is built from a literal but never validated before reaching %s; call %s.Validate (or ValidateFor for the Lemma 1–2 bound) first", k, fn.Name(), k)
+		}
+	}
+}
+
+// isConfigLiteral reports a core.Config composite literal, possibly
+// wrapped in parentheses or a conversion-free address expression.
+func isConfigLiteral(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return isConfigLiteral(pass, x.X)
+	case *ast.UnaryExpr:
+		return isConfigLiteral(pass, x.X)
+	case *ast.CompositeLit:
+		return analysis.IsNamedType(pass.TypesInfo.TypeOf(x), corePath, "Config")
+	}
+	return false
+}

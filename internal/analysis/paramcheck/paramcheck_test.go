@@ -1,0 +1,15 @@
+package paramcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/paramcheck"
+)
+
+// TestAnalyzer runs paramcheck over the testdata: every `want` line is
+// an unvalidated configuration it must catch, every other call a flow
+// it must accept.
+func TestAnalyzer(t *testing.T) {
+	antest.Run(t, paramcheck.Analyzer, "../testdata/src/paramcheck/pc")
+}

@@ -53,15 +53,36 @@ func Run(analyzers []*Analyzer, patterns ...string) ([]PositionedDiagnostic, err
 			}
 		}
 	}
+	return sortAndDedup(out), nil
+}
+
+// sortAndDedup orders diagnostics by position, analyzer, and message,
+// then drops exact duplicates. The full ordering (down to the message)
+// makes the output byte-stable across runs, which the CI annotations
+// and the vet build cache both rely on.
+func sortAndDedup(out []PositionedDiagnostic) []PositionedDiagnostic {
 	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Position, out[j].Position
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out, nil
+	dst := out[:0]
+	for i, d := range out {
+		if i > 0 && d == out[i-1] {
+			continue
+		}
+		dst = append(dst, d)
+	}
+	return dst
 }

@@ -1,0 +1,184 @@
+// Package bp is the barrierpair testdata: annotated functions owe sends
+// on their barrier channels on every exit path.
+package bp
+
+type batch struct {
+	src   int
+	final bool
+}
+
+// good completes per-round sends and compensates aborts with an
+// unconditional looped defer, exactly like the core routing loop.
+//
+// emcgm:barrier(send=chans,rounds=v)
+func good(chans []chan batch, v int, work func(int) error) (err error) {
+	sent := 0
+	defer func() {
+		if err == nil {
+			return
+		}
+		for r := sent; r < v; r++ {
+			for k := range chans {
+				chans[k] <- batch{src: r, final: true}
+			}
+		}
+	}()
+	for r := 0; r < v; r++ {
+		if err = work(r); err != nil {
+			return err
+		}
+		for k := range chans {
+			chans[k] <- batch{src: r}
+		}
+		sent++
+	}
+	return nil
+}
+
+// missing has no compensating defer at all.
+//
+// emcgm:barrier(send=chans,rounds=v)
+func missing(chans []chan batch, v int, work func(int) error) error { // want `no deferred compensating send`
+	for r := 0; r < v; r++ {
+		if err := work(r); err != nil {
+			return err
+		}
+		for k := range chans {
+			chans[k] <- batch{src: r}
+		}
+	}
+	return nil
+}
+
+// early registers the defer after a validation return: an exit on which
+// the barrier is already short.
+//
+// emcgm:barrier(send=chans,rounds=v)
+func early(chans []chan batch, v int, work func(int) error) (err error) {
+	if v < 0 {
+		return nil // want `returns before the compensating send`
+	}
+	defer func() {
+		if err == nil {
+			return
+		}
+		for k := range chans {
+			for r := 0; r < v; r++ {
+				chans[k] <- batch{final: true}
+			}
+		}
+	}()
+	for r := 0; r < v; r++ {
+		if err = work(r); err != nil {
+			return err
+		}
+		for k := range chans {
+			chans[k] <- batch{src: r}
+		}
+	}
+	return nil
+}
+
+// unlooped declares a multi-round debt but compensates with one send.
+//
+// emcgm:barrier(send=chans,rounds=v)
+func unlooped(chans []chan batch, v int, work func(int) error) (err error) {
+	defer func() { // want `not inside a loop`
+		if err != nil {
+			chans[0] <- batch{final: true}
+		}
+	}()
+	for r := 0; r < v; r++ {
+		if err = work(r); err != nil {
+			return err
+		}
+		for k := range chans {
+			chans[k] <- batch{src: r}
+		}
+	}
+	return nil
+}
+
+// conditional hides the compensation inside a branch, so the other
+// branch aborts uncompensated.
+//
+// emcgm:barrier(send=chans,rounds=v)
+func conditional(chans []chan batch, v int, work func(int) error) (err error) {
+	if v > 1 {
+		defer func() { // want `registered inside a branch`
+			if err != nil {
+				for k := range chans {
+					chans[k] <- batch{final: true}
+				}
+			}
+		}()
+	}
+	for r := 0; r < v; r++ {
+		if err = work(r); err != nil {
+			return err
+		}
+		for k := range chans {
+			chans[k] <- batch{src: r}
+		}
+	}
+	return nil
+}
+
+// stale names channels the normal path never sends on.
+//
+// emcgm:barrier(send=chans)
+func stale(chans []chan batch, work func() error) (err error) { // want `annotation looks stale`
+	defer func() {
+		if err != nil {
+			for k := range chans {
+				chans[k] <- batch{final: true}
+			}
+		}
+	}()
+	return work()
+}
+
+// literals exercises the statement-bound annotation form used for
+// `runProc := func…` closures.
+func literals(chans []chan batch, v int, work func(int) error) error {
+	// emcgm:barrier(send=chans,rounds=v)
+	runGood := func() (err error) {
+		defer func() {
+			if err == nil {
+				return
+			}
+			for r := 0; r < v; r++ {
+				for k := range chans {
+					chans[k] <- batch{final: true}
+				}
+			}
+		}()
+		for r := 0; r < v; r++ {
+			if err = work(r); err != nil {
+				return err
+			}
+			for k := range chans {
+				chans[k] <- batch{src: r}
+			}
+		}
+		return nil
+	}
+
+	// emcgm:barrier(send=chans,rounds=v)
+	runBad := func() error { // want `no deferred compensating send`
+		for r := 0; r < v; r++ {
+			if err := work(r); err != nil {
+				return err
+			}
+			for k := range chans {
+				chans[k] <- batch{src: r}
+			}
+		}
+		return nil
+	}
+
+	if err := runGood(); err != nil {
+		return err
+	}
+	return runBad()
+}

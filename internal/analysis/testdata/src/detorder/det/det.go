@@ -1,0 +1,107 @@
+// Package det is the detorder testdata: the package documentation opts
+// the whole package into the determinism contract, so every function is
+// in scope.
+//
+// emcgm:deterministic
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func mapOrderEscapes(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order escapes`
+		out = append(out, v)
+	}
+	return out
+}
+
+func mapOrderCollect(m map[string]int) []int {
+	// Collecting keys is flagged even when a sort follows: the analyzer
+	// is lexical, so the sorted-keys idiom carries an orderok waiver.
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `map iteration order escapes`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func mapOrderInsensitive(m map[string]int) int {
+	total, n := 0, 0
+	for _, v := range m { // commutative integer accumulation: clean
+		total += v
+		n++
+	}
+	return total + n
+}
+
+func mapOrderDistinctKeys(m map[int]int, out []int) {
+	for k, v := range m { // distinct-element writes by key: clean
+		out[k] = v
+	}
+}
+
+func mapOrderFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order escapes`
+		sum += v // FP addition is not associative
+	}
+	return sum
+}
+
+func mapOrderWaived(m map[string]int) {
+	// emcgm:orderok keys are only logged for debugging, never compared
+	for k, v := range m { // waived: clean
+		sink(k, v)
+	}
+}
+
+func sink(k string, v int) {}
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now outside an observability guard`
+}
+
+func wallClockGuarded(rec *obs.Recorder) time.Duration {
+	if rec != nil {
+		return time.Since(time.Now()) // observability-guarded: clean
+	}
+	return 0
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want `unseeded global source`
+}
+
+func seededRand(n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors: clean
+	return rng.Intn(n)                    // method on explicit *rand.Rand: clean
+}
+
+func multiSelect(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func singleSelect(a chan int) int {
+	select { // one communication case plus default: clean
+	case x := <-a:
+		return x
+	default:
+		return 0
+	}
+}

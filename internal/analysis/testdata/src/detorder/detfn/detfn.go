@@ -1,0 +1,21 @@
+// Package detfn is the detorder scope testdata: the package is NOT
+// marked deterministic, so only the explicitly marked function is
+// checked.
+package detfn
+
+import "math/rand"
+
+// marked opts a single function into the contract.
+//
+// emcgm:deterministic
+func marked(n int) int {
+	return rand.Intn(n) // want `unseeded global source`
+}
+
+func unmarked(n int, m map[int]int) int {
+	var out int
+	for _, v := range m { // out of scope: clean
+		out = v
+	}
+	return out + rand.Intn(n) // out of scope: clean
+}

@@ -1,0 +1,11 @@
+//go:build never
+
+package tagged
+
+// NeverBuilt references an identifier that exists in no configuration:
+// if the loader ever parses or type-checks this file, the load errors
+// out and the marker below leaks into the registry — both are asserted
+// against in load_test.go.
+//
+// emcgm:hotpath
+func NeverBuilt() int { return doesNotExist }

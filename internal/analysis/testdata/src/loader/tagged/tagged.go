@@ -1,0 +1,6 @@
+// Package tagged is loader testdata: the package has one file behind a
+// build constraint that never matches, and the loader must honour it.
+package tagged
+
+// Built is the only function the loader should see.
+func Built() int { return 1 }

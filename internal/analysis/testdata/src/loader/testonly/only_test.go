@@ -1,0 +1,9 @@
+// Package testonly is loader testdata: it consists of nothing but this
+// test file. `go list` resolves the directory to a package with no
+// production GoFiles, and the loader must return zero packages for it
+// rather than an empty shell or an error.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

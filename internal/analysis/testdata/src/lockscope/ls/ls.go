@@ -1,0 +1,107 @@
+// Package ls is the lockscope lock-region testdata: sends and blocking
+// I/O under a held mutex must be flagged unless waived.
+package ls
+
+import "sync"
+
+// blockingIO stands in for a pdm parallel-I/O entry point.
+//
+// emcgm:blocking
+func blockingIO() error { return nil }
+
+func plain() error { return nil }
+
+type q struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	work chan int
+}
+
+func sendUnderLock(s *q) {
+	s.mu.Lock()
+	s.work <- 1 // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+func sendAfterUnlock(s *q) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.work <- 1 // lock released: clean
+}
+
+func sendWaived(s *q) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// emcgm:lockheld the queue is buffered and drained by resident workers
+	s.work <- 1 // waived: clean
+}
+
+func sendUnderRLock(s *q) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.work <- 1 // want `channel send while holding s.rw`
+}
+
+func blockingUnderLock(s *q) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return blockingIO() // want `blockingIO \(emcgm:blocking\) while holding s.mu`
+}
+
+func blockingInBranch(s *q, cond bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		if err := blockingIO(); err != nil { // want `blockingIO \(emcgm:blocking\) while holding s.mu`
+			return err
+		}
+	}
+	return nil
+}
+
+func blockingWaived(s *q) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// emcgm:lockheld operations are serialised by design; see pdm.doBlocks
+	return blockingIO() // waived: clean
+}
+
+func blockingOutsideLock(s *q) error {
+	s.mu.Lock()
+	n := len(s.work)
+	s.mu.Unlock()
+	_ = n
+	return blockingIO() // lock released: clean
+}
+
+func unmarkedCallUnderLock(s *q) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return plain() // not marked blocking: clean
+}
+
+func branchLocalUnlock(s *q, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		s.work <- 1 // released on this branch: clean
+		return
+	}
+	s.mu.Unlock()
+}
+
+func goroutineDoesNotHold(s *q) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.work <- 1 // the goroutine runs without the caller's lock: clean
+	}()
+}
+
+func twoLocks(s *q, t *q) {
+	s.mu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	s.work <- 1 // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}

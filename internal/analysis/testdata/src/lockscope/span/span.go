@@ -1,0 +1,101 @@
+// Package span is the lockscope span-pairing testdata: every obs span
+// begun must be ended on all exits of its scope.
+package span
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+func fallThroughMissing(rec *obs.Recorder, t obs.TrackID) {
+	sp := rec.Begin(t, "phase", "phase") // want `not ended on the fall-through path`
+	_ = sp
+}
+
+func fallThroughEnded(rec *obs.Recorder, t obs.TrackID) {
+	sp := rec.Begin(t, "phase", "phase")
+	sp.End() // clean
+}
+
+func deferEnded(rec *obs.Recorder, t obs.TrackID, work func() error) error {
+	sp := rec.Begin(t, "phase", "phase")
+	defer sp.End()
+	if err := work(); err != nil {
+		return err // covered by the defer: clean
+	}
+	return nil
+}
+
+func guardedEndIO(rec *obs.Recorder, t obs.TrackID) {
+	sp := rec.Begin(t, "phase", "phase")
+	if rec != nil {
+		sp.EndIO(obs.SuperstepIO{}) // nil-safe guard idiom: clean
+	}
+}
+
+func returnMissesEnd(rec *obs.Recorder, t obs.TrackID, work func() error) error {
+	sp := rec.Begin(t, "phase", "phase")
+	if err := work(); err != nil {
+		return err // want `span "sp" begun at line \d+ is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+func returnEnds(rec *obs.Recorder, t obs.TrackID, work func() error) error {
+	sp := rec.Begin(t, "phase", "phase")
+	if err := work(); err != nil {
+		sp.End()
+		return err // ended in this block: clean
+	}
+	sp.End()
+	return nil
+}
+
+func outerEndCoversLaterReturn(rec *obs.Recorder, t obs.TrackID, work func() error) error {
+	sp := rec.Begin(t, "phase", "phase")
+	err := work()
+	sp.End()
+	if err != nil {
+		return err // ended before the branch: clean
+	}
+	return nil
+}
+
+func loopLeak(rec *obs.Recorder, t obs.TrackID, n int) {
+	for i := 0; i < n; i++ {
+		sp := rec.Begin(t, "iter", "phase") // want `not ended before the end of its loop body`
+		_ = sp
+	}
+}
+
+func loopEnded(rec *obs.Recorder, t obs.TrackID, n int) {
+	for i := 0; i < n; i++ {
+		sp := rec.Begin(t, "iter", "phase")
+		sp.End() // closed each iteration: clean
+	}
+}
+
+func reassignedWithoutEnd(rec *obs.Recorder, t obs.TrackID) {
+	sp := rec.Begin(t, "one", "phase")
+	sp = rec.Begin(t, "two", "phase") // want `span "sp" is reassigned before being ended`
+	sp.End()
+}
+
+func reassignedAfterEnd(rec *obs.Recorder, t obs.TrackID) {
+	sp := rec.Begin(t, "one", "phase")
+	sp.End()
+	sp = rec.Begin(t, "two", "phase")
+	sp.End() // sequential reuse: clean
+}
+
+func discarded(rec *obs.Recorder, t obs.TrackID) {
+	rec.Begin(t, "phase", "phase") // want `span is discarded at birth`
+}
+
+func discardedBlank(rec *obs.Recorder, t obs.TrackID) {
+	_ = rec.Begin(t, "phase", "phase") // want `span is discarded at birth`
+}

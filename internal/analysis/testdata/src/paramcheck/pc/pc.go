@@ -1,0 +1,70 @@
+// Package pc is the paramcheck testdata: core.Config literals must be
+// validated before they reach a function marked emcgm:needsvalidated.
+package pc
+
+import "repro/internal/core"
+
+// sink stands in for RunSeq/RunPar/the EM wrappers.
+//
+// emcgm:needsvalidated
+func sink(cfg core.Config) error { return cfg.Validate() }
+
+// tune stands in for helpers like sortalg.EMSortConfig that return a
+// vetted copy.
+func tune(cfg core.Config) core.Config { return cfg }
+
+func inlineLiteral() error {
+	return sink(core.Config{V: 4, P: 2, D: 1, B: 8}) // want `inline core.Config literal reaches sink`
+}
+
+func taintedVar() error {
+	cfg := core.Config{V: 4, P: 2, D: 1, B: 8}
+	return sink(cfg) // want `"cfg" is built from a literal but never validated`
+}
+
+func validated() error {
+	cfg := core.Config{V: 4, P: 2, D: 1, B: 8}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	return sink(cfg) // validated: clean
+}
+
+func validatedFor(n int) error {
+	cfg := core.Config{V: 4, P: 2, D: 1, B: 8, Balanced: true}
+	if err := cfg.ValidateFor(n); err != nil {
+		return err
+	}
+	return sink(cfg) // ValidateFor covers the Lemma 1–2 bound too: clean
+}
+
+func fieldTweakKeepsTaint() error {
+	cfg := core.Config{V: 4, P: 2, D: 1, B: 8}
+	cfg.MaxMsgItems = 64
+	return sink(cfg) // want `"cfg" is built from a literal but never validated`
+}
+
+func passThroughParam(cfg core.Config) error {
+	return sink(cfg) // the caller's responsibility: clean
+}
+
+func reassignedFromHelper() error {
+	cfg := core.Config{V: 4, P: 2, D: 1, B: 8}
+	cfg = tune(cfg)
+	return sink(cfg) // rebuilt by a helper, no longer the raw literal: clean
+}
+
+func retaintedAfterClear() error {
+	cfg := core.Config{V: 4, P: 2, D: 1, B: 8}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg = core.Config{V: 8, P: 4, D: 2, B: 8}
+	return sink(cfg) // want `"cfg" is built from a literal but never validated`
+}
+
+func unmarkedCallee() error {
+	cfg := core.Config{V: 4, P: 2, D: 1, B: 8}
+	_ = tune(cfg) // tune is not a sink: clean
+	return nil
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig is the subset of the JSON compilation-unit description that
+// `go vet` hands to a -vettool (cmd/go/internal/work.vetConfig) which
+// this driver consumes. GoFiles are absolute paths; ImportPath carries
+// the test-variant suffix ("p [p.test]") for augmented packages.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string // import path in source -> canonical package path
+	PackageFile               map[string]string // canonical package path -> export data file
+	PackageVetx               map[string]string // canonical package path -> dependency's vetx file
+	VetxOnly                  bool              // facts only; report no diagnostics
+	VetxOutput                string            // where to write this unit's facts
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnit runs the analyzers over the single compilation unit described
+// by the vet config at cfgPath, following the `go vet -vettool`
+// protocol: the marker registry is reconstructed from the dependencies'
+// vetx files, this unit's own markers are added, and their union is
+// written to VetxOutput so markers propagate transitively through the
+// build graph. The vetx file is written even when the unit is skipped —
+// go vet caches it and fails if it is missing.
+//
+// Test variants are reduced to their production sources: _test.go files
+// are filtered out (the lint suite governs production code; the tier-1
+// test suite governs the tests), which leaves external test packages
+// and synthetic test mains empty, so they pass through untouched.
+func VetUnit(analyzers []*Analyzer, cfgPath string) ([]PositionedDiagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &VetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", cfgPath, err)
+	}
+
+	markers := map[string][]string{}
+	for _, path := range cfg.PackageVetx {
+		if err := readVetx(path, markers); err != nil {
+			return nil, err
+		}
+	}
+
+	// Canonical package path, without the test-variant suffix.
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+
+	// Only packages of the main module carry emcgm markers or fall under
+	// the lint contracts; the standard library and synthetic test mains
+	// (ModulePath == "") only forward their dependencies' facts.
+	inModule := cfg.ModulePath != "" &&
+		(pkgPath == cfg.ModulePath || strings.HasPrefix(pkgPath, cfg.ModulePath+"/"))
+	var gofiles []string
+	if inModule {
+		for _, name := range cfg.GoFiles {
+			if !strings.HasSuffix(name, "_test.go") {
+				gofiles = append(gofiles, name)
+			}
+		}
+	}
+	if len(gofiles) == 0 {
+		return nil, writeVetx(cfg.VetxOutput, markers)
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(gofiles))
+	for _, name := range gofiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, writeVetx(cfg.VetxOutput, markers)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	collectMarkers(pkgPath, files, markers)
+	if err := writeVetx(cfg.VetxOutput, markers); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := newTypesInfo()
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if len(terrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, terrs[0])
+	}
+
+	var out []PositionedDiagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Markers:   markers,
+		}
+		pass.report = func(d Diagnostic) {
+			out = append(out, PositionedDiagnostic{
+				Position: fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkgPath, err)
+		}
+	}
+	return sortAndDedup(out), nil
+}
+
+// readVetx merges one dependency's marker facts into the registry. The
+// same package can be reachable through several dependency edges, so
+// entries are merged set-wise.
+func readVetx(path string, markers map[string][]string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	m := map[string][]string{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("vetx %s: %w", path, err)
+	}
+	for key, ms := range m {
+	next:
+		for _, marker := range ms {
+			for _, have := range markers[key] {
+				if have == marker {
+					continue next
+				}
+			}
+			markers[key] = append(markers[key], marker)
+		}
+	}
+	return nil
+}
+
+// writeVetx serialises the marker registry as this unit's facts.
+// encoding/json sorts map keys, so equal registries produce identical
+// bytes and the go build cache can reuse downstream vet results.
+func writeVetx(path string, markers map[string][]string) error {
+	data, err := json.Marshal(markers)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}

@@ -23,6 +23,12 @@
 // be: every compound superstep reads and writes the full reserved context
 // run of each virtual processor and all v message slots of its inbox and
 // outbox, regardless of how much data the program actually produced.
+//
+// The package is part of the determinism contract checked by the
+// detorder analyzer (see DESIGN.md §11): identical inputs and
+// configuration must yield bit-identical I/O schedules and op counts.
+//
+// emcgm:deterministic
 package core
 
 import (
@@ -124,24 +130,62 @@ type Config struct {
 	Recorder *obs.Recorder
 }
 
-func (c Config) validate() error {
+// Validate checks the structural machine preconditions the paper's
+// theorems assume: v ≥ 1 virtual processors, 1 ≤ p ≤ v real processors
+// with p dividing v (each simulates exactly v/p virtual processors,
+// Algorithm 3), D ≥ 1 disks per processor and a block size B ≥ 1 words
+// (the PDM model). Each violation is reported with the paper
+// precondition it breaks. RunSeq and RunPar call Validate themselves;
+// callers that construct a Config by literal should call it (or
+// ValidateFor) first so misconfiguration surfaces before any disk is
+// allocated — the paramcheck analyzer enforces this at lint time.
+func (c Config) Validate() error {
 	if c.V < 1 {
-		return fmt.Errorf("core: V = %d, want ≥ 1", c.V)
+		return fmt.Errorf("core: V = %d virtual processors, want ≥ 1", c.V)
 	}
 	if c.P < 1 {
-		return fmt.Errorf("core: P = %d, want ≥ 1", c.P)
+		return fmt.Errorf("core: P = %d real processors, want ≥ 1", c.P)
 	}
 	if c.P > c.V {
-		return fmt.Errorf("core: P = %d exceeds V = %d", c.P, c.V)
+		return fmt.Errorf("core: P = %d real processors exceeds V = %d (the paper requires p ≤ v)", c.P, c.V)
 	}
 	if c.V%c.P != 0 {
-		return fmt.Errorf("core: P = %d must divide V = %d", c.P, c.V)
+		return fmt.Errorf("core: P = %d must divide V = %d (each real processor simulates exactly v/p virtual processors)", c.P, c.V)
 	}
 	if c.D < 1 {
-		return fmt.Errorf("core: D = %d, want ≥ 1", c.D)
+		return fmt.Errorf("core: D = %d disks, want ≥ 1 (PDM needs at least one disk)", c.D)
 	}
 	if c.B < 1 {
-		return fmt.Errorf("core: B = %d, want ≥ 1", c.B)
+		return fmt.Errorf("core: B = %d words per block, want ≥ 1", c.B)
+	}
+	return nil
+}
+
+// LemmaMinN returns the smallest problem size N for which Lemmas 1–2
+// guarantee BalancedRouting keeps every message at least B items:
+// N ≥ v²B + v²(v−1)/2.
+func (c Config) LemmaMinN() int {
+	return c.V*c.V*c.B + c.V*c.V*(c.V-1)/2
+}
+
+// ValidateFor is Validate plus the problem-size precondition of
+// Lemmas 1–2 for a run of n items: when Balanced is set, the
+// minimum-message-size guarantee of Theorem 1 requires
+// n ≥ v²B + v²(v−1)/2; below that bound the balanced machine still
+// runs, but its messages can shrink under a block and the Theorem 2/3
+// I/O bounds no longer follow. CLIs validate with ValidateFor so the
+// violation is a descriptive error instead of silent degradation.
+func (c Config) ValidateFor(n int) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("core: N = %d items, want ≥ 0", n)
+	}
+	if c.Balanced {
+		if min := c.LemmaMinN(); n < min {
+			return fmt.Errorf("core: N = %d items violates the Lemma 1–2 precondition N ≥ v²B + v²(v−1)/2 = %d for v = %d, B = %d; BalancedRouting cannot guarantee minimum message size B (grow N, or shrink v or B)", n, min, c.V, c.B)
+		}
 	}
 	return nil
 }
@@ -315,9 +359,11 @@ func decodeMsg[T any](codec wordcodec.Codec[T], img []pdm.Word) ([]T, error) {
 // RunSeq simulates program prog as a single-processor EM-CGM algorithm
 // per Algorithm 2. If cfg.Balanced is set, the program is first lifted
 // through BalancedRouting.
+//
+// emcgm:needsvalidated
 func RunSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
 	cfg.P = 1
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Balanced {
@@ -329,8 +375,10 @@ func RunSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 // RunPar simulates program prog as a p-processor EM-CGM algorithm per
 // Algorithm 3. If cfg.Balanced is set, the program is first lifted
 // through BalancedRouting.
+//
+// emcgm:needsvalidated
 func RunPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Balanced {

@@ -147,12 +147,14 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		}
 		if cacheCtx {
 			if len(vp.State) > maxCtx {
+				initSpan.End()
 				return nil, fmt.Errorf("core: context of %d items exceeds μ = %d", len(vp.State), maxCtx)
 			}
 			cached[owner(j)] = vp.State
 			continue
 		}
 		if err := writeCtx(owner(j), localIdx(j), vp.State); err != nil {
+			initSpan.End()
 			return nil, err
 		}
 	}
@@ -198,6 +200,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		recvItems[i] = make([]int, localV)
 	}
 
+	// emcgm:barrier(send=chans,rounds=v)
 	runProc := func(i, round int) (out procOut) {
 		out = procOut{sent: sentItems[i], recv: recvItems[i]}
 		for l := 0; l < localV; l++ {
@@ -255,6 +258,8 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				var err error
 				state, err = readCtx(i, l)
 				if err != nil {
+					sp.End()
+					ss.End()
 					out.err = fmt.Errorf("core: round %d vp %d: read context: %w", round, j, err)
 					return out
 				}
@@ -268,12 +273,16 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				scr.reqs = readM.AppendRegionReqs(scr.reqs[:0], l)
 				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
 				if _, err := layout.ReadFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
+					sp.End()
+					ss.End()
 					out.err = fmt.Errorf("core: round %d vp %d: read inbox: %w", round, j, err)
 					return out
 				}
 				for src := 0; src < v; src++ {
 					msg, err := decodeMsg(codec, scr.flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
 					if err != nil {
+						sp.End()
+						ss.End()
 						out.err = fmt.Errorf("core: round %d vp %d: message from %d: %w", round, j, src, err)
 						return out
 					}
@@ -289,6 +298,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			outbox, done := prog.Round(vp, round, inbox)
 			cp.End()
 			if outbox != nil && len(outbox) != v {
+				ss.End()
 				out.err = fmt.Errorf("core: vp %d round %d returned outbox of length %d, want %d or nil",
 					j, round, len(outbox), v)
 				return out
@@ -296,6 +306,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			if l == 0 {
 				doneLocal = done
 			} else if done != doneLocal {
+				ss.End()
 				out.err = fmt.Errorf("core: vp %d disagreed on termination at round %d", j, round)
 				return out
 			}
@@ -334,6 +345,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			}
 			if cacheCtx {
 				if len(vp.State) > maxCtx {
+					ss.End()
 					out.err = fmt.Errorf("core: round %d vp %d: context of %d items exceeds μ = %d",
 						round, j, len(vp.State), maxCtx)
 					return out
@@ -342,6 +354,8 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			} else {
 				wp := rec.Begin(track, "ctx write", "phase")
 				if err := writeCtx(i, l, vp.State); err != nil {
+					wp.End()
+					ss.End()
 					out.err = fmt.Errorf("core: round %d vp %d: write context: %w", round, j, err)
 					return out
 				}
@@ -371,6 +385,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			scr.reqs = scr.reqs[:0]
 			for dl := 0; dl < localV; dl++ {
 				if err := encodeMsgInto(codec, b.msgs[dl], maxMsg, scr.flat[dl*bpm*cfg.B:(dl+1)*bpm*cfg.B]); err != nil {
+					rt.End()
 					out.err = fmt.Errorf("vp %d round %d → %d: %w", b.srcVP, round, i*localV+dl, err)
 					return out
 				}
@@ -378,6 +393,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			}
 			scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat[:localV*bpm*cfg.B], cfg.B)
 			if _, err := layout.WriteFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
+				rt.End()
 				out.err = fmt.Errorf("core: round %d proc %d: write batch from vp %d: %w", round, i, b.srcVP, err)
 				return out
 			}

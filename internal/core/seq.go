@@ -89,6 +89,7 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		vp := &cgm.VP[T]{ID: j, V: v}
 		prog.Init(vp, inputs[j])
 		if err := writeCtx(j, vp.State); err != nil {
+			initSpan.End()
 			return nil, err
 		}
 	}
@@ -133,6 +134,8 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			sp := rec.Begin(track, "ctx read", "phase")
 			state, err := readCtx(j)
 			if err != nil {
+				sp.End()
+				ss.End()
 				return nil, fmt.Errorf("core: round %d vp %d: read context: %w", round, j, err)
 			}
 			sp.End()
@@ -145,11 +148,15 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				scr.reqs = matrix.AppendInboxReqs(scr.reqs[:0], round, j)
 				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
 				if _, err := layout.ReadFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
+					sp.End()
+					ss.End()
 					return nil, fmt.Errorf("core: round %d vp %d: read inbox: %w", round, j, err)
 				}
 				for src := 0; src < v; src++ {
 					msg, err := decodeMsg(codec, scr.flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
 					if err != nil {
+						sp.End()
+						ss.End()
 						return nil, fmt.Errorf("core: round %d vp %d: message from %d: %w", round, j, src, err)
 					}
 					inbox[src] = msg
@@ -165,12 +172,14 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			outbox, done := prog.Round(vp, round, inbox)
 			sp.End()
 			if outbox != nil && len(outbox) != v {
+				ss.End()
 				return nil, fmt.Errorf("core: vp %d round %d returned outbox of length %d, want %d or nil",
 					j, round, len(outbox), v)
 			}
 			if j == 0 {
 				doneAll = done
 			} else if done != doneAll {
+				ss.End()
 				return nil, fmt.Errorf("core: vp %d disagreed on termination at round %d", j, round)
 			}
 
@@ -184,6 +193,8 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 						msg = outbox[dst]
 					}
 					if err := encodeMsgInto(codec, msg, maxMsg, scr.flat[dst*bpm*cfg.B:(dst+1)*bpm*cfg.B]); err != nil {
+						sp.End()
+						ss.End()
 						return nil, fmt.Errorf("vp %d round %d → %d: %w", j, round, dst, err)
 					}
 					sentItems[j] += len(msg)
@@ -193,6 +204,8 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				}
 				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
 				if _, err := layout.WriteFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
+					sp.End()
+					ss.End()
 					return nil, fmt.Errorf("core: round %d vp %d: write outbox: %w", round, j, err)
 				}
 				sp.End()
@@ -204,6 +217,8 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			// (e) Write the changed context back (consecutive).
 			sp = rec.Begin(track, "ctx write", "phase")
 			if err := writeCtx(j, vp.State); err != nil {
+				sp.End()
+				ss.End()
 				return nil, err
 			}
 			sp.End()

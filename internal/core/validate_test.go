@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{V: 8, P: 4, D: 2, B: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error naming the precondition
+	}{
+		{"V0", Config{V: 0, P: 1, D: 1, B: 1}, "V = 0"},
+		{"P0", Config{V: 4, P: 0, D: 1, B: 1}, "P = 0"},
+		{"PgtV", Config{V: 2, P: 4, D: 1, B: 1}, "p ≤ v"},
+		{"Pndiv", Config{V: 6, P: 4, D: 1, B: 1}, "must divide"},
+		{"D0", Config{V: 4, P: 2, D: 0, B: 1}, "D = 0"},
+		{"B0", Config{V: 4, P: 2, D: 1, B: 0}, "B = 0"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the precondition (%q)", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestConfigValidateFor(t *testing.T) {
+	cfg := Config{V: 4, P: 2, D: 2, B: 8, Balanced: true}
+	min := cfg.LemmaMinN()
+	if want := 4*4*8 + 4*4*3/2; min != want {
+		t.Fatalf("LemmaMinN = %d, want v²B + v²(v−1)/2 = %d", min, want)
+	}
+	if err := cfg.ValidateFor(min); err != nil {
+		t.Fatalf("N = LemmaMinN rejected: %v", err)
+	}
+	err := cfg.ValidateFor(min - 1)
+	if err == nil {
+		t.Fatal("N below the Lemma 1–2 bound accepted for a balanced machine")
+	}
+	if !strings.Contains(err.Error(), "Lemma 1–2") {
+		t.Fatalf("error %q does not name the Lemma 1–2 precondition", err)
+	}
+	// Unbalanced machines have no minimum-N requirement.
+	cfg.Balanced = false
+	if err := cfg.ValidateFor(1); err != nil {
+		t.Fatalf("unbalanced machine rejected small N: %v", err)
+	}
+	if err := cfg.ValidateFor(-1); err == nil {
+		t.Fatal("negative N accepted")
+	}
+}

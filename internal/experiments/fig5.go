@@ -80,7 +80,11 @@ func Fig5(s Scale) (*trace.Table, error) {
 	{
 		run := func(n int) (*core.Result[int64], error) {
 			keys := workload.Int64s(int64(n), n)
-			_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec})
+			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec}
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
 			return res, err
 		}
 		r1, err := run(nA)
@@ -123,7 +127,11 @@ func Fig5(s Scale) (*trace.Table, error) {
 		run := func(n int) (*core.Result[permute.Item], error) {
 			vals := workload.Int64s(int64(n), n)
 			dests := workload.Permutation(int64(n)+1, n)
-			_, res, err := permute.EMPermute(vals, dests, core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec})
+			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec}
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			_, res, err := permute.EMPermute(vals, dests, cfg)
 			return res, err
 		}
 		r1, err := run(nA)
@@ -145,7 +153,11 @@ func Fig5(s Scale) (*trace.Table, error) {
 		run := func(n int) (*core.Result[permute.Item], error) {
 			l := n / k
 			vals := workload.Int64s(int64(n), k*l)
-			_, res, err := transpose.EMTranspose(vals, k, l, core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec})
+			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec}
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			_, res, err := transpose.EMTranspose(vals, k, l, cfg)
 			return res, err
 		}
 		r1, err := run(nA)

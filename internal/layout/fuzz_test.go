@@ -1,0 +1,120 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/pdm"
+)
+
+// FuzzStaggeredLayout fuzzes the message-matrix geometry of Figure 2 and
+// round-trips the consecutive↔staggered alternation of Observation 2:
+// every message written through the outbox placement of phase p must be
+// read back, exactly once and in source order, by the inbox placement of
+// phase p+1, with each matrix block owned by exactly one slot. The
+// consecutive half of the figure is asserted structurally — an even-phase
+// inbox is one front-to-back striped run of the destination's region.
+func FuzzStaggeredLayout(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(3), uint8(0))
+	f.Add(uint8(5), uint8(1), uint8(4), uint8(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0))
+	f.Add(uint8(8), uint8(3), uint8(5), uint8(1))
+	f.Fuzz(func(t *testing.T, v, bpm, d, phase uint8) {
+		V := int(v%8) + 1
+		BPM := int(bpm%4) + 1
+		D := int(d%8) + 1
+		p := int(phase % 2)
+		m, err := NewMatrix(V, BPM, D, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Every slot block is in bounds and owned by exactly one
+		// (region, slot, block) triple.
+		owner := map[pdm.BlockReq]struct{}{}
+		for r := 0; r < V; r++ {
+			for a := 0; a < V; a++ {
+				for q := 0; q < BPM; q++ {
+					req := m.SlotBlock(r, a, q)
+					if req.Disk < 0 || req.Disk >= D {
+						t.Fatalf("slot (%d,%d,%d): disk %d out of [0,%d)", r, a, q, req.Disk, D)
+					}
+					if req.Track < m.BaseTrack || req.Track >= m.BaseTrack+m.TotalTracks() {
+						t.Fatalf("slot (%d,%d,%d): track %d outside the matrix", r, a, q, req.Track)
+					}
+					if _, dup := owner[req]; dup {
+						t.Fatalf("block %+v owned by two slots", req)
+					}
+					owner[req] = struct{}{}
+				}
+			}
+		}
+
+		// Write every VP's outbox in phase p, then read every VP's inbox
+		// in phase p+1. The writes must not collide, and the reads must
+		// consume every written block exactly once, recovering message
+		// src→dst at inbox group src.
+		disk := map[pdm.BlockReq]int{}
+		id := func(src, dst, q int) int { return (src*V+dst)*BPM + q }
+		for src := 0; src < V; src++ {
+			reqs := m.OutboxReqs(p, src)
+			if len(reqs) != V*BPM {
+				t.Fatalf("outbox of %d: %d requests, want %d", src, len(reqs), V*BPM)
+			}
+			for k, req := range reqs {
+				if _, dup := disk[req]; dup {
+					t.Fatalf("phase %d: outbox writes collide at %+v", p, req)
+				}
+				disk[req] = id(src, k/BPM, k%BPM)
+			}
+		}
+		for dst := 0; dst < V; dst++ {
+			reqs := m.InboxReqs(p+1, dst)
+			if len(reqs) != V*BPM {
+				t.Fatalf("inbox of %d: %d requests, want %d", dst, len(reqs), V*BPM)
+			}
+			for k, req := range reqs {
+				got, ok := disk[req]
+				if !ok {
+					t.Fatalf("phase %d: inbox of %d reads unwritten block %+v", p+1, dst, req)
+				}
+				if want := id(k/BPM, dst, k%BPM); got != want {
+					t.Fatalf("phase %d: inbox of %d found message %d at group %d, want %d", p+1, dst, got, k/BPM, want)
+				}
+				delete(disk, req)
+			}
+		}
+		if len(disk) != 0 {
+			t.Fatalf("phase %d: %d written blocks never read back", p, len(disk))
+		}
+
+		// Even phases use the consecutive format: the inbox of dst is
+		// region dst, read as one striped run from its staggered disk
+		// offset — block g lands on disk (d0+g) mod D, track t + g/D.
+		even := p
+		if even%2 != 0 {
+			even++
+		}
+		for dst := 0; dst < V; dst++ {
+			t0 := m.BaseTrack + dst*m.RegionTracks()
+			d0 := (dst * m.BPM) % D
+			for g, req := range m.InboxReqs(even, dst) {
+				want := pdm.BlockReq{Disk: (d0 + g) % D, Track: t0 + (d0+g)/D}
+				if req != want {
+					t.Fatalf("phase %d inbox of %d not consecutive at block %d: got %+v, want %+v", even, dst, g, req, want)
+				}
+			}
+		}
+
+		// Observation 2's alternation has period two: after a staggered
+		// superstep the consecutive placement returns.
+		for src := 0; src < V; src++ {
+			for dst := 0; dst < V; dst++ {
+				r0, a0 := m.Place(p, src, dst)
+				r2, a2 := m.Place(p+2, src, dst)
+				if r0 != r2 || a0 != a2 {
+					t.Fatalf("placement of %d→%d does not return after two phases", src, dst)
+				}
+			}
+		}
+	})
+}

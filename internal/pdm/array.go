@@ -285,6 +285,7 @@ func (a *DiskArray) checkReqs(reqs []BlockReq) error {
 // An empty request list performs no I/O and costs nothing.
 //
 // emcgm:hotpath
+// emcgm:blocking
 func (a *DiskArray) ReadBlocks(reqs []BlockReq, bufs [][]Word) error {
 	return a.doBlocks(reqs, bufs, true)
 }
@@ -293,6 +294,7 @@ func (a *DiskArray) ReadBlocks(reqs []BlockReq, bufs [][]Word) error {
 // reqs[i]. Transfers run concurrently on the per-disk workers.
 //
 // emcgm:hotpath
+// emcgm:blocking
 func (a *DiskArray) WriteBlocks(reqs []BlockReq, bufs [][]Word) error {
 	return a.doBlocks(reqs, bufs, false)
 }
@@ -304,6 +306,7 @@ func (a *DiskArray) WriteBlocks(reqs []BlockReq, bufs [][]Word) error {
 // re-measures.
 //
 // emcgm:hotpath
+// emcgm:blocking
 func (a *DiskArray) doBlocks(reqs []BlockReq, bufs [][]Word, read bool) error {
 	if len(reqs) != len(bufs) {
 		return fmt.Errorf("pdm: %d requests but %d buffers", len(reqs), len(bufs))
@@ -336,6 +339,9 @@ func (a *DiskArray) doBlocks(reqs []BlockReq, bufs [][]Word, read bool) error {
 	a.wg.Add(len(reqs))
 	for i, r := range reqs {
 		a.errs[i] = nil
+		// emcgm:lockheld opMu serialises whole operations by design; the
+		// per-disk work queues are buffered and drained by resident
+		// workers, so this send cannot block on a peer that needs opMu.
 		a.work[r.Disk] <- diskOp{track: r.Track, buf: bufs[i], read: read, err: &a.errs[i], wg: &a.wg}
 	}
 	a.wg.Wait()

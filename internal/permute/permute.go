@@ -4,6 +4,12 @@
 // simulation turns into an O(N/(pDB))-I/O external permutation, beating
 // the PDM bound Θ(min(N/D, sort(N))) in the coarse-grained range
 // (Figure 5, Group A, row 2).
+//
+// The package is part of the determinism contract checked by the
+// detorder analyzer (see DESIGN.md §11): identical inputs must yield
+// bit-identical I/O schedules and op counts.
+//
+// emcgm:deterministic
 package permute
 
 import (
@@ -84,6 +90,8 @@ func (p Program) MaxContextItems(n, v int) int { return (n+v-1)/v + 1 }
 
 // EMPermute permutes vals by dests (a permutation of 0..N-1) under the
 // EM-CGM simulation, returning the permuted vector and the accounting.
+//
+// emcgm:needsvalidated
 func EMPermute(vals, dests []int64, cfg core.Config) ([]int64, *core.Result[Item], error) {
 	if len(vals) != len(dests) {
 		return nil, nil, fmt.Errorf("permute: %d values but %d destinations", len(vals), len(dests))

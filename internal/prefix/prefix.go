@@ -2,6 +2,12 @@
 // substrate used by several of the geometry and graph algorithms: each
 // processor folds its partition locally, exchanges the v partial totals in
 // a single h-relation (h = v ≤ N/v), and offsets its local scan.
+//
+// The package is part of the determinism contract checked by the
+// detorder analyzer (see DESIGN.md §11): identical inputs must yield
+// bit-identical I/O schedules and op counts.
+//
+// emcgm:deterministic
 package prefix
 
 import (

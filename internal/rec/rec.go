@@ -119,6 +119,9 @@ func (e *Exec) Run(prog cgm.Program[R], inputs [][]R) ([][]R, error) {
 		maxMsg = 6*((total+e.V-1)/e.V) + e.V + 16
 	}
 	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced, Recorder: e.Recorder}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	res, err := core.RunPar[R](prog, Codec{}, cfg, inputs)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,12 @@
 //   - MergeSort: a classical multiway external mergesort on the Parallel
 //     Disk Model — the "previous result" baseline whose I/O complexity
 //     carries the (N/DB)·log_{M/B}(N/B) factor.
+//
+// The package is part of the determinism contract checked by the
+// detorder analyzer (see DESIGN.md §11): identical inputs must yield
+// bit-identical I/O schedules and op counts.
+//
+// emcgm:deterministic
 package sortalg
 
 import (
@@ -198,6 +204,8 @@ func EMSortConfig(cfg core.Config, n int) core.Config {
 
 // EMSort runs the CGM sorter under the EM-CGM simulation (RunPar) and
 // returns the sorted keys along with the machine's accounting.
+//
+// emcgm:needsvalidated
 func EMSort[T cmp.Ordered](keys []T, codec wordcodec.Codec[T], cfg core.Config) ([]T, *core.Result[T], error) {
 	cfg = EMSortConfig(cfg, len(keys))
 	res, err := core.RunPar[T](Sorter[T]{}, codec, cfg, cgm.Scatter(keys, cfg.V))

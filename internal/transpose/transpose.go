@@ -4,6 +4,12 @@
 // stored, so items travel as bare (position, value) pairs in one
 // communication round; the simulation yields O(N/(pDB)) I/Os versus the
 // PDM's Θ((N/DB)·log_{M/B} min(M,k,ℓ,N/B)).
+//
+// The package is part of the determinism contract checked by the
+// detorder analyzer (see DESIGN.md §11): identical inputs must yield
+// bit-identical I/O schedules and op counts.
+//
+// emcgm:deterministic
 package transpose
 
 import (
@@ -67,6 +73,8 @@ func (p Program) MaxContextItems(n, v int) int { return (n+v-1)/v + 1 }
 
 // EMTranspose transposes the K×L row-major matrix vals under the EM-CGM
 // simulation, returning the L×K column-major result.
+//
+// emcgm:needsvalidated
 func EMTranspose(vals []int64, k, l int, cfg core.Config) ([]int64, *core.Result[permute.Item], error) {
 	if len(vals) != k*l {
 		return nil, nil, fmt.Errorf("transpose: %d values for a %d×%d matrix", len(vals), k, l)
