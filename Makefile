@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build test race bench allocs lint lint-tool fuzz
+.PHONY: verify build test race bench bench-smoke allocs lint lint-tool fuzz
 
 verify: build test race
 
@@ -22,6 +22,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Brief race-detector pass over the pipelined hot path driven by the
+# real benchmarks: the split-phase dispatch benchmarks and one
+# end-to-end sort under the (default-on) pipelined schedule. A fixed
+# small -benchtime keeps this a smoke test — the race detector needs
+# iterations, not statistics.
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench 'BenchmarkSplitPhaseOp|BenchmarkDiskArrayOp' -benchtime 50x ./internal/pdm/
+	$(GO) test -race -run '^$$' -bench 'BenchmarkFig5GroupA/sort-emcgm' -benchtime 2x .
 
 # Allocation profile of the hot path: the dispatch benchmark must report
 # 0 allocs/op and the end-to-end sort should stay well under the seed's

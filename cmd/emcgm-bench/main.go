@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, balance, cache, sweep, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, balance, cache, sweep, pipeline, all")
 	n := flag.Int("n", 0, "base problem size in items (0 = default 65536)")
 	v := flag.Int("v", 0, "virtual processors (0 = default 8)")
 	p := flag.Int("p", 0, "real processors (0 = default 4)")
@@ -36,6 +36,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON array of tables instead of aligned tables")
 	traceOut := flag.String("trace", "", "write a Chrome trace of every EM-CGM run to this file (load in Perfetto)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
+	pipeline := flag.Bool("pipeline", true, "use the split-phase pipelined superstep schedule (PDM counts are identical either way)")
 	flag.Parse()
 
 	for _, f := range []struct {
@@ -64,6 +65,9 @@ func main() {
 	}
 	if *b > 0 {
 		s.B = *b
+	}
+	if !*pipeline {
+		s.Pipeline = core.PipelineOff
 	}
 	// The experiments derive every machine from this scale; validate it
 	// once up front so a bad -v/-p/-b combination is a descriptive
@@ -103,18 +107,19 @@ func main() {
 	}
 
 	run := map[string]func(){
-		"3":       func() { emit(experiments.Fig3(s)) },
-		"4":       func() { emit(experiments.Fig4(s)) },
-		"5":       func() { emit(experiments.Fig5(s)) },
-		"6":       func() { emit(experiments.Fig6(), nil) },
-		"7":       func() { emit(experiments.Fig7(), nil) },
-		"8":       func() { emit(experiments.Fig8(), nil) },
-		"balance": func() { emit(experiments.Balance(), nil) },
-		"cache":   func() { emit(experiments.Cache()) },
-		"sweep":   func() { emit(experiments.Sweep(s)) },
+		"3":        func() { emit(experiments.Fig3(s)) },
+		"4":        func() { emit(experiments.Fig4(s)) },
+		"5":        func() { emit(experiments.Fig5(s)) },
+		"6":        func() { emit(experiments.Fig6(), nil) },
+		"7":        func() { emit(experiments.Fig7(), nil) },
+		"8":        func() { emit(experiments.Fig8(), nil) },
+		"balance":  func() { emit(experiments.Balance(), nil) },
+		"cache":    func() { emit(experiments.Cache()) },
+		"sweep":    func() { emit(experiments.Sweep(s)) },
+		"pipeline": func() { emit(experiments.Pipeline(s)) },
 	}
 	if *fig == "all" {
-		for _, k := range []string{"3", "4", "5", "6", "7", "8", "balance", "cache", "sweep"} {
+		for _, k := range []string{"3", "4", "5", "6", "7", "8", "balance", "cache", "sweep", "pipeline"} {
 			run[k]()
 		}
 	} else {

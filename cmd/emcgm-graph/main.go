@@ -31,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace of all pipeline phases to this file (load in Perfetto)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
+	pipeline := flag.Bool("pipeline", true, "use the split-phase pipelined superstep schedule (PDM counts are identical either way)")
 	flag.Parse()
 
 	for _, f := range []struct {
@@ -82,6 +83,9 @@ func main() {
 
 	e1 := rec.NewEM(*v, *p, *d, *b)
 	e1.Recorder = recorder
+	if !*pipeline {
+		e1.Pipeline = core.PipelineOff
+	}
 	labels, forest, err := graph.ConnectedComponents(e1, nv, edges)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emcgm-graph: components: %v\n", err)
@@ -98,6 +102,9 @@ func main() {
 
 	e2 := rec.NewEM(*v, *p, *d, *b)
 	e2.Recorder = recorder
+	if !*pipeline {
+		e2.Pipeline = core.PipelineOff
+	}
 	blocks, err := graph.Biconn(e2, nv, edges)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emcgm-graph: biconnectivity: %v\n", err)
@@ -118,6 +125,9 @@ func main() {
 
 	e3 := rec.NewEM(*v, *p, *d, *b)
 	e3.Recorder = recorder
+	if !*pipeline {
+		e3.Pipeline = core.PipelineOff
+	}
 	arts, err := graph.ArticulationPoints(e3, nv, edges)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emcgm-graph: articulation points: %v\n", err)

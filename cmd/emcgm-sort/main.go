@@ -37,6 +37,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace to this file (load in Perfetto)")
 	steps := flag.Bool("steps", false, "print the per-superstep I/O table")
 	msgs := flag.Bool("msgs", false, "print BalancedRouting message sizes vs the Theorem 1 bound (needs -balanced)")
+	pipeline := flag.Bool("pipeline", true, "use the split-phase pipelined superstep schedule (PDM counts are identical either way)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -55,6 +56,9 @@ func main() {
 	}
 
 	cfg := core.Config{V: *v, P: *p, D: *d, B: *b, Balanced: *balanced}
+	if !*pipeline {
+		cfg.Pipeline = core.PipelineOff
+	}
 	if err := cfg.ValidateFor(*n); err != nil {
 		fmt.Fprintf(os.Stderr, "emcgm-sort: %v\n", err)
 		os.Exit(2)

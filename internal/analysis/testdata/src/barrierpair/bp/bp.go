@@ -182,3 +182,69 @@ func literals(chans []chan batch, v int, work func(int) error) error {
 	}
 	return runBad()
 }
+
+// pend stands in for a split-phase I/O handle (pdm.Pending) whose Wait
+// surfaces injected disk errors mid-round — the abort path the
+// pipelined driver must compensate.
+type pend struct{}
+
+func (pend) Wait() error { return nil }
+
+// waitAbortGood mirrors the pipelined runProc: the compensating defer
+// is registered before the first Wait, so a disk error surfacing there
+// still pays the barrier debt for every unsent round.
+//
+// emcgm:barrier(send=chans,rounds=v)
+func waitAbortGood(chans []chan batch, v int, pends []pend) (err error) {
+	sent := 0
+	defer func() {
+		if err == nil {
+			return
+		}
+		for r := sent; r < v; r++ {
+			for k := range chans {
+				chans[k] <- batch{src: r, final: true}
+			}
+		}
+	}()
+	for r := 0; r < v; r++ {
+		if err = pends[r].Wait(); err != nil {
+			return err
+		}
+		for k := range chans {
+			chans[k] <- batch{src: r}
+		}
+		sent++
+	}
+	return nil
+}
+
+// waitAbortEarly waits for a prologue prefetch before registering the
+// defer: a fault injected into that first Wait aborts with the barrier
+// unpaid and every peer deadlocked in its receive loop.
+//
+// emcgm:barrier(send=chans,rounds=v)
+func waitAbortEarly(chans []chan batch, v int, prologue pend, pends []pend) (err error) {
+	if err := prologue.Wait(); err != nil {
+		return err // want `returns before the compensating send`
+	}
+	defer func() {
+		if err == nil {
+			return
+		}
+		for r := 0; r < v; r++ {
+			for k := range chans {
+				chans[k] <- batch{final: true}
+			}
+		}
+	}()
+	for r := 0; r < v; r++ {
+		if err = pends[r].Wait(); err != nil {
+			return err
+		}
+		for k := range chans {
+			chans[k] <- batch{src: r}
+		}
+	}
+	return nil
+}

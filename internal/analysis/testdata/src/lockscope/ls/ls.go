@@ -105,3 +105,41 @@ func twoLocks(s *q, t *q) {
 	s.work <- 1 // want `channel send while holding s.mu`
 	s.mu.Unlock()
 }
+
+// pending stands in for a split-phase I/O handle (pdm.Pending): Begin
+// dispatches to resident workers without blocking, Wait parks the
+// caller until the operation's transfers retire.
+type pending struct{}
+
+// Wait blocks until the operation retires.
+//
+// emcgm:blocking
+func (pending) Wait() error { return nil }
+
+func beginPending() pending { return pending{} }
+
+func waitUnderLock(s *q, pend pending) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return pend.Wait() // want `call to ls.Wait \(emcgm:blocking\) while holding s.mu`
+}
+
+func waitUnderRLock(s *q, pend pending) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return pend.Wait() // want `call to ls.Wait \(emcgm:blocking\) while holding s.rw`
+}
+
+func beginUnderLockWaitAfter(s *q) error {
+	s.mu.Lock()
+	pend := beginPending() // dispatch does not block: clean under the lock
+	s.mu.Unlock()
+	return pend.Wait() // lock released: clean
+}
+
+func waitWaived(s *q, pend pending) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// emcgm:lockheld single-op handle; workers never take this mutex
+	return pend.Wait() // waived: clean
+}

@@ -99,3 +99,21 @@ func discarded(rec *obs.Recorder, t obs.TrackID) {
 func discardedBlank(rec *obs.Recorder, t obs.TrackID) {
 	_ = rec.Begin(t, "phase", "phase") // want `span is discarded at birth`
 }
+
+// The pipelined drivers wrap every Pending.Wait that may block in a
+// stall span; the span must close even when Wait surfaces a disk error.
+func stallSpanLeak(rec *obs.Recorder, t obs.TrackID, wait func() error) error {
+	sp := rec.Begin(t, "stall", "wait")
+	if err := wait(); err != nil {
+		return err // want `span "sp" begun at line \d+ is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+func stallSpanEnded(rec *obs.Recorder, t obs.TrackID, wait func() error) error {
+	sp := rec.Begin(t, "stall", "wait")
+	err := wait()
+	sp.End()
+	return err // span closed before the error propagates: clean
+}

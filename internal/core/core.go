@@ -33,6 +33,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/balance"
 	"repro/internal/cgm"
@@ -76,6 +77,27 @@ func newSuperstepScratch(cb, flatBlocks, b int) *superstepScratch {
 	}
 }
 
+// PipelineMode selects the superstep I/O schedule. The zero value is
+// PipelineOn, so configurations built by literal get the pipelined
+// schedule by default; PipelineOff is the debugging off-switch that
+// restores the fully synchronous reference schedule.
+type PipelineMode int
+
+const (
+	// PipelineOn software-pipelines the superstep loop with split-phase
+	// I/O and a second superstepScratch in ping-pong: while virtual
+	// processor j computes, VP j+1's context and inbox are already being
+	// read and VP j−1's writes drain as write-behind. The operation
+	// multiset, addresses, and PDM counts are bit-identical to the
+	// synchronous schedule (accounting is charged at begin time); only
+	// wall-clock overlap changes.
+	PipelineOn PipelineMode = iota
+	// PipelineOff runs every parallel I/O to completion before the next
+	// phase — the reference schedule, kept as a debugging off-switch and
+	// as the equivalence baseline for tests.
+	PipelineOff
+)
+
 // Config parameterises an EM-CGM machine.
 type Config struct {
 	// V is the number of virtual processors of the simulated CGM.
@@ -115,6 +137,11 @@ type Config struct {
 	// sanitizer companion of the lint suite. Validation allocates; use in
 	// tests and debugging runs, not benchmarks. I/O counts are unchanged.
 	CheckedIO bool
+	// Pipeline selects the superstep I/O schedule: PipelineOn (the zero
+	// value) overlaps disk transfers with compute via split-phase I/O and
+	// double-buffered scratch, PipelineOff is the synchronous reference
+	// schedule. Both produce bit-identical outputs and PDM accounting.
+	Pipeline PipelineMode
 	// CacheContexts keeps virtual-processor contexts resident in the real
 	// processor's memory when P = V (one context per processor, M = Θ(μ)),
 	// eliminating the context-swap I/O entirely — the machine then pays
@@ -157,6 +184,9 @@ func (c Config) Validate() error {
 	}
 	if c.B < 1 {
 		return fmt.Errorf("core: B = %d words per block, want ≥ 1", c.B)
+	}
+	if c.Pipeline != PipelineOn && c.Pipeline != PipelineOff {
+		return fmt.Errorf("core: Pipeline = %d, want PipelineOn or PipelineOff", c.Pipeline)
 	}
 	return nil
 }
@@ -252,6 +282,13 @@ type Result[T any] struct {
 	// matrix (Observation 2) keeps it roughly half of RunPar's
 	// double-buffered layout.
 	MaxTracks int
+	// Stall is the wall-clock time the superstep drivers spent blocked in
+	// Pending.Wait, summed over real processors — the I/O time the
+	// pipeline failed to hide behind compute. Measured only when a
+	// Recorder is attached (the determinism contract forbids wall-clock
+	// reads otherwise); zero for the synchronous schedule and for
+	// unrecorded runs.
+	Stall time.Duration
 }
 
 // Output concatenates the per-VP outputs in VP order.
@@ -430,5 +467,6 @@ func runBalanced[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Confi
 		MaxMsgObserved: wres.MaxMsgObserved,
 		MaxCtxObserved: wres.MaxCtxObserved,
 		Supersteps:     wres.Supersteps,
+		Stall:          wres.Stall,
 	}, nil
 }

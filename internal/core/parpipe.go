@@ -12,47 +12,34 @@ import (
 	"repro/internal/wordcodec"
 )
 
-// batch is what one virtual processor sends to one real processor in one
-// superstep: its messages for every virtual processor local to that real
-// processor. A final batch carries no messages (the algorithm finished).
-type batch[T any] struct {
-	srcVP int
-	msgs  [][]T // indexed by local VP of the destination processor; nil entries = empty
-	final bool
-}
-
-// procScratch is one real processor's superstepScratch plus the parallel
-// machine's reusable cross-processor batch containers. send[l·p+k] is the
-// message container local VP l reuses for its batch to real processor k;
-// a batch sent in round r is consumed by its receiver within round r
-// (every processor drains all v batches before the round barrier), so
-// reusing the container next round never clobbers an unread batch.
-type procScratch[T any] struct {
-	*superstepScratch
+// pipeProcScratch is one real processor's working storage under the
+// pipelined schedule: two superstepScratch images in ping-pong (VP l
+// computes out of img[l mod 2] while img[(l+1) mod 2] is being prefetched
+// or drained) plus the cross-processor batch containers shared with the
+// synchronous schedule.
+type pipeProcScratch[T any] struct {
+	img  [2]*superstepScratch
 	send [][][]T
 }
 
-// runPar is Algorithm 3: ParCompoundSuperstep. p real processors run as
-// goroutines, each with its own D-disk array; each simulates v/p virtual
-// processors per round and routes generated messages to the destination
-// real processor over channels, which lays them out on its own disks.
+// runParPipelined is runPar under the PipelineOn schedule: each real
+// processor software-pipelines its local superstep loop exactly as
+// runSeqPipelined does — prefetch of the next local VP's context and
+// inbox under the current VP's compute, context write-behind — and
+// double-buffers the route phase, encoding the next batch while the
+// previous one's blocks are still being written. Channel sends (the real
+// "network") stay synchronous, so the barrier protocol and its
+// compensating-send contract are unchanged from runPar.
 //
-// Per-processor disk map: contexts of the v/p local virtual processors
-// first, then two rectangular message matrices used in ping-pong by round
-// parity (incoming batches may arrive before the local inboxes of the
-// same superstep are consumed, so the single-copy alternation of the
-// sequential machine does not apply).
-//
-// Each real processor owns one procScratch for the lifetime of the run;
-// the parallel I/O sequence is identical to the scratch-free formulation.
-//
-// This body is the synchronous reference schedule (PipelineOff). Under
-// the default PipelineOn it dispatches to runParPipelined, which overlaps
-// the same operations with compute — see parpipe.go.
-func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
-	if cfg.Pipeline == PipelineOn {
-		return runParPipelined(prog, codec, cfg, inputs)
-	}
+// As in the sequential machine, only the begin order of operations
+// changes, never their multiset or addresses: within a round, the hoisted
+// reads of VP l+1 (context run l+1 and inbox region l+1) are address-
+// disjoint from the writes of VPs ≤ l (context runs ≤ l), route writes
+// target the opposite-parity matrix from the round's reads, and each
+// processor drains its write-behind before returning from the round, so
+// nothing crosses the barrier. PDM counts are bit-identical to
+// PipelineOff.
+func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
 	v, p := cfg.V, cfg.P
 	if len(inputs) != v {
 		return nil, fmt.Errorf("core: %d input partitions for V = %d", len(inputs), v)
@@ -71,16 +58,17 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	ctxTracks := (localV*cb+cfg.D-1)/cfg.D + 1
 
 	if cfg.M > 0 {
-		need := cb*cfg.B + v*bpm*cfg.B
+		// The pipeline holds two superstep working sets at once.
+		need := 2 * (cb*cfg.B + v*bpm*cfg.B)
 		if need > cfg.M {
-			return nil, fmt.Errorf("core: superstep working set %d words exceeds M = %d", need, cfg.M)
+			return nil, fmt.Errorf("core: pipelined working set %d words exceeds M = %d; set Pipeline: PipelineOff to halve it", need, cfg.M)
 		}
 	}
 
 	// Per-processor state.
 	arrays := make([]*pdm.DiskArray, p)
 	matrices := make([][2]layout.Rect, p)
-	scrs := make([]*procScratch[T], p)
+	scrs := make([]*pipeProcScratch[T], p)
 	for i := 0; i < p; i++ {
 		a, err := cfg.newArray(i)
 		if err != nil {
@@ -96,7 +84,10 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			return nil, err
 		}
 		matrices[i] = [2]layout.Rect{m0, m1}
-		s := &procScratch[T]{superstepScratch: newSuperstepScratch(cb, v*bpm, cfg.B)}
+		s := &pipeProcScratch[T]{img: [2]*superstepScratch{
+			newSuperstepScratch(cb, v*bpm, cfg.B),
+			newSuperstepScratch(cb, v*bpm, cfg.B),
+		}}
 		s.send = make([][][]T, localV*p)
 		for k := range s.send {
 			s.send[k] = make([][]T, localV)
@@ -126,25 +117,9 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	cacheCtx := cfg.CacheContexts && localV == 1
 	cached := make([][]T, p) // resident contexts when cacheCtx
 
-	writeCtx := func(proc, l int, state []T) error {
-		scr := scrs[proc]
-		if err := encodeCtxInto(codec, state, maxCtx, scr.ctxImg); err != nil {
-			return err
-		}
-		scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.ctxImg, cfg.B)
-		return layout.WriteStripedScratch(arrays[proc], 0, l*cb, scr.bufs, &scr.lay)
-	}
-	readCtx := func(proc, l int) ([]T, error) {
-		scr := scrs[proc]
-		if err := layout.ReadStripedScratch(arrays[proc], 0, l*cb, scr.ctxImg, &scr.lay); err != nil {
-			return nil, err
-		}
-		return decodeCtx(codec, scr.ctxImg)
-	}
-
 	res := &Result[T]{Outputs: make([][]T, v)}
 
-	// Input distribution.
+	// Input distribution — synchronous, identical to runPar.
 	initSpan := rec.Begin(mtrack, "input distribution", "init")
 	for j := 0; j < v; j++ {
 		vp := &cgm.VP[T]{ID: j, V: v}
@@ -160,7 +135,14 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			cached[owner(j)] = vp.State
 			continue
 		}
-		if err := writeCtx(owner(j), localIdx(j), vp.State); err != nil {
+		i, l := owner(j), localIdx(j)
+		scr := scrs[i].img[0]
+		if err := encodeCtxInto(codec, vp.State, maxCtx, scr.ctxImg); err != nil {
+			initSpan.End()
+			return nil, err
+		}
+		scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.ctxImg, cfg.B)
+		if err := layout.WriteStripedScratch(arrays[i], 0, l*cb, scr.bufs, &scr.lay); err != nil {
 			initSpan.End()
 			return nil, err
 		}
@@ -191,12 +173,17 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		sent, recv     []int // per local VP items
 		comm           int64
 		maxMsg, maxCtx int
+		stallNS        int64     // time blocked in Wait (recording only)
 		finish         time.Time // when this proc's work ended (recording only)
 	}
 
 	prevOps := make([]int64, p)
 	for i, a := range arrays {
 		prevOps[i] = a.Stats().ParallelOps
+	}
+	prevBlocks := make([]int64, p)
+	for i, a := range arrays {
+		prevBlocks[i] = a.Stats().BlocksMoved
 	}
 
 	// Per-proc h-relation accounting, reused across rounds like the scratch.
@@ -206,6 +193,12 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		sentItems[i] = make([]int, localV)
 		recvItems[i] = make([]int, localV)
 	}
+
+	// Per-proc split-phase state, owned by processor i's goroutine for the
+	// round's duration; rounds are sequenced by the barrier, so reuse
+	// across rounds is race-free.
+	pends := make([][2]vpInflight, p)
+	routePends := make([][2]pdm.PendingSet, p)
 
 	// emcgm:barrier(send=chans,rounds=v)
 	runProc := func(i, round int) (out procOut) {
@@ -234,78 +227,144 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		}()
 		arr := arrays[i]
 		scr := scrs[i]
+		pend := &pends[i]
+		routePend := &routePends[i]
 		readM := matrices[i][round%2]
 		writeParity := (round + 1) % 2
-		ctxOps, msgOps := int64(0), int64(0)
-		last := prevOps[i]
-		account := func(isCtx bool) {
-			now := arr.Stats().ParallelOps
-			if isCtx {
-				ctxOps += now - last
-			} else {
-				msgOps += now - last
+
+		drain := func() {
+			for k := range pend {
+				_ = pend[k].reads.Wait() // error path; the reported error wins
+				_ = pend[k].writes.Wait()
 			}
-			last = now
+			_ = routePend[0].Wait()
+			_ = routePend[1].Wait()
+		}
+
+		wait := func(ps *pdm.PendingSet) error {
+			if rec == nil {
+				return ps.Wait()
+			}
+			if ps.Len() == 0 {
+				return nil
+			}
+			t0 := time.Now()
+			err := ps.Wait()
+			out.stallNS += time.Since(t0).Nanoseconds()
+			rec.SpanSince(track, "stall", "wait", t0)
+			return err
+		}
+
+		lastOps, lastBlocks := prevOps[i], prevBlocks[i]
+		bank := func(sl *vpInflight, isCtx bool) {
+			s := arr.Stats()
+			if isCtx {
+				sl.ctxOps += s.ParallelOps - lastOps
+			} else {
+				sl.msgOps += s.ParallelOps - lastOps
+			}
+			sl.blocks += s.BlocksMoved - lastBlocks
+			lastOps, lastBlocks = s.ParallelOps, s.BlocksMoved
+		}
+
+		beginReads := func(l int) error {
+			sl := &pend[l&1]
+			s := scr.img[l&1]
+			pf := rec.Begin(track, "prefetch", "prefetch")
+			if !cacheCtx {
+				if err := layout.BeginReadStripedScratch(arr, 0, l*cb, s.ctxImg, &s.lay, &sl.reads); err != nil {
+					pf.End()
+					return fmt.Errorf("core: round %d vp %d: begin context read: %w", round, i*localV+l, err)
+				}
+				bank(sl, true)
+			}
+			if round > 0 {
+				s.reqs = readM.AppendRegionReqs(s.reqs[:0], l)
+				s.bufs = layout.SplitBlocksInto(s.bufs[:0], s.flat, cfg.B)
+				if _, err := layout.BeginReadFIFOScratch(arr, s.reqs, s.bufs, &s.lay, &sl.reads); err != nil {
+					pf.End()
+					return fmt.Errorf("core: round %d vp %d: begin inbox read: %w", round, i*localV+l, err)
+				}
+				bank(sl, false)
+			}
+			pf.End()
+			return nil
+		}
+
+		// Round prologue: VP 0's reads go in flight before the loop.
+		if err := beginReads(0); err != nil {
+			drain()
+			out.err = err
+			return out
 		}
 
 		doneLocal := false
 		for l := 0; l < localV; l++ {
 			j := i*localV + l
-			var ssCtx0, ssMsg0, ssBlk0 int64
+			cur := l & 1
+			sl := &pend[cur]
+			s := scr.img[cur]
 			ss := rec.Begin(track, "superstep", "superstep")
-			if rec != nil {
-				ssCtx0, ssMsg0, ssBlk0 = ctxOps, msgOps, arr.Stats().BlocksMoved
+
+			// (a)+(b) Context and inbox were prefetched; wait for them.
+			if err := wait(&sl.reads); err != nil {
+				ss.End()
+				drain()
+				out.err = fmt.Errorf("core: round %d vp %d: read context/inbox: %w", round, j, err)
+				return out
 			}
-			// (a) Context in (skipped when resident).
 			var state []T
 			if cacheCtx {
 				state = cached[i]
 			} else {
-				sp := rec.Begin(track, "ctx read", "phase")
 				var err error
-				state, err = readCtx(i, l)
+				state, err = decodeCtx(codec, s.ctxImg)
 				if err != nil {
-					sp.End()
 					ss.End()
-					out.err = fmt.Errorf("core: round %d vp %d: read context: %w", round, j, err)
+					drain()
+					out.err = fmt.Errorf("core: round %d vp %d: %w", round, j, err)
 					return out
 				}
-				sp.End()
-				account(true)
 			}
-			// (b) Inbox in.
 			inbox := make([][]T, v)
 			if round > 0 {
-				sp := rec.Begin(track, "inbox read", "phase")
-				scr.reqs = readM.AppendRegionReqs(scr.reqs[:0], l)
-				scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat, cfg.B)
-				if _, err := layout.ReadFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
-					sp.End()
-					ss.End()
-					out.err = fmt.Errorf("core: round %d vp %d: read inbox: %w", round, j, err)
-					return out
-				}
 				for src := 0; src < v; src++ {
-					msg, err := decodeMsg(codec, scr.flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
+					msg, err := decodeMsg(codec, s.flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
 					if err != nil {
-						sp.End()
 						ss.End()
+						drain()
 						out.err = fmt.Errorf("core: round %d vp %d: message from %d: %w", round, j, src, err)
 						return out
 					}
 					inbox[src] = msg
 					out.recv[l] += len(msg)
 				}
-				sp.End()
-				account(false)
 			}
-			// (c) Compute.
+
+			// VP l−1's write-behind still references the other scratch.
+			if err := wait(&pend[1-cur].writes); err != nil {
+				ss.End()
+				drain()
+				out.err = fmt.Errorf("core: round %d vp %d: write back: %w", round, j-1, err)
+				return out
+			}
+			if l+1 < localV {
+				if err := beginReads(l + 1); err != nil {
+					ss.End()
+					drain()
+					out.err = err
+					return out
+				}
+			}
+
+			// (c) Compute, with VP l+1's reads in flight underneath.
 			cp := rec.Begin(track, "compute", "phase")
 			vp := &cgm.VP[T]{ID: j, V: v, State: state}
 			outbox, done := prog.Round(vp, round, inbox)
 			cp.End()
 			if outbox != nil && len(outbox) != v {
 				ss.End()
+				drain()
 				out.err = fmt.Errorf("core: vp %d round %d returned outbox of length %d, want %d or nil",
 					j, round, len(outbox), v)
 				return out
@@ -314,6 +373,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 				doneLocal = done
 			} else if done != doneLocal {
 				ss.End()
+				drain()
 				out.err = fmt.Errorf("core: vp %d disagreed on termination at round %d", j, round)
 				return out
 			}
@@ -346,78 +406,124 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			}
 			sp.End()
 			sentVPs++
-			// (e) Context out (or keep resident).
+			// (e) Begin the context write-behind (or keep resident).
 			if len(vp.State) > out.maxCtx {
 				out.maxCtx = len(vp.State)
 			}
 			if cacheCtx {
 				if len(vp.State) > maxCtx {
 					ss.End()
+					drain()
 					out.err = fmt.Errorf("core: round %d vp %d: context of %d items exceeds μ = %d",
 						round, j, len(vp.State), maxCtx)
 					return out
 				}
 				cached[i] = vp.State
 			} else {
-				wp := rec.Begin(track, "ctx write", "phase")
-				if err := writeCtx(i, l, vp.State); err != nil {
+				wp := rec.Begin(track, "ctx write", "writeback")
+				if err := encodeCtxInto(codec, vp.State, maxCtx, s.ctxImg); err != nil {
 					wp.End()
 					ss.End()
+					drain()
+					out.err = fmt.Errorf("core: round %d vp %d: write context: %w", round, j, err)
+					return out
+				}
+				s.bufs = layout.SplitBlocksInto(s.bufs[:0], s.ctxImg, cfg.B)
+				if err := layout.BeginWriteStripedScratch(arr, 0, l*cb, s.bufs, &s.lay, &sl.writes); err != nil {
+					wp.End()
+					ss.End()
+					drain()
 					out.err = fmt.Errorf("core: round %d vp %d: write context: %w", round, j, err)
 					return out
 				}
 				wp.End()
-				account(true)
+				bank(sl, true)
 			}
+			out.ctxOps += sl.ctxOps
+			out.msgOps += sl.msgOps
 			if rec != nil {
 				ss.EndIO(obs.SuperstepIO{Proc: i, Round: round, VP: j, Label: "superstep",
-					CtxOps: ctxOps - ssCtx0, MsgOps: msgOps - ssMsg0,
-					Blocks: arr.Stats().BlocksMoved - ssBlk0})
+					CtxOps: sl.ctxOps, MsgOps: sl.msgOps, Blocks: sl.blocks})
+			}
+			sl.reset()
+		}
+
+		// The route phase reuses both scratch images; the VP loop's
+		// write-behind must land first.
+		for k := range pend {
+			if err := wait(&pend[k].writes); err != nil {
+				drain()
+				out.err = fmt.Errorf("core: round %d proc %d: write back: %w", round, i, err)
+				return out
 			}
 		}
 
 		// Receive exactly v batches (one per virtual processor in the
-		// machine) and lay their messages out for the next superstep.
-		var rtMsg0, rtBlk0 int64
+		// machine) and lay their messages out for the next superstep,
+		// double-buffered: encode batch n+1 while batch n's blocks write.
 		rt := rec.Begin(track, "route batches", "route")
-		if rec != nil {
-			rtMsg0, rtBlk0 = msgOps, arr.Stats().BlocksMoved
-		}
 		writeM := matrices[i][writeParity]
+		var rtOps, rtBlocks int64
+		nb := 0
 		for got := 0; got < v; got++ {
 			b := <-chans[i]
 			if b.final {
 				continue
 			}
-			scr.reqs = scr.reqs[:0]
+			s := scr.img[nb&1]
+			if err := wait(&routePend[nb&1]); err != nil {
+				rt.End()
+				drain()
+				out.err = fmt.Errorf("core: round %d proc %d: write batch: %w", round, i, err)
+				return out
+			}
+			s.reqs = s.reqs[:0]
 			for dl := 0; dl < localV; dl++ {
-				if err := encodeMsgInto(codec, b.msgs[dl], maxMsg, scr.flat[dl*bpm*cfg.B:(dl+1)*bpm*cfg.B]); err != nil {
+				if err := encodeMsgInto(codec, b.msgs[dl], maxMsg, s.flat[dl*bpm*cfg.B:(dl+1)*bpm*cfg.B]); err != nil {
 					rt.End()
+					drain()
 					out.err = fmt.Errorf("vp %d round %d → %d: %w", b.srcVP, round, i*localV+dl, err)
 					return out
 				}
-				scr.reqs = writeM.AppendSlotReqs(scr.reqs, dl, b.srcVP)
+				s.reqs = writeM.AppendSlotReqs(s.reqs, dl, b.srcVP)
 			}
-			scr.bufs = layout.SplitBlocksInto(scr.bufs[:0], scr.flat[:localV*bpm*cfg.B], cfg.B)
-			if _, err := layout.WriteFIFOScratch(arr, scr.reqs, scr.bufs, &scr.lay); err != nil {
+			s.bufs = layout.SplitBlocksInto(s.bufs[:0], s.flat[:localV*bpm*cfg.B], cfg.B)
+			if _, err := layout.BeginWriteFIFOScratch(arr, s.reqs, s.bufs, &s.lay, &routePend[nb&1]); err != nil {
 				rt.End()
+				drain()
 				out.err = fmt.Errorf("core: round %d proc %d: write batch from vp %d: %w", round, i, b.srcVP, err)
 				return out
 			}
-			account(false)
+			st := arr.Stats()
+			rtOps += st.ParallelOps - lastOps
+			rtBlocks += st.BlocksMoved - lastBlocks
+			lastOps, lastBlocks = st.ParallelOps, st.BlocksMoved
+			nb++
 		}
+		// The next round's prologue reuses the scratch images; the route
+		// write-behind must land before this processor leaves the barrier.
+		for k := range routePend {
+			if err := wait(&routePend[k]); err != nil {
+				rt.End()
+				drain()
+				out.err = fmt.Errorf("core: round %d proc %d: write batch: %w", round, i, err)
+				return out
+			}
+		}
+		out.msgOps += rtOps
 		if rec != nil {
 			rt.EndIO(obs.SuperstepIO{Proc: i, Round: round, VP: -1, Label: "route",
-				MsgOps: msgOps - rtMsg0, Blocks: arr.Stats().BlocksMoved - rtBlk0})
+				MsgOps: rtOps, Blocks: rtBlocks})
 			out.finish = time.Now()
 		}
 
 		out.done = doneLocal
-		out.ctxOps, out.msgOps = ctxOps, msgOps
-		prevOps[i] = last
+		prevOps[i] = lastOps
+		prevBlocks[i] = lastBlocks
 		return out
 	}
 
+	var stallNS int64
 	const maxRounds = 1 << 20
 	for round := 0; ; round++ {
 		if round >= maxRounds {
@@ -458,6 +564,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 			res.CtxOps += outs[i].ctxOps
 			res.MsgOps += outs[i].msgOps
 			res.CommItems += outs[i].comm
+			stallNS += outs[i].stallNS
 			if outs[i].maxMsg > res.MaxMsgObserved {
 				res.MaxMsgObserved = outs[i].maxMsg
 			}
@@ -481,6 +588,10 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		}
 	}
 
+	if rec != nil {
+		rec.Counter("core_stall_ns").Add(stallNS)
+	}
+	res.Stall = time.Duration(stallNS)
 	res.IOPerProc = make([]pdm.IOStats, p)
 	for i, a := range arrays {
 		res.IOPerProc[i] = a.Stats()

@@ -1,0 +1,183 @@
+package core_test
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pdm"
+	"repro/internal/permute"
+	"repro/internal/sortalg"
+	"repro/internal/transpose"
+	"repro/internal/wordcodec"
+	"repro/internal/workload"
+)
+
+// equivResults asserts the pipelined schedule changed nothing the model
+// can see: outputs, the full IOStats (total and per processor), the
+// context/message split, and every observed bound are bit-identical to
+// the synchronous schedule. Only Stall — wall-clock overlap accounting —
+// may differ.
+func equivResults[T comparable](t *testing.T, tag string, off, on *core.Result[T]) {
+	t.Helper()
+	if on.IO != off.IO {
+		t.Errorf("%s: IO = %+v, want %+v", tag, on.IO, off.IO)
+	}
+	if len(on.IOPerProc) != len(off.IOPerProc) {
+		t.Fatalf("%s: %d per-proc stats, want %d", tag, len(on.IOPerProc), len(off.IOPerProc))
+	}
+	for i := range off.IOPerProc {
+		if on.IOPerProc[i] != off.IOPerProc[i] {
+			t.Errorf("%s: proc %d IO = %+v, want %+v", tag, i, on.IOPerProc[i], off.IOPerProc[i])
+		}
+	}
+	if on.CtxOps != off.CtxOps || on.MsgOps != off.MsgOps {
+		t.Errorf("%s: CtxOps/MsgOps = %d/%d, want %d/%d", tag, on.CtxOps, on.MsgOps, off.CtxOps, off.MsgOps)
+	}
+	if on.Rounds != off.Rounds || on.Supersteps != off.Supersteps {
+		t.Errorf("%s: Rounds/Supersteps = %d/%d, want %d/%d", tag, on.Rounds, on.Supersteps, off.Rounds, off.Supersteps)
+	}
+	if on.MaxTracks != off.MaxTracks {
+		t.Errorf("%s: MaxTracks = %d, want %d", tag, on.MaxTracks, off.MaxTracks)
+	}
+	if on.MaxH != off.MaxH || on.CommItems != off.CommItems {
+		t.Errorf("%s: MaxH/CommItems = %d/%d, want %d/%d", tag, on.MaxH, on.CommItems, off.MaxH, off.CommItems)
+	}
+	if on.MaxMsgObserved != off.MaxMsgObserved || on.MaxCtxObserved != off.MaxCtxObserved {
+		t.Errorf("%s: observed bounds = %d/%d, want %d/%d", tag,
+			on.MaxMsgObserved, on.MaxCtxObserved, off.MaxMsgObserved, off.MaxCtxObserved)
+	}
+	if len(on.Outputs) != len(off.Outputs) {
+		t.Fatalf("%s: %d output partitions, want %d", tag, len(on.Outputs), len(off.Outputs))
+	}
+	for j := range off.Outputs {
+		if len(on.Outputs[j]) != len(off.Outputs[j]) {
+			t.Fatalf("%s: vp %d output length %d, want %d", tag, j, len(on.Outputs[j]), len(off.Outputs[j]))
+		}
+		for k := range off.Outputs[j] {
+			if on.Outputs[j][k] != off.Outputs[j][k] {
+				t.Fatalf("%s: vp %d item %d differs between schedules", tag, j, k)
+			}
+		}
+	}
+}
+
+// TestPipelineEquivalence is the acceptance check of the pipelined
+// schedules: on sorting, permutation and transposition — seq and par —
+// Pipeline=PipelineOn must reproduce the exact outputs and the exact PDM
+// accounting of Pipeline=PipelineOff.
+func TestPipelineEquivalence(t *testing.T) {
+	const v, n = 8, 1 << 10
+	keys := workload.Int64s(11, n)
+	dests := workload.Permutation(12, n)
+
+	run := func(t *testing.T, tag string, f func(core.Config) (any, error), base core.Config) {
+		t.Helper()
+		offCfg, onCfg := base, base
+		offCfg.Pipeline = core.PipelineOff
+		onCfg.Pipeline = core.PipelineOn
+		off, err := f(offCfg)
+		if err != nil {
+			t.Fatalf("%s (sync): %v", tag, err)
+		}
+		on, err := f(onCfg)
+		if err != nil {
+			t.Fatalf("%s (pipelined): %v", tag, err)
+		}
+		switch offR := off.(type) {
+		case *core.Result[int64]:
+			equivResults(t, tag, offR, on.(*core.Result[int64]))
+		case *core.Result[permute.Item]:
+			equivResults(t, tag, offR, on.(*core.Result[permute.Item]))
+		default:
+			t.Fatalf("%s: unexpected result type %T", tag, off)
+		}
+	}
+
+	for _, p := range []int{1, 2, 4} {
+		base := core.Config{V: v, P: p, D: 2, B: 8}
+		tagP := map[int]string{1: "p=1", 2: "p=2", 4: "p=4"}[p]
+
+		run(t, "sort/"+tagP, func(cfg core.Config) (any, error) {
+			_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
+			return res, err
+		}, base)
+		run(t, "permute/"+tagP, func(cfg core.Config) (any, error) {
+			_, res, err := permute.EMPermute(keys, dests, cfg)
+			return res, err
+		}, base)
+		run(t, "transpose/"+tagP, func(cfg core.Config) (any, error) {
+			_, res, err := transpose.EMTranspose(keys, 32, 32, cfg)
+			return res, err
+		}, base)
+	}
+
+	// The sequential machine proper (Algorithm 2, not p=1 of Algorithm 3).
+	items := make([]permute.Item, n)
+	for i := range items {
+		items[i] = permute.Item{Dest: dests[i], Val: keys[i]}
+	}
+	seqCfg := core.Config{V: v, P: 1, D: 2, B: 8,
+		MaxMsgItems: 4*((n+v*v-1)/(v*v)) + v + 16,
+		MaxHItems:   2*((n+v-1)/v) + v + 16}
+	run(t, "permute/seq", func(cfg core.Config) (any, error) {
+		return core.RunSeq[permute.Item](permute.New(n), permute.Codec{}, cfg, cgm.Scatter(items, v))
+	}, seqCfg)
+	run(t, "sort/seq", func(cfg core.Config) (any, error) {
+		return core.RunSeq[int64](sortalg.Sorter[int64]{}, wordcodec.I64{}, sortalg.EMSortConfig(cfg, n), cgm.Scatter(keys, v))
+	}, core.Config{V: v, P: 1, D: 2, B: 8})
+}
+
+// TestPipelineFaultWithRecorder injects a disk fault into the pipelined
+// drivers with a recorder attached: the error must surface from the wait
+// path without wedging the pipeline, and the recorder must still export a
+// well-formed trace (no span left open crashes the Chrome export, no
+// worker result is abandoned).
+func TestPipelineFaultWithRecorder(t *testing.T) {
+	const v, n = 4, 64
+	parts := cgm.Scatter(workload.Int64s(7, n), v)
+
+	for _, p := range []int{1, 2} {
+		rec := obs.NewRecorder()
+		cfg := core.Config{V: v, P: p, D: 2, B: 8,
+			MaxMsgItems: n/v + 4, MaxCtxItems: n/v + 4,
+			Pipeline: core.PipelineOn, Recorder: rec,
+			NewDisk: func(proc, disk int) pdm.Disk {
+				if proc == p-1 && disk == 0 {
+					return pdm.NewFaultyDisk(pdm.NewMemDisk(8), 5)
+				}
+				return pdm.NewMemDisk(8)
+			},
+		}
+		var err error
+		if p == 1 {
+			_, err = core.RunSeq[int64](echo{}, wordcodec.I64{}, cfg, parts)
+		} else {
+			_, err = core.RunPar[int64](echo{}, wordcodec.I64{}, cfg, parts)
+		}
+		if !errors.Is(err, pdm.ErrInjected) {
+			t.Fatalf("p=%d: err = %v, want injected disk fault", p, err)
+		}
+		if err := rec.WriteChromeTrace(io.Discard); err != nil {
+			t.Errorf("p=%d: trace export after fault: %v", p, err)
+		}
+	}
+}
+
+// echo circulates partitions for a few rounds — enough I/O for the
+// injected fault to fire inside the pipelined superstep loop.
+type echo struct{}
+
+func (echo) Init(vp *cgm.VP[int64], input []int64) { vp.State = append([]int64(nil), input...) }
+func (echo) Round(vp *cgm.VP[int64], round int, inbox [][]int64) ([][]int64, bool) {
+	if round == 3 {
+		return nil, true
+	}
+	out := make([][]int64, vp.V)
+	out[(vp.ID+1)%vp.V] = vp.State
+	return out, false
+}
+func (echo) Output(vp *cgm.VP[int64]) []int64 { return vp.State }

@@ -21,7 +21,15 @@ import (
 // so steady-state supersteps allocate only the decoded item slices handed
 // to the program. The parallel I/O sequence is identical to the scratch-
 // free formulation: the PDM accounting is invariant under this reuse.
+//
+// This body is the synchronous reference schedule (PipelineOff): every
+// parallel I/O runs to completion before the next phase. Under the
+// default PipelineOn it dispatches to runSeqPipelined, which overlaps the
+// same operations with compute — see seqpipe.go.
 func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
+	if cfg.Pipeline == PipelineOn {
+		return runSeqPipelined(prog, codec, cfg, inputs)
+	}
 	v := cfg.V
 	if len(inputs) != v {
 		return nil, fmt.Errorf("core: %d input partitions for V = %d", len(inputs), v)

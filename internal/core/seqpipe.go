@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/pdm"
+	"repro/internal/wordcodec"
+)
+
+// vpInflight is one pipeline slot of a superstep driver: the split-phase
+// handles of the slot's in-flight reads and writes, plus the operation
+// counts banked for its superstep's trace row. Accounting is charged at
+// begin time, so the driver snapshots counter deltas as it begins each
+// operation group; the deltas are exact because only the driver goroutine
+// begins operations on its array.
+type vpInflight struct {
+	reads, writes  pdm.PendingSet
+	ctxOps, msgOps int64
+	blocks         int64
+}
+
+// reset zeroes the banked counts after their trace row is emitted.
+func (sl *vpInflight) reset() {
+	sl.ctxOps, sl.msgOps, sl.blocks = 0, 0, 0
+}
+
+// runSeqPipelined is runSeq under the PipelineOn schedule: the same
+// Algorithm 2 superstep loop software-pipelined over two superstepScratch
+// images in ping-pong. While virtual processor j computes out of scratch
+// j mod 2, VP j+1's context and inbox are already being read into the
+// other scratch, and VP j's own writes drain as write-behind that the
+// driver only waits for when the scratch is needed again (one VP later,
+// or at the round boundary).
+//
+// The schedule preserves the synchronous schedule's operation multiset,
+// addresses, and cycle packing exactly — only the begin order changes:
+// the reads of VP j+1 are hoisted above the writes of VP j. That hoist is
+// address-disjoint within a round (Observation 2: VP j's outbox writes
+// land in the slots its own inbox freed, and context runs are per-VP), no
+// prefetch crosses a round boundary, and the per-disk work queues are
+// FIFO, so every write→read dependency still executes in begin order.
+// With accounting charged at begin time the PDM counts are therefore
+// bit-identical to PipelineOff, which the equivalence tests pin.
+func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
+	v := cfg.V
+	if len(inputs) != v {
+		return nil, fmt.Errorf("core: %d input partitions for V = %d", len(inputs), v)
+	}
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	iw := codec.Words()
+	maxCtx, maxMsg := limits(prog, cfg, n)
+	cw := ctxWords(maxCtx, iw)
+	sw := slotWords(maxMsg, iw)
+	cb := pdm.BlocksFor(cw, cfg.B)  // blocks per context
+	bpm := pdm.BlocksFor(sw, cfg.B) // blocks per message slot (b′)
+	ctxTracks := (v*cb+cfg.D-1)/cfg.D + 1
+
+	if cfg.M > 0 {
+		// The pipeline holds two superstep working sets at once.
+		need := 2 * (cb*cfg.B + v*bpm*cfg.B)
+		if need > cfg.M {
+			return nil, fmt.Errorf("core: pipelined working set %d words exceeds M = %d (two supersteps of μ=%d items, slot=%d items × V=%d); set Pipeline: PipelineOff to halve it",
+				need, cfg.M, maxCtx, maxMsg, v)
+		}
+	}
+
+	matrix, err := layout.NewMatrix(v, bpm, cfg.D, ctxTracks)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := cfg.newArray(0)
+	if err != nil {
+		return nil, err
+	}
+	defer arr.Close()
+
+	rec := cfg.Recorder
+	var track obs.TrackID
+	if rec != nil {
+		track = rec.Track("proc 0")
+		arr.SetRecorder(rec, 0)
+	}
+
+	res := &Result[T]{Outputs: make([][]T, v)}
+	scr := [2]*superstepScratch{
+		newSuperstepScratch(cb, v*bpm, cfg.B),
+		newSuperstepScratch(cb, v*bpm, cfg.B),
+	}
+	var pend [2]vpInflight
+
+	// drain waits out every in-flight operation before an error return:
+	// no handle leaks, no worker left holding a buffer reference. The
+	// drained errors are deliberately dropped — the caller's error is the
+	// one being reported.
+	drain := func() {
+		for k := range pend {
+			_ = pend[k].reads.Wait()
+			_ = pend[k].writes.Wait()
+		}
+	}
+
+	// Input distribution: initialise and write every context,
+	// synchronously, exactly as the reference schedule does.
+	initSpan := rec.Begin(track, "input distribution", "init")
+	for j := 0; j < v; j++ {
+		vp := &cgm.VP[T]{ID: j, V: v}
+		prog.Init(vp, inputs[j])
+		s := scr[0]
+		if err := encodeCtxInto(codec, vp.State, maxCtx, s.ctxImg); err != nil {
+			initSpan.End()
+			return nil, fmt.Errorf("vp %d: %w", j, err)
+		}
+		if len(vp.State) > res.MaxCtxObserved {
+			res.MaxCtxObserved = len(vp.State)
+		}
+		s.bufs = layout.SplitBlocksInto(s.bufs[:0], s.ctxImg, cfg.B)
+		if err := layout.WriteStripedScratch(arr, 0, j*cb, s.bufs, &s.lay); err != nil {
+			initSpan.End()
+			return nil, err
+		}
+	}
+	res.CtxOps = arr.Stats().ParallelOps
+	if rec != nil {
+		initSpan.EndIO(obs.SuperstepIO{Proc: 0, Round: -1, VP: -1, Label: "init",
+			CtxOps: res.CtxOps, Blocks: arr.Stats().BlocksMoved})
+	}
+
+	// bank charges the ops begun since the last snapshot to slot sl's
+	// trace row, split into context vs message operations.
+	lastOps := arr.Stats().ParallelOps
+	lastBlocks := arr.Stats().BlocksMoved
+	bank := func(sl *vpInflight, isCtx bool) {
+		s := arr.Stats()
+		if isCtx {
+			sl.ctxOps += s.ParallelOps - lastOps
+		} else {
+			sl.msgOps += s.ParallelOps - lastOps
+		}
+		sl.blocks += s.BlocksMoved - lastBlocks
+		lastOps, lastBlocks = s.ParallelOps, s.BlocksMoved
+	}
+
+	// beginReads prefetches VP j's context and (after round 0) inbox into
+	// scratch j mod 2, charging the begun ops to that slot's row.
+	beginReads := func(j, round int) error {
+		sl := &pend[j&1]
+		s := scr[j&1]
+		pf := rec.Begin(track, "prefetch", "prefetch")
+		if err := layout.BeginReadStripedScratch(arr, 0, j*cb, s.ctxImg, &s.lay, &sl.reads); err != nil {
+			pf.End()
+			return fmt.Errorf("core: round %d vp %d: begin context read: %w", round, j, err)
+		}
+		bank(sl, true)
+		if round > 0 {
+			s.reqs = matrix.AppendInboxReqs(s.reqs[:0], round, j)
+			s.bufs = layout.SplitBlocksInto(s.bufs[:0], s.flat, cfg.B)
+			if _, err := layout.BeginReadFIFOScratch(arr, s.reqs, s.bufs, &s.lay, &sl.reads); err != nil {
+				pf.End()
+				return fmt.Errorf("core: round %d vp %d: begin inbox read: %w", round, j, err)
+			}
+			bank(sl, false)
+		}
+		pf.End()
+		return nil
+	}
+
+	// wait drains a pending set, charging the blocked time to the stall
+	// account when recording (the determinism contract forbids wall-clock
+	// reads otherwise).
+	var stallNS int64
+	wait := func(ps *pdm.PendingSet) error {
+		if rec == nil {
+			return ps.Wait()
+		}
+		if ps.Len() == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		err := ps.Wait()
+		stallNS += time.Since(t0).Nanoseconds()
+		rec.SpanSince(track, "stall", "wait", t0)
+		return err
+	}
+
+	recvItems := make([]int, v)
+	sentItems := make([]int, v)
+
+	const maxRounds = 1 << 20
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("core: program exceeded %d rounds", maxRounds)
+		}
+		var doneAll bool
+		for j := 0; j < v; j++ {
+			recvItems[j], sentItems[j] = 0, 0
+		}
+
+		// Round prologue: the pipeline starts with VP 0's reads in flight.
+		if err := beginReads(0, round); err != nil {
+			drain()
+			return nil, err
+		}
+
+		for j := 0; j < v; j++ {
+			cur := j & 1
+			sl := &pend[cur]
+			s := scr[cur]
+			ss := rec.Begin(track, "superstep", "superstep")
+
+			// (a)+(b) Context and inbox were prefetched; wait for them.
+			if err := wait(&sl.reads); err != nil {
+				ss.End()
+				drain()
+				return nil, fmt.Errorf("core: round %d vp %d: read context/inbox: %w", round, j, err)
+			}
+			state, err := decodeCtx(codec, s.ctxImg)
+			if err != nil {
+				ss.End()
+				drain()
+				return nil, fmt.Errorf("core: round %d vp %d: %w", round, j, err)
+			}
+			inbox := make([][]T, v)
+			if round > 0 {
+				for src := 0; src < v; src++ {
+					msg, err := decodeMsg(codec, s.flat[src*bpm*cfg.B:(src+1)*bpm*cfg.B])
+					if err != nil {
+						ss.End()
+						drain()
+						return nil, fmt.Errorf("core: round %d vp %d: message from %d: %w", round, j, src, err)
+					}
+					inbox[src] = msg
+					recvItems[j] += len(msg)
+				}
+			}
+
+			// The other scratch still backs VP j−1's write-behind; it must
+			// land before VP j+1's reads can reuse the image.
+			if err := wait(&pend[1-cur].writes); err != nil {
+				ss.End()
+				drain()
+				return nil, fmt.Errorf("core: round %d vp %d: write back: %w", round, j-1, err)
+			}
+			if j+1 < v {
+				if err := beginReads(j+1, round); err != nil {
+					ss.End()
+					drain()
+					return nil, err
+				}
+			}
+
+			// (c) Simulate the local computation — the prefetched reads of
+			// VP j+1 are now in flight underneath it.
+			cp := rec.Begin(track, "compute", "phase")
+			vp := &cgm.VP[T]{ID: j, V: v, State: state}
+			outbox, done := prog.Round(vp, round, inbox)
+			cp.End()
+			if outbox != nil && len(outbox) != v {
+				ss.End()
+				drain()
+				return nil, fmt.Errorf("core: vp %d round %d returned outbox of length %d, want %d or nil",
+					j, round, len(outbox), v)
+			}
+			if j == 0 {
+				doneAll = done
+			} else if done != doneAll {
+				ss.End()
+				drain()
+				return nil, fmt.Errorf("core: vp %d disagreed on termination at round %d", j, round)
+			}
+
+			// (d) Begin the outbox write (staggered) as write-behind.
+			if !done {
+				wb := rec.Begin(track, "outbox write", "writeback")
+				s.reqs = matrix.AppendOutboxReqs(s.reqs[:0], round, j)
+				for dst := 0; dst < v; dst++ {
+					var msg []T
+					if outbox != nil {
+						msg = outbox[dst]
+					}
+					if err := encodeMsgInto(codec, msg, maxMsg, s.flat[dst*bpm*cfg.B:(dst+1)*bpm*cfg.B]); err != nil {
+						wb.End()
+						ss.End()
+						drain()
+						return nil, fmt.Errorf("vp %d round %d → %d: %w", j, round, dst, err)
+					}
+					sentItems[j] += len(msg)
+					if len(msg) > res.MaxMsgObserved {
+						res.MaxMsgObserved = len(msg)
+					}
+				}
+				s.bufs = layout.SplitBlocksInto(s.bufs[:0], s.flat, cfg.B)
+				if _, err := layout.BeginWriteFIFOScratch(arr, s.reqs, s.bufs, &s.lay, &sl.writes); err != nil {
+					wb.End()
+					ss.End()
+					drain()
+					return nil, fmt.Errorf("core: round %d vp %d: begin outbox write: %w", round, j, err)
+				}
+				wb.End()
+				bank(sl, false)
+			} else {
+				res.Outputs[j] = prog.Output(vp)
+			}
+
+			// (e) Begin the context write-back (consecutive).
+			wb := rec.Begin(track, "ctx write", "writeback")
+			if err := encodeCtxInto(codec, vp.State, maxCtx, s.ctxImg); err != nil {
+				wb.End()
+				ss.End()
+				drain()
+				return nil, fmt.Errorf("vp %d: %w", j, err)
+			}
+			if len(vp.State) > res.MaxCtxObserved {
+				res.MaxCtxObserved = len(vp.State)
+			}
+			s.bufs = layout.SplitBlocksInto(s.bufs[:0], s.ctxImg, cfg.B)
+			if err := layout.BeginWriteStripedScratch(arr, 0, j*cb, s.bufs, &s.lay, &sl.writes); err != nil {
+				wb.End()
+				ss.End()
+				drain()
+				return nil, fmt.Errorf("core: round %d vp %d: begin context write: %w", round, j, err)
+			}
+			wb.End()
+			bank(sl, true)
+
+			res.CtxOps += sl.ctxOps
+			res.MsgOps += sl.msgOps
+			if rec != nil {
+				ss.EndIO(obs.SuperstepIO{Proc: 0, Round: round, VP: j, Label: "superstep",
+					CtxOps: sl.ctxOps, MsgOps: sl.msgOps, Blocks: sl.blocks})
+			}
+			sl.reset()
+		}
+
+		// Round epilogue: both parities' write-behind must land before the
+		// scratches are reused — and round r+1's inbox reads depend on this
+		// round's outbox writes, so no prefetch crosses the boundary.
+		for k := range pend {
+			if err := wait(&pend[k].writes); err != nil {
+				drain()
+				return nil, fmt.Errorf("core: round %d: write back: %w", round, err)
+			}
+		}
+
+		res.Rounds = round + 1
+		for j := 0; j < v; j++ {
+			if recvItems[j] > res.MaxH {
+				res.MaxH = recvItems[j]
+			}
+			if sentItems[j] > res.MaxH {
+				res.MaxH = sentItems[j]
+			}
+		}
+		if doneAll {
+			break
+		}
+	}
+
+	if rec != nil {
+		rec.Counter("core_p0_stall_ns").Add(stallNS)
+	}
+	res.Stall = time.Duration(stallNS)
+	res.IOPerProc = []pdm.IOStats{arr.Stats()}
+	res.IO = arr.Stats()
+	for i := 0; i < arr.D(); i++ {
+		if t := arr.Disk(i).Tracks(); t > res.MaxTracks {
+			res.MaxTracks = t
+		}
+	}
+	res.Supersteps = res.Rounds * v // v compound supersteps per simulated round
+	return res, nil
+}

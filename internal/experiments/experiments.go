@@ -31,6 +31,11 @@ type Scale struct {
 	P int // real processors
 	B int // block size (words)
 
+	// Pipeline selects the superstep schedule for every EM-CGM run the
+	// experiments perform (default PipelineOn; the PDM accounting is
+	// identical either way).
+	Pipeline core.PipelineMode
+
 	// Rec, when non-nil, traces every EM-CGM run an experiment performs.
 	Rec *obs.Recorder
 }
@@ -58,7 +63,7 @@ func Fig3(s Scale) (*trace.Table, error) {
 	}
 	for _, n := range []int{s.N / 8, s.N / 4, s.N / 2, s.N, 2 * s.N} {
 		keys := workload.Int64s(int64(n), n)
-		cfg := core.Config{V: s.V, P: s.P, D: 2, B: s.B, Recorder: s.Rec}
+		cfg := core.Config{V: s.V, P: s.P, D: 2, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline}
 		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("fig3: %w", err)
 		}
@@ -88,7 +93,7 @@ func Fig4(s Scale) (*trace.Table, error) {
 	for _, n := range []int{s.N / 4, s.N / 2, s.N} {
 		for _, d := range []int{1, 2} {
 			keys := workload.Int64s(int64(n), n)
-			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec}
+			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline}
 			if err := cfg.Validate(); err != nil {
 				return nil, fmt.Errorf("fig4: %w", err)
 			}
@@ -248,7 +253,7 @@ func Sweep(s Scale) (*trace.Table, error) {
 		if s.V%p != 0 {
 			continue
 		}
-		cfg := core.Config{V: s.V, P: p, D: 2, B: s.B, Recorder: s.Rec}
+		cfg := core.Config{V: s.V, P: p, D: 2, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline}
 		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("sweep p=%d: %w", p, err)
 		}
@@ -265,7 +270,7 @@ func Sweep(s Scale) (*trace.Table, error) {
 		t.AddRow(s.N, s.V, p, 2, res.IO.ParallelOps, maxOps, res.CommItems)
 	}
 	for _, d := range []int{1, 2, 4, 8} {
-		cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec}
+		cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline}
 		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("sweep d=%d: %w", d, err)
 		}

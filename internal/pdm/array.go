@@ -93,19 +93,25 @@ func (s workerStop) shutdown() {
 // (the model "gives incentives to access all disk drives").
 //
 // A parallel I/O operation is atomic in the model, and the array enforces
-// that: concurrent ReadBlocks/WriteBlocks calls are serialised, which is
-// what lets the dispatch scratch below be reused without allocation.
+// that: operation begins are serialised, which is what lets the dispatch
+// scratch below be reused without allocation. Completion may lag begin:
+// BeginReadBlocks/BeginWriteBlocks return a Pending handle while the
+// transfers drain on the workers, and accounting is charged at begin
+// time, so the PDM counts are independent of how operations overlap.
+// The per-disk work queues are FIFO, so transfers on one disk execute in
+// operation begin order — begin-order write→read dependencies on the
+// same track are therefore always honoured.
 type DiskArray struct {
 	disks []Disk
 	b     int
 
-	// opMu serialises parallel I/O operations and guards the dispatch
-	// scratch (errs, seen) and the closed flag.
+	// opMu serialises operation begins and guards the dispatch scratch
+	// (seen), the Pending freelist, and the closed flag. Completions are
+	// signalled lock-free through each Pending's WaitGroup.
 	opMu   sync.Mutex
 	work   []chan diskOp
-	wg     sync.WaitGroup
-	errs   []error  // per-request result slots, reused every operation
 	seen   []uint64 // disk bitset reused by checkReqs
+	free   *Pending // recycled split-phase handles, guarded by opMu
 	stop   *sync.Once
 	closed bool
 
@@ -152,13 +158,12 @@ func NewDiskArray(disks []Disk) (*DiskArray, error) {
 		disks:   disks,
 		b:       b,
 		work:    make([]chan diskOp, len(disks)),
-		errs:    make([]error, len(disks)),
 		seen:    make([]uint64, (len(disks)+63)/64),
 		stop:    new(sync.Once),
 		diskObs: make([]*diskObs, len(disks)),
 	}
 	for i, d := range disks {
-		ch := make(chan diskOp, 1)
+		ch := make(chan diskOp, diskQueueDepth)
 		a.work[i] = ch
 		a.diskObs[i] = &diskObs{}
 		go diskWorker(d, ch, a.diskObs[i])
@@ -299,63 +304,29 @@ func (a *DiskArray) WriteBlocks(reqs []BlockReq, bufs [][]Word) error {
 	return a.doBlocks(reqs, bufs, false)
 }
 
-// doBlocks dispatches one parallel I/O to the per-disk workers. This is
-// the innermost superstep hot path: between the serialising mutex and the
-// reused errs/seen scratch it performs zero heap allocations per call,
-// which hotpathalloc enforces statically and BenchmarkDiskArrayOp
-// re-measures.
+// diskQueueDepth is the capacity of each per-disk work channel. Split-
+// phase callers keep several operations in flight (two supersteps' worth
+// of reads and writes under the pipelined drivers), so the queues must
+// absorb a multi-cycle transfer without blocking the driver at begin
+// time; a driver that outruns this depth degrades gracefully — begin
+// blocks until a worker drains a slot, it never deadlocks, because the
+// workers themselves never take opMu.
+const diskQueueDepth = 128
+
+// doBlocks is the synchronous path: one split-phase begin immediately
+// followed by its wait. Routing both paths through begin keeps the
+// accounting and validation literally the same code, so the synchronous
+// and pipelined schedules cannot drift apart. Zero heap allocations in
+// steady state (hotpathalloc-enforced, BenchmarkDiskArrayOp-measured).
 //
 // emcgm:hotpath
 // emcgm:blocking
 func (a *DiskArray) doBlocks(reqs []BlockReq, bufs [][]Word, read bool) error {
-	if len(reqs) != len(bufs) {
-		return fmt.Errorf("pdm: %d requests but %d buffers", len(reqs), len(bufs))
-	}
-	if len(reqs) == 0 {
-		return nil
-	}
-	a.opMu.Lock()
-	defer a.opMu.Unlock()
-	if a.closed {
-		return ErrClosed
-	}
-	// emcgm:coldpath checked mode is a debugging sanitizer; validation
-	// runs before checkReqs so each violation keeps its own sentinel
-	if a.check != nil {
-		if err := a.check.validate(reqs, read); err != nil {
-			return err
-		}
-	}
-	if err := a.checkReqs(reqs); err != nil {
+	p, err := a.begin(reqs, bufs, read)
+	if err != nil {
 		return err
 	}
-	if a.rec != nil {
-		// Operations are serialised, so the outstanding-transfer count
-		// at dispatch is this op's own fan-out — the per-op queue depth.
-		a.fullHist.Observe(int64(len(reqs)))
-		a.inflight.Add(int64(len(reqs)))
-		a.depthHist.Observe(a.inflight.Load())
-	}
-	a.wg.Add(len(reqs))
-	for i, r := range reqs {
-		a.errs[i] = nil
-		// emcgm:lockheld opMu serialises whole operations by design; the
-		// per-disk work queues are buffered and drained by resident
-		// workers, so this send cannot block on a peer that needs opMu.
-		a.work[r.Disk] <- diskOp{track: r.Track, buf: bufs[i], read: read, err: &a.errs[i], wg: &a.wg}
-	}
-	a.wg.Wait()
-	for _, err := range a.errs[:len(reqs)] {
-		if err != nil {
-			return err
-		}
-	}
-	a.account(len(reqs), read)
-	// emcgm:coldpath checked-mode bookkeeping of initialised blocks
-	if a.check != nil {
-		a.check.commit(reqs, read)
-	}
-	return nil
+	return p.Wait()
 }
 
 // account updates the atomic PDM counters for one completed operation.

@@ -32,6 +32,45 @@ func BenchmarkParallelIO(b *testing.B) {
 	}
 }
 
+// BenchmarkSplitPhaseOp measures a begin + wait cycle through the
+// split-phase entry points — the pipelined drivers' substrate. Like the
+// synchronous path it must run at 0 allocs/op once the freelist is warm.
+func BenchmarkSplitPhaseOp(b *testing.B) {
+	for _, cfg := range []struct{ d, blk int }{{1, 512}, {8, 512}, {96, 64}} {
+		b.Run(fmt.Sprintf("D=%d/B=%d", cfg.d, cfg.blk), func(b *testing.B) {
+			b.ReportAllocs()
+			arr := NewMemArray(cfg.d, cfg.blk)
+			defer arr.Close()
+			reqs := make([]BlockReq, cfg.d)
+			bufs := make([][]Word, cfg.d)
+			for i := range reqs {
+				reqs[i] = BlockReq{Disk: i, Track: 0}
+				bufs[i] = make([]Word, cfg.blk)
+			}
+			if err := arr.WriteBlocks(reqs, bufs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := arr.BeginWriteBlocks(reqs, bufs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := arr.BeginReadBlocks(reqs, bufs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Wait(); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDiskArrayOp exercises the persistent worker-pool dispatch path
 // end to end — validation, per-disk channel hand-off, wait, atomic
 // accounting — for one write + one read cycle on warm tracks. The

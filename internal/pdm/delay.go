@@ -1,0 +1,55 @@
+package pdm
+
+import "time"
+
+// DelayDisk wraps a Disk and charges a fixed service delay per track
+// transfer before forwarding to the wrapped disk. It turns a MemDisk into
+// a latency-modelled disk: contents and accounting are exactly those of
+// the inner disk, but wall-clock time behaves like real storage, which is
+// what the pipelining benchmarks need to measure I/O–compute overlap
+// without touching the filesystem. Concurrent transfers on distinct
+// DelayDisks overlap their delays, just as the PDM's independent disks
+// overlap their service times.
+type DelayDisk struct {
+	inner Disk
+	delay time.Duration
+}
+
+// NewDelayDisk wraps inner with a fixed per-transfer delay. A
+// non-positive delay forwards without sleeping.
+func NewDelayDisk(inner Disk, delay time.Duration) *DelayDisk {
+	return &DelayDisk{inner: inner, delay: delay}
+}
+
+// NewModelDisk wraps inner with the per-block service time of the given
+// TimeModel — Seek + Rotate/2 + transfer for the inner disk's block size.
+func NewModelDisk(inner Disk, m TimeModel) *DelayDisk {
+	return NewDelayDisk(inner, m.BlockTime(inner.BlockSize()))
+}
+
+// ReadTrack sleeps the service delay, then reads from the inner disk.
+func (d *DelayDisk) ReadTrack(t int, dst []Word) error {
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	return d.inner.ReadTrack(t, dst)
+}
+
+// WriteTrack sleeps the service delay, then writes to the inner disk.
+func (d *DelayDisk) WriteTrack(t int, src []Word) error {
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	return d.inner.WriteTrack(t, src)
+}
+
+// BlockSize returns the inner disk's block size.
+func (d *DelayDisk) BlockSize() int { return d.inner.BlockSize() }
+
+// Tracks returns the inner disk's track count.
+func (d *DelayDisk) Tracks() int { return d.inner.Tracks() }
+
+// Close closes the inner disk.
+func (d *DelayDisk) Close() error { return d.inner.Close() }
+
+var _ Disk = (*DelayDisk)(nil)

@@ -7,16 +7,32 @@ import (
 	"sync"
 )
 
+// fileDiskAllocChunk is the granularity, in tracks, of FileDisk's
+// Truncate-based preallocation: the backing file grows in chunks (at
+// least doubling) instead of extending by one track per append, so
+// steady-state writes land inside already-allocated space and pay no
+// file-size metadata update.
+const fileDiskAllocChunk = 256
+
 // FileDisk is a Disk backed by a single operating-system file. Track t
 // occupies bytes [t·8B, (t+1)·8B). It exists so the prototype can be run
 // against real storage (as the paper's Pentium-cluster prototype did with
 // multiple physical disks per node); the simulation and all accounting
 // behave identically on MemDisk.
+//
+// Locking is split so metadata queries never wait behind a transfer:
+// mu guards the track/allocation counters, ioMu guards the file and the
+// endianness-conversion buffer. The binary.LittleEndian loops therefore
+// run outside the metadata critical section; they stay under ioMu because
+// the conversion buffer is shared across transfers by design (one buffer
+// per disk, not one per call).
 type FileDisk struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // metadata: tracks, alloc
+	ioMu   sync.Mutex // file transfers, conversion buffer, closed flag
 	f      *os.File
 	b      int
 	tracks int
+	alloc  int // tracks covered by Truncate preallocation
 	buf    []byte
 	closed bool
 }
@@ -50,12 +66,15 @@ func (d *FileDisk) ReadTrack(t int, dst []Word) error {
 		return ErrBadBlockSize
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	inRange := t >= 0 && t < d.tracks
+	d.mu.Unlock()
+	if !inRange {
+		return ErrTrackOutOfRange
+	}
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
 	if d.closed {
 		return ErrClosed
-	}
-	if t < 0 || t >= d.tracks {
-		return ErrTrackOutOfRange
 	}
 	if _, err := d.f.ReadAt(d.buf, int64(t)*int64(8*d.b)); err != nil {
 		return fmt.Errorf("pdm: file disk read track %d: %w", t, err)
@@ -66,7 +85,8 @@ func (d *FileDisk) ReadTrack(t int, dst []Word) error {
 	return nil
 }
 
-// WriteTrack stores src as track t.
+// WriteTrack stores src as track t, preallocating the backing file in
+// chunks so appends do not pay a per-track file extension.
 func (d *FileDisk) WriteTrack(t int, src []Word) error {
 	if len(src) != d.b {
 		return ErrBadBlockSize
@@ -74,31 +94,72 @@ func (d *FileDisk) WriteTrack(t int, src []Word) error {
 	if t < 0 {
 		return ErrTrackOutOfRange
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
 	for i, w := range src {
 		binary.LittleEndian.PutUint64(d.buf[8*i:], w)
 	}
+	d.mu.Lock()
+	grow := 0
+	if t >= d.alloc {
+		grow = d.alloc * 2 // at least double, so growth stays amortised
+		if t >= grow {
+			grow = t + 1
+		}
+		grow = (grow + fileDiskAllocChunk - 1) / fileDiskAllocChunk * fileDiskAllocChunk
+	}
+	d.mu.Unlock()
+	if grow > 0 {
+		if err := d.f.Truncate(int64(grow) * int64(8*d.b)); err != nil {
+			return fmt.Errorf("pdm: file disk preallocate %d tracks: %w", grow, err)
+		}
+		d.mu.Lock()
+		d.alloc = grow
+		d.mu.Unlock()
+	}
 	if _, err := d.f.WriteAt(d.buf, int64(t)*int64(8*d.b)); err != nil {
 		return fmt.Errorf("pdm: file disk write track %d: %w", t, err)
 	}
+	d.mu.Lock()
 	if t >= d.tracks {
 		d.tracks = t + 1
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Sync flushes buffered writes to stable storage, so benchmarks can
+// measure durable-write cost rather than page-cache absorption.
+func (d *FileDisk) Sync() error {
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("pdm: file disk sync: %w", err)
 	}
 	return nil
 }
 
-// Close closes the backing file and removes it from further use.
+// Close trims the preallocated tail back to the written tracks and closes
+// the backing file.
 func (d *FileDisk) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
 	if d.closed {
 		return nil
 	}
 	d.closed = true
+	d.mu.Lock()
+	tracks, alloc := d.tracks, d.alloc
+	d.mu.Unlock()
+	if alloc > tracks {
+		_ = d.f.Truncate(int64(tracks) * int64(8*d.b)) // best-effort trim
+	}
 	return d.f.Close()
 }
 

@@ -65,6 +65,9 @@ type Exec struct {
 	B           int  // block size when EM (default 64)
 	MaxMsgItems int  // per-phase message slot override (0 = worst case)
 	Balanced    bool
+	// Pipeline selects the superstep schedule when EM (default
+	// PipelineOn; the PDM accounting is identical either way).
+	Pipeline core.PipelineMode
 
 	// Recorder, when non-nil, traces every EM phase run through this
 	// executor; phases share one recorder, so a composite algorithm's
@@ -118,7 +121,7 @@ func (e *Exec) Run(prog cgm.Program[R], inputs [][]R) ([][]R, error) {
 		}
 		maxMsg = 6*((total+e.V-1)/e.V) + e.V + 16
 	}
-	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced, Recorder: e.Recorder}
+	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced, Pipeline: e.Pipeline, Recorder: e.Recorder}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
