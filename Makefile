@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build test race bench bench-smoke allocs lint lint-tool fuzz
+.PHONY: verify build test race bench bench-smoke bench-filedisk allocs lint lint-tool fuzz
 
 verify: build test race
 
@@ -31,6 +31,14 @@ bench:
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkSplitPhaseOp|BenchmarkDiskArrayOp' -benchtime 50x ./internal/pdm/
 	$(GO) test -race -run '^$$' -bench 'BenchmarkFig5GroupA/sort-emcgm' -benchtime 2x .
+
+# File-backed PDM smoke: one small end-to-end run of the FileDisk
+# figure (buffered + direct I/O rows, sync vs pipelined schedule). The
+# committed BENCH_filedisk.json uses the full size:
+#
+#	go run ./cmd/emcgm-bench -fig filedisk -json -n 131072 -v 16 -b 128
+bench-filedisk:
+	$(GO) run ./cmd/emcgm-bench -fig filedisk -n 16384 -v 8 -b 64
 
 # Allocation profile of the hot path: the dispatch benchmark must report
 # 0 allocs/op and the end-to-end sort should stay well under the seed's

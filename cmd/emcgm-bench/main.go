@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, balance, cache, sweep, pipeline, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, balance, cache, sweep, pipeline, filedisk, all")
 	n := flag.Int("n", 0, "base problem size in items (0 = default 65536)")
 	v := flag.Int("v", 0, "virtual processors (0 = default 8)")
 	p := flag.Int("p", 0, "real processors (0 = default 4)")
@@ -37,6 +37,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace of every EM-CGM run to this file (load in Perfetto)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	pipeline := flag.Bool("pipeline", true, "use the split-phase pipelined superstep schedule (PDM counts are identical either way)")
+	disks := flag.String("disks", "", "directory for the filedisk figure's disk files (empty = temporary directory)")
+	directio := flag.Bool("directio", true, "include O_DIRECT rows in the filedisk figure where the filesystem supports them")
 	flag.Parse()
 
 	for _, f := range []struct {
@@ -69,6 +71,8 @@ func main() {
 	if !*pipeline {
 		s.Pipeline = core.PipelineOff
 	}
+	s.DiskDir = *disks
+	s.DirectIO = *directio
 	// The experiments derive every machine from this scale; validate it
 	// once up front so a bad -v/-p/-b combination is a descriptive
 	// precondition error instead of a failure deep inside a figure run.
@@ -117,9 +121,10 @@ func main() {
 		"cache":    func() { emit(experiments.Cache()) },
 		"sweep":    func() { emit(experiments.Sweep(s)) },
 		"pipeline": func() { emit(experiments.Pipeline(s)) },
+		"filedisk": func() { emit(experiments.FileDiskFig(s)) },
 	}
 	if *fig == "all" {
-		for _, k := range []string{"3", "4", "5", "6", "7", "8", "balance", "cache", "sweep", "pipeline"} {
+		for _, k := range []string{"3", "4", "5", "6", "7", "8", "balance", "cache", "sweep", "pipeline", "filedisk"} {
 			run[k]()
 		}
 	} else {

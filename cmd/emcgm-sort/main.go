@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -34,6 +33,7 @@ func main() {
 	balanced := flag.Bool("balanced", false, "route messages through BalancedRouting")
 	seed := flag.Int64("seed", 1, "workload seed")
 	disks := flag.String("disks", "", "directory for file-backed disks (empty = in-memory)")
+	directio := flag.Bool("directio", false, "open file disks with O_DIRECT, bypassing the page cache (needs -disks; falls back to buffered I/O where unsupported)")
 	traceOut := flag.String("trace", "", "write a Chrome trace to this file (load in Perfetto)")
 	steps := flag.Bool("steps", false, "print the per-superstep I/O table")
 	msgs := flag.Bool("msgs", false, "print BalancedRouting message sizes vs the Theorem 1 bound (needs -balanced)")
@@ -55,7 +55,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := core.Config{V: *v, P: *p, D: *d, B: *b, Balanced: *balanced}
+	cfg := core.Config{V: *v, P: *p, D: *d, B: *b, Balanced: *balanced, DiskDir: *disks, DirectIO: *directio}
 	if !*pipeline {
 		cfg.Pipeline = core.PipelineOff
 	}
@@ -78,14 +78,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "emcgm-sort: %v\n", err)
 			os.Exit(1)
 		}
-		cfg.NewDisk = func(proc, disk int) pdm.Disk {
-			path := filepath.Join(*disks, fmt.Sprintf("p%d-d%d.disk", proc, disk))
-			fd, err := pdm.NewFileDisk(path, *b)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "emcgm-sort: %v\n", err)
-				os.Exit(1)
-			}
-			return fd
+		if *directio && !pdm.DirectIOSupported(*disks, *b) {
+			fmt.Fprintf(os.Stderr, "emcgm-sort: direct I/O not available on %s with B=%d (needs 8·B %% 512 == 0 and filesystem support); using buffered I/O\n", *disks, *b)
 		}
 	}
 
@@ -122,6 +116,10 @@ func main() {
 		res.IO.ParallelOps/int64(*p), *n/(*p**d**b))
 	fmt.Printf("  disk fullness:         %.2f\n", res.IO.Fullness(*d))
 	fmt.Printf("  items over network:    %d\n", res.CommItems)
+	if res.Syscalls > 0 {
+		fmt.Printf("  I/O syscalls:          %d (%.2f per parallel I/O)\n",
+			res.Syscalls, float64(res.Syscalls)/float64(res.IO.ParallelOps))
+	}
 	fmt.Printf("  max h-relation:        %d (N/v = %d)\n", res.MaxH, *n / *v)
 	fmt.Printf("  modelled I/O time:     %v (1990s disk: %v/op at B=%d)\n",
 		tm.IOTime(res.IO.ParallelOps/int64(*p), *b), tm.OpTime(*b), *b)

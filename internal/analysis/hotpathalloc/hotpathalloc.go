@@ -18,7 +18,8 @@
 //     explicit conversions to interface types;
 //   - calls into fmt and other allocating standard-library packages
 //     (sync, sync/atomic, math, math/bits, time, runtime and cmp are
-//     exempt);
+//     exempt, as are the unsafe pseudo-functions — compiler intrinsics
+//     that reinterpret memory without allocating);
 //   - calls to module functions that are not themselves marked
 //     `emcgm:hotpath` (so the contract is closed under the call graph;
 //     calls into repro/internal/obs are exempt — its nil-receiver
@@ -215,21 +216,22 @@ func checkCall(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
 		return true
 	}
 
-	// Builtins.
-	if id := calleeIdent(call.Fun); id != nil {
-		if b, ok := info.ObjectOf(id).(*types.Builtin); ok {
-			switch b.Name() {
-			case "make", "new":
-				pass.Reportf(call.Pos(), "%s allocates on the hot path (hoist into setup or mark // emcgm:coldpath)", b.Name())
-			case "append":
-				if !isSelfAppend(stack, call) {
-					pass.Reportf(call.Pos(), "append outside the `x = append(x, ...)` scratch idiom allocates on the hot path")
-				}
-			case "panic":
-				return false // terminal; its argument is cold
+	// Builtins, including the unsafe pseudo-package: unsafe.Slice,
+	// unsafe.SliceData and friends are compiler intrinsics that reinterpret
+	// existing memory without allocating, which is exactly what the
+	// zero-copy block-encoding path relies on.
+	if b := builtinObj(info, call.Fun); b != nil {
+		switch b.Name() {
+		case "make", "new":
+			pass.Reportf(call.Pos(), "%s allocates on the hot path (hoist into setup or mark // emcgm:coldpath)", b.Name())
+		case "append":
+			if !isSelfAppend(stack, call) {
+				pass.Reportf(call.Pos(), "append outside the `x = append(x, ...)` scratch idiom allocates on the hot path")
 			}
-			return true
+		case "panic":
+			return false // terminal; its argument is cold
 		}
+		return true
 	}
 
 	fn := calleeFunc(info, call.Fun)
@@ -299,12 +301,19 @@ func checkBoxing(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, fn *
 	}
 }
 
-func calleeIdent(fun ast.Expr) *ast.Ident {
+// builtinObj resolves fun to a builtin object: a universe builtin (plain
+// identifier) or an unsafe pseudo-function (selector on the unsafe
+// package).
+func builtinObj(info *types.Info, fun ast.Expr) *types.Builtin {
 	switch f := fun.(type) {
 	case *ast.Ident:
-		return f
+		b, _ := info.ObjectOf(f).(*types.Builtin)
+		return b
+	case *ast.SelectorExpr:
+		b, _ := info.ObjectOf(f.Sel).(*types.Builtin)
+		return b
 	case *ast.ParenExpr:
-		return calleeIdent(f.X)
+		return builtinObj(info, f.X)
 	}
 	return nil
 }

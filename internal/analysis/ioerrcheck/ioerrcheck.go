@@ -4,7 +4,11 @@
 // exactly the failure mode the PDM cost model cannot survive. The
 // analyzer reports any expression statement that calls a function from
 // the repository's I/O packages (pdm, layout, core, rec, obs, trace) and
-// whose last result is an error.
+// whose last result is an error. Methods of *os.File are held to the
+// same standard: the file-backed disks talk to the operating system
+// through them, and a dropped Truncate or Sync error there is a dropped
+// disk error (FileDisk.Close once lost its tail-trim Truncate failure
+// exactly this way).
 //
 // An explicit `_ = call()` assignment acknowledges the drop and is
 // accepted, as are `defer` statements (the deferred-Close idiom); the
@@ -53,7 +57,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			pkg := fn.Pkg()
-			if pkg == nil || !ioPkg(pkg.Path()) {
+			if pkg == nil || (!ioPkg(pkg.Path()) && !isOSFileMethod(fn)) {
 				return true
 			}
 			sig, ok := fn.Type().(*types.Signature)
@@ -77,6 +81,27 @@ func run(pass *analysis.Pass) error {
 
 func ioPkg(path string) bool {
 	return ioPackages[path]
+}
+
+// isOSFileMethod reports whether fn is a method of os.File (or *os.File)
+// — the syscall boundary of the file-backed disks. Package-level os
+// functions (os.Remove, os.MkdirAll, …) are out of scope: they are
+// setup/teardown, not the I/O path.
+func isOSFileMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
 }
 
 func callee(info *types.Info, call *ast.CallExpr) *types.Func {

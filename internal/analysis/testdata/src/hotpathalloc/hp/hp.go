@@ -6,6 +6,7 @@ package hp
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/analysis/testdata/src/hotpathalloc/hpdep"
 	"repro/internal/obs"
@@ -22,12 +23,12 @@ type point struct{ x, y int }
 //
 // emcgm:hotpath
 func marked(s *scratch, rec *obs.Recorder, n int) {
-	_ = make([]int, n)  // want `make allocates`
-	_ = new(point)      // want `new allocates`
-	_ = []int{1, 2, 3}  // want `slice literal allocates`
-	_ = map[int]int{}   // want `map literal allocates`
-	_ = &point{1, 2}    // want `composite literal escapes`
-	_ = point{1, 2}     // struct value literal: stack-allocated, clean
+	_ = make([]int, n)           // want `make allocates`
+	_ = new(point)               // want `new allocates`
+	_ = []int{1, 2, 3}           // want `slice literal allocates`
+	_ = map[int]int{}            // want `map literal allocates`
+	_ = &point{1, 2}             // want `composite literal escapes`
+	_ = point{1, 2}              // struct value literal: stack-allocated, clean
 	f := func() int { return n } // want `closure`
 	_ = f
 	atomic.AddInt64(&s.n, 1) // whitelisted stdlib: clean
@@ -37,20 +38,20 @@ func marked(s *scratch, rec *obs.Recorder, n int) {
 //
 // emcgm:hotpath
 func appends(s *scratch, other []int) {
-	s.reqs = append(s.reqs, 1)  // self-append growth: clean
-	_ = append(other, 1)        // want `append outside`
-	s.reqs = append(other, 2)   // want `append outside`
+	s.reqs = append(s.reqs, 1) // self-append growth: clean
+	_ = append(other, 1)       // want `append outside`
+	s.reqs = append(other, 2)  // want `append outside`
 }
 
 // calls checks callee-marker closure and stdlib policy.
 //
 // emcgm:hotpath
 func calls(s *scratch, n int) {
-	_ = hpdep.Fast(n)       // marked callee: clean
-	_ = hpdep.Slow(n)       // want `not marked emcgm:hotpath`
+	_ = hpdep.Fast(n)         // marked callee: clean
+	_ = hpdep.Slow(n)         // want `not marked emcgm:hotpath`
 	_ = fmt.Sprintf("x%d", n) // want `call into fmt` `boxes into interface`
-	_ = helperMarked(n)     // clean
-	_ = helperUnmarked(n)   // want `not marked emcgm:hotpath`
+	_ = helperMarked(n)       // clean
+	_ = helperUnmarked(n)     // want `not marked emcgm:hotpath`
 }
 
 // helperMarked is a marked in-package callee.
@@ -64,10 +65,10 @@ func helperUnmarked(x int) int { return x * 3 }
 //
 // emcgm:hotpath
 func boxing(n int) {
-	sinkAny(n)       // want `boxes into interface`
+	sinkAny(n) // want `boxes into interface`
 	var e error
-	sinkErr(e)       // interface-to-interface: clean
-	_ = any(n)       // want `boxes on the hot path`
+	sinkErr(e) // interface-to-interface: clean
+	_ = any(n) // want `boxes on the hot path`
 }
 
 // sinkAny is marked so only the boxing diagnostic fires at its call site.
@@ -84,9 +85,9 @@ func sinkErr(err error) { _ = err }
 //
 // emcgm:hotpath
 func strings2(a, b string, bs []byte) {
-	_ = a + b        // want `string concatenation`
-	_ = string(bs)   // want `conversion to string`
-	_ = []byte(a)    // want `conversion to \[\]byte`
+	_ = a + b         // want `string concatenation`
+	_ = string(bs)    // want `conversion to string`
+	_ = []byte(a)     // want `conversion to \[\]byte`
 	_ = a + "lit" + b // want `string concatenation`
 }
 
@@ -145,6 +146,17 @@ type worker interface{ work(int) }
 // emcgm:hotpath
 func funcValues(f func(int) int, n int) {
 	_ = f(n) // want `function value`
+}
+
+// unsafeIntrinsics checks that the unsafe pseudo-functions are treated
+// as non-allocating compiler intrinsics (the zero-copy encoding path).
+//
+// emcgm:hotpath
+func unsafeIntrinsics(ws []uint64) []byte {
+	if len(ws) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(ws))), 8*len(ws)) // intrinsic reinterpretation: clean
 }
 
 // unmarked is not subject to the contract at all: allocations are fine.

@@ -5,6 +5,7 @@ package ioe
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/pdm"
 )
@@ -38,4 +39,27 @@ func otherPackages(n int) {
 func noError(arr *pdm.DiskArray) {
 	_ = arr.D() // no error result: clean either way
 	arr.B()     // no error result: clean
+}
+
+// osFile is the FileDisk.Close regression: a trim Truncate whose error
+// vanished before the file was closed. *os.File methods are the syscall
+// boundary of the file-backed disks and get the same treatment as the
+// repository's own I/O surfaces.
+func osFile(f *os.File, tracks int64) {
+	f.Truncate(tracks) // want `error that is dropped`
+	f.Sync()           // want `error that is dropped`
+	f.Close()          // want `error that is dropped`
+}
+
+func osFileHandled(f *os.File, tracks int64) error {
+	if err := f.Truncate(tracks); err != nil {
+		return err
+	}
+	_ = f.Sync()    // explicit acknowledgement: clean
+	defer f.Close() // defer idiom: clean
+	return nil
+}
+
+func osPackageLevel(path string) {
+	os.Remove(path) // package-level os function, not a File method: clean
 }

@@ -33,6 +33,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/balance"
@@ -131,6 +132,20 @@ type Config struct {
 	// NewDisk, when non-nil, supplies the disk for (real processor, index)
 	// — e.g. file-backed disks. nil means in-memory disks.
 	NewDisk func(proc, disk int) pdm.Disk
+	// DiskDir, when non-empty and NewDisk is nil, backs every disk with a
+	// file pdm.FileDisk under this directory (one p%d-d%d.disk file per
+	// (processor, disk) pair) — the standard way to run the machine
+	// against real storage. Ignored when NewDisk is set: a custom
+	// constructor owns its own backing.
+	DiskDir string
+	// DirectIO opens DiskDir's file disks with O_DIRECT so transfers
+	// bypass the page cache (see pdm.FileDiskOptions). Requires file
+	// disks: Validate rejects DirectIO when neither DiskDir nor NewDisk
+	// is set, since an in-memory array has no cache to bypass. Where the
+	// platform or filesystem cannot honour it the disks silently fall
+	// back to buffered I/O; probe with pdm.DirectIOSupported first when
+	// the distinction matters.
+	DirectIO bool
 	// CheckedIO runs every disk array in checked mode: each parallel I/O
 	// is validated against the layout discipline (bounds, intra-op
 	// overlap, read-before-write) before it touches a disk — the runtime
@@ -188,6 +203,9 @@ func (c Config) Validate() error {
 	if c.Pipeline != PipelineOn && c.Pipeline != PipelineOff {
 		return fmt.Errorf("core: Pipeline = %d, want PipelineOn or PipelineOff", c.Pipeline)
 	}
+	if c.DirectIO && c.DiskDir == "" && c.NewDisk == nil {
+		return fmt.Errorf("core: DirectIO requires file-backed disks (set DiskDir, or supply NewDisk); in-memory disks have no page cache to bypass")
+	}
 	return nil
 }
 
@@ -223,12 +241,16 @@ func (c Config) ValidateFor(n int) error {
 // newArray builds the disk array of real processor proc.
 func (c Config) newArray(proc int) (*pdm.DiskArray, error) {
 	var arr *pdm.DiskArray
-	if c.NewDisk == nil {
+	newDisk := c.NewDisk
+	if newDisk == nil && c.DiskDir != "" {
+		newDisk = fileDiskFactory(c.DiskDir, c.B, c.DirectIO)
+	}
+	if newDisk == nil {
 		arr = pdm.NewMemArray(c.D, c.B)
 	} else {
 		disks := make([]pdm.Disk, c.D)
 		for i := range disks {
-			disks[i] = c.NewDisk(proc, i)
+			disks[i] = newDisk(proc, i)
 		}
 		var err error
 		arr, err = pdm.NewDiskArray(disks)
@@ -246,6 +268,35 @@ func (c Config) newArray(proc int) (*pdm.DiskArray, error) {
 	}
 	return arr, nil
 }
+
+// fileDiskFactory returns a NewDisk-shaped constructor backing each disk
+// with a pdm.FileDisk at dir/p%d-d%d.disk. A creation failure surfaces as
+// a disk whose every transfer returns the creation error, so the run's
+// first I/O fails with a descriptive message — the only error channel a
+// disk constructor has.
+func fileDiskFactory(dir string, b int, direct bool) func(proc, disk int) pdm.Disk {
+	return func(proc, disk int) pdm.Disk {
+		path := filepath.Join(dir, fmt.Sprintf("p%d-d%d.disk", proc, disk))
+		fd, err := pdm.NewFileDiskOpts(path, b, pdm.FileDiskOptions{DirectIO: direct})
+		if err != nil {
+			return errDisk{b: b, err: fmt.Errorf("core: disk %d of processor %d: %w", disk, proc, err)}
+		}
+		return fd
+	}
+}
+
+// errDisk is a placeholder for a disk that failed to construct: every
+// transfer reports the construction error.
+type errDisk struct {
+	b   int
+	err error
+}
+
+func (d errDisk) ReadTrack(int, []pdm.Word) error  { return d.err }
+func (d errDisk) WriteTrack(int, []pdm.Word) error { return d.err }
+func (d errDisk) BlockSize() int                   { return d.b }
+func (d errDisk) Tracks() int                      { return 0 }
+func (d errDisk) Close() error                     { return nil }
 
 // Result reports the outcome and the cost accounting of an EM-CGM run.
 type Result[T any] struct {
@@ -282,6 +333,13 @@ type Result[T any] struct {
 	// matrix (Observation 2) keeps it roughly half of RunPar's
 	// double-buffered layout.
 	MaxTracks int
+	// Syscalls is the cumulative I/O syscall count of all disks that keep
+	// one (file-backed disks; see pdm.SyscallCounter), summed over real
+	// processors. Zero for in-memory runs. Unlike ParallelOps it is not
+	// part of the determinism contract — short transfers retry — but it is
+	// the denominator of the batched-I/O win: the same ParallelOps issued
+	// in fewer syscalls.
+	Syscalls int64
 	// Stall is the wall-clock time the superstep drivers spent blocked in
 	// Pending.Wait, summed over real processors — the I/O time the
 	// pipeline failed to hide behind compute. Measured only when a
@@ -467,6 +525,7 @@ func runBalanced[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Confi
 		MaxMsgObserved: wres.MaxMsgObserved,
 		MaxCtxObserved: wres.MaxCtxObserved,
 		Supersteps:     wres.Supersteps,
+		Syscalls:       wres.Syscalls,
 		Stall:          wres.Stall,
 	}, nil
 }

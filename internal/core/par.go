@@ -485,6 +485,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	for i, a := range arrays {
 		res.IOPerProc[i] = a.Stats()
 		res.IO.Add(a.Stats())
+		res.Syscalls += pdm.SyscallsOf(a)
 		for k := 0; k < a.D(); k++ {
 			if t := a.Disk(k).Tracks(); t > res.MaxTracks {
 				res.MaxTracks = t

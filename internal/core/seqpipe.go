@@ -368,6 +368,7 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 	res.Stall = time.Duration(stallNS)
 	res.IOPerProc = []pdm.IOStats{arr.Stats()}
 	res.IO = arr.Stats()
+	res.Syscalls = pdm.SyscallsOf(arr)
 	for i := 0; i < arr.D(); i++ {
 		if t := arr.Disk(i).Tracks(); t > res.MaxTracks {
 			res.MaxTracks = t

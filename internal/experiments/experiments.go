@@ -36,6 +36,13 @@ type Scale struct {
 	// identical either way).
 	Pipeline core.PipelineMode
 
+	// DiskDir is where the file-backed experiments (FileDiskFig) place
+	// their disk files; empty means a fresh temporary directory per
+	// figure. DirectIO includes the O_DIRECT rows where the directory's
+	// filesystem supports them.
+	DiskDir  string
+	DirectIO bool
+
 	// Rec, when non-nil, traces every EM-CGM run an experiment performs.
 	Rec *obs.Recorder
 }

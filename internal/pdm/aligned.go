@@ -1,0 +1,29 @@
+package pdm
+
+import "unsafe"
+
+// transferAlign is the memory alignment of pooled transfer buffers: one
+// page. O_DIRECT requires the user buffer address aligned to the device's
+// logical block size; a page satisfies every Linux filesystem in
+// practice, and page-aligned buffers cost nothing extra for the buffered
+// path, so all pooled buffers use it.
+const transferAlign = 4096
+
+// directIOAlign is the offset/length granularity O_DIRECT requires: the
+// logical block size of the device. 512 bytes is the conservative
+// contract (every block device exposes at least 512-byte logical
+// sectors), so direct I/O needs 8·B ≡ 0 (mod 512) — block sizes that are
+// multiples of 64 words.
+const directIOAlign = 512
+
+// alignedBytes returns a buffer of n bytes whose base address is
+// transferAlign-aligned, by alignment-slack allocation: allocate
+// n+transferAlign bytes and slice at the first aligned offset. No cgo,
+// no mmap; the Go allocator keeps the backing array alive through the
+// returned slice. The full capacity is clipped so appends cannot escape
+// past n.
+func alignedBytes(n int) []byte {
+	raw := make([]byte, n+transferAlign)
+	off := int(-uintptr(unsafe.Pointer(unsafe.SliceData(raw))) & (transferAlign - 1))
+	return raw[off : off+n : off+n]
+}

@@ -27,42 +27,204 @@ type diskOp struct {
 type diskObs struct {
 	rec      *obs.Recorder
 	track    obs.TrackID
-	lat      *obs.Histogram // per-transfer service time, nanoseconds
+	lat      *obs.Histogram // per-service service time, nanoseconds
+	batch    *obs.Histogram // transfers coalesced per service (BatchDisk workers)
 	inflight *atomic.Int64  // array-wide outstanding transfers
+}
+
+// workerBatch is one batching worker's private scratch, allocated once in
+// NewDiskArray (the worker itself is a hot path and must not allocate):
+// the collected ops, and the parallel track/buffer arrays handed to the
+// BatchDisk call.
+type workerBatch struct {
+	ops    []diskOp
+	tracks []int
+	bufs   [][]Word
 }
 
 // diskWorker services one disk's transfers for the lifetime of the array.
 // It references only its disk, channel and observability slot — never the
 // DiskArray — so an abandoned array stays collectable and its cleanup can
-// stop the workers. With a recorder attached, each transfer is timed into
+// stop the workers. With a recorder attached, each service is timed into
 // the disk's latency histogram and emitted as a span on the disk's track;
 // the disabled path is the original straight-line transfer.
 //
+// When the disk implements BatchDisk (bat non-nil), the worker coalesces:
+// after taking one op it opportunistically drains whatever else is
+// already queued — without blocking, so a sparse queue degrades to the
+// per-track path — and serves the run as one batched call. Collection
+// cuts at MaxBatchTracks, on a direction change, or on a duplicate
+// track: the per-disk FIFO is the ordering guarantee for write→read
+// dependencies, and a batch only reorders same-direction transfers on
+// distinct tracks, which commute. The cut-off op is carried into the
+// next batch, never reordered past it. Deep queues only build up under
+// the split-phase pipelined drivers; synchronous callers wait out each
+// operation, so their batches stay at one track and behave exactly as
+// before.
+//
 // emcgm:hotpath
-func diskWorker(d Disk, ch <-chan diskOp, ob *diskObs) {
-	for op := range ch {
-		var err error
-		if ob.rec == nil {
-			if op.read {
-				err = d.ReadTrack(op.track, op.buf)
-			} else {
-				err = d.WriteTrack(op.track, op.buf)
-			}
-		} else {
-			t0 := time.Now()
-			name := "write"
-			if op.read {
-				err = d.ReadTrack(op.track, op.buf)
-				name = "read"
-			} else {
-				err = d.WriteTrack(op.track, op.buf)
-			}
-			ob.lat.Observe(int64(time.Since(t0)))
-			ob.rec.SpanSince(ob.track, name, "disk", t0)
-			ob.inflight.Add(-1)
+func diskWorker(d Disk, ch <-chan diskOp, ob *diskObs, bat *workerBatch) {
+	bd, _ := d.(BatchDisk)
+	if bat == nil || bd == nil {
+		for op := range ch {
+			serveOp(d, op, ob)
 		}
-		*op.err = err
-		op.wg.Done()
+		return
+	}
+	var carry diskOp
+	hasCarry := false
+	open := true
+	for open || hasCarry {
+		var first diskOp
+		if hasCarry {
+			first, hasCarry = carry, false
+		} else {
+			first, open = <-ch
+			if !open {
+				return
+			}
+		}
+		ops := bat.ops[:0]
+		ops = append(ops, first)
+	collect:
+		for len(ops) < MaxBatchTracks {
+			select {
+			case next, ok := <-ch:
+				if !ok {
+					open = false
+					break collect
+				}
+				if next.read != first.read || batchHasTrack(ops, next.track) {
+					carry, hasCarry = next, true
+					break collect
+				}
+				ops = append(ops, next)
+			default:
+				break collect
+			}
+		}
+		serveBatch(bd, ops, ob, bat)
+	}
+}
+
+// serveOp services one single-track transfer and signals its Pending.
+//
+// emcgm:hotpath
+func serveOp(d Disk, op diskOp, ob *diskObs) {
+	var err error
+	if ob.rec == nil {
+		if op.read {
+			err = d.ReadTrack(op.track, op.buf)
+		} else {
+			err = d.WriteTrack(op.track, op.buf)
+		}
+	} else {
+		t0 := time.Now()
+		name := "write"
+		if op.read {
+			err = d.ReadTrack(op.track, op.buf)
+			name = "read"
+		} else {
+			err = d.WriteTrack(op.track, op.buf)
+		}
+		ob.lat.Observe(int64(time.Since(t0)))
+		ob.rec.SpanSince(ob.track, name, "disk", t0)
+		ob.inflight.Add(-1)
+	}
+	*op.err = err
+	op.wg.Done()
+}
+
+// batchHasTrack reports whether the collected ops already address track t.
+// Batches are bounded by MaxBatchTracks, so a linear scan beats any
+// set structure that would have to be cleared per batch.
+//
+// emcgm:hotpath
+func batchHasTrack(ops []diskOp, t int) bool {
+	for i := range ops {
+		if ops[i].track == t {
+			return true
+		}
+	}
+	return false
+}
+
+// serveBatch services a coalesced run of same-direction transfers as one
+// BatchDisk call: the ops are insertion-sorted by track (the batch
+// contract wants strictly ascending tracks; same-direction distinct-track
+// transfers commute, so sorting is safe), served in one call, and their
+// Pendings signalled individually. If the batched call fails, the batch
+// is re-issued track by track so each Pending sees its own transfer's
+// error, exactly as without coalescing.
+//
+// emcgm:hotpath
+func serveBatch(bd BatchDisk, ops []diskOp, ob *diskObs, bat *workerBatch) {
+	if ob.rec != nil {
+		ob.batch.Observe(int64(len(ops)))
+	}
+	if len(ops) == 1 {
+		serveOp(bd, ops[0], ob)
+		ops[0] = diskOp{}
+		return
+	}
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].track < ops[j-1].track; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+	tracks := bat.tracks[:len(ops)]
+	bufs := bat.bufs[:len(ops)]
+	for i := range ops {
+		tracks[i] = ops[i].track
+		bufs[i] = ops[i].buf
+	}
+	read := ops[0].read
+	var err error
+	if ob.rec == nil {
+		if read {
+			err = bd.ReadTracks(tracks, bufs)
+		} else {
+			err = bd.WriteTracks(tracks, bufs)
+		}
+	} else {
+		t0 := time.Now()
+		name := "writev"
+		if read {
+			err = bd.ReadTracks(tracks, bufs)
+			name = "readv"
+		} else {
+			err = bd.WriteTracks(tracks, bufs)
+		}
+		ob.lat.Observe(int64(time.Since(t0)))
+		ob.rec.SpanSince(ob.track, name, "disk", t0)
+		ob.inflight.Add(-int64(len(ops)))
+	}
+	if err != nil {
+		// emcgm:coldpath a batch may fail part-way (or for a reason only
+		// one track triggers); re-issue per track so every Pending gets
+		// its own transfer's exact error, as if never coalesced
+		for i := range ops {
+			op := ops[i]
+			var e error
+			if op.read {
+				e = bd.ReadTrack(op.track, op.buf)
+			} else {
+				e = bd.WriteTrack(op.track, op.buf)
+			}
+			*op.err = e
+			op.wg.Done()
+		}
+	} else {
+		for i := range ops {
+			*ops[i].err = nil
+			ops[i].wg.Done()
+		}
+	}
+	// Drop buffer references from the long-lived scratch so served blocks
+	// stay collectable between batches.
+	for i := range ops {
+		bufs[i] = nil
+		ops[i] = diskOp{}
 	}
 }
 
@@ -166,7 +328,17 @@ func NewDiskArray(disks []Disk) (*DiskArray, error) {
 		ch := make(chan diskOp, diskQueueDepth)
 		a.work[i] = ch
 		a.diskObs[i] = &diskObs{}
-		go diskWorker(d, ch, a.diskObs[i])
+		// Batch-capable disks get coalescing workers; their scratch is
+		// allocated here, once, because the worker loop is a hot path.
+		var bat *workerBatch
+		if _, ok := d.(BatchDisk); ok {
+			bat = &workerBatch{
+				ops:    make([]diskOp, 0, MaxBatchTracks),
+				tracks: make([]int, MaxBatchTracks),
+				bufs:   make([][]Word, MaxBatchTracks),
+			}
+		}
+		go diskWorker(d, ch, a.diskObs[i], bat)
 	}
 	// Backstop for arrays dropped without Close: closing the request
 	// channels lets the workers exit once the array is unreachable.
@@ -225,6 +397,7 @@ func (a *DiskArray) SetRecorder(rec *obs.Recorder, proc int) {
 		ob.rec = rec
 		ob.track = rec.Track(fmt.Sprintf("p%d disk %d", proc, i))
 		ob.lat = rec.Histogram(fmt.Sprintf("pdm_p%d_disk%d_latency_ns", proc, i))
+		ob.batch = rec.Histogram(fmt.Sprintf("pdm_p%d_disk%d_batch_blocks", proc, i))
 		ob.inflight = &a.inflight
 	}
 	a.depthHist = rec.Histogram(fmt.Sprintf("pdm_p%d_queue_depth", proc))

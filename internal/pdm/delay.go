@@ -2,17 +2,32 @@ package pdm
 
 import "time"
 
-// DelayDisk wraps a Disk and charges a fixed service delay per track
-// transfer before forwarding to the wrapped disk. It turns a MemDisk into
-// a latency-modelled disk: contents and accounting are exactly those of
+// DelayDisk wraps a Disk and charges a service delay per transfer before
+// forwarding to the wrapped disk. It turns a MemDisk into a
+// latency-modelled disk: contents and accounting are exactly those of
 // the inner disk, but wall-clock time behaves like real storage, which is
 // what the pipelining benchmarks need to measure I/O–compute overlap
 // without touching the filesystem. Concurrent transfers on distinct
 // DelayDisks overlap their delays, just as the PDM's independent disks
 // overlap their service times.
+//
+// DelayDisk implements BatchDisk. A model-built disk (NewModelDisk)
+// charges a coalesced batch of k contiguous tracks one positioning cost
+// plus k transfers — Seek + Rotate/2 + k·8B/rate — matching how a real
+// disk amortises positioning over a long sequential run; non-contiguous
+// tracks in the batch each pay their own positioning. A fixed-delay disk
+// (NewDelayDisk) has no positioning/transfer split and charges k·delay,
+// identical to the per-track loop.
 type DelayDisk struct {
 	inner Disk
 	delay time.Duration
+
+	// Model decomposition, set by NewModelDisk: position is the
+	// once-per-contiguous-run cost, xfer the per-track cost; together
+	// position + xfer == delay.
+	model    bool
+	position time.Duration
+	xfer     time.Duration
 }
 
 // NewDelayDisk wraps inner with a fixed per-transfer delay. A
@@ -23,8 +38,32 @@ func NewDelayDisk(inner Disk, delay time.Duration) *DelayDisk {
 
 // NewModelDisk wraps inner with the per-block service time of the given
 // TimeModel — Seek + Rotate/2 + transfer for the inner disk's block size.
+// Batched transfers amortise the positioning term over each contiguous
+// run (see TimeModel.BatchTime).
 func NewModelDisk(inner Disk, m TimeModel) *DelayDisk {
-	return NewDelayDisk(inner, m.BlockTime(inner.BlockSize()))
+	b := inner.BlockSize()
+	d := NewDelayDisk(inner, m.BlockTime(b))
+	d.model = true
+	d.position = m.Seek + m.Rotate/2
+	d.xfer = d.delay - d.position
+	return d
+}
+
+// batchDelay returns the modelled service time of a batch over the given
+// strictly-ascending tracks: one positioning cost per contiguous run plus
+// one transfer per track under the model, k·delay otherwise.
+func (d *DelayDisk) batchDelay(tracks []int) time.Duration {
+	k := len(tracks)
+	if !d.model {
+		return time.Duration(k) * d.delay
+	}
+	runs := time.Duration(0)
+	for i, t := range tracks {
+		if i == 0 || t != tracks[i-1]+1 {
+			runs++
+		}
+	}
+	return runs*d.position + time.Duration(k)*d.xfer
 }
 
 // ReadTrack sleeps the service delay, then reads from the inner disk.
@@ -43,6 +82,54 @@ func (d *DelayDisk) WriteTrack(t int, src []Word) error {
 	return d.inner.WriteTrack(t, src)
 }
 
+// ReadTracks implements BatchDisk: one modelled batch delay, then the
+// batch forwards to the inner disk (its own BatchDisk if it has one).
+func (d *DelayDisk) ReadTracks(tracks []int, bufs [][]Word) error {
+	if err := validateBatch(d.BlockSize(), tracks, bufs); err != nil {
+		return err
+	}
+	if dl := d.batchDelay(tracks); dl > 0 {
+		time.Sleep(dl)
+	}
+	if bd, ok := d.inner.(BatchDisk); ok {
+		return bd.ReadTracks(tracks, bufs)
+	}
+	for i, t := range tracks {
+		if err := d.inner.ReadTrack(t, bufs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTracks implements BatchDisk: one modelled batch delay, then the
+// batch forwards to the inner disk.
+func (d *DelayDisk) WriteTracks(tracks []int, bufs [][]Word) error {
+	if err := validateBatch(d.BlockSize(), tracks, bufs); err != nil {
+		return err
+	}
+	if dl := d.batchDelay(tracks); dl > 0 {
+		time.Sleep(dl)
+	}
+	if bd, ok := d.inner.(BatchDisk); ok {
+		return bd.WriteTracks(tracks, bufs)
+	}
+	for i, t := range tracks {
+		if err := d.inner.WriteTrack(t, bufs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Syscalls forwards the inner disk's syscall count, if it keeps one.
+func (d *DelayDisk) Syscalls() int64 {
+	if sc, ok := d.inner.(SyscallCounter); ok {
+		return sc.Syscalls()
+	}
+	return 0
+}
+
 // BlockSize returns the inner disk's block size.
 func (d *DelayDisk) BlockSize() int { return d.inner.BlockSize() }
 
@@ -52,4 +139,8 @@ func (d *DelayDisk) Tracks() int { return d.inner.Tracks() }
 // Close closes the inner disk.
 func (d *DelayDisk) Close() error { return d.inner.Close() }
 
-var _ Disk = (*DelayDisk)(nil)
+var (
+	_ Disk           = (*DelayDisk)(nil)
+	_ BatchDisk      = (*DelayDisk)(nil)
+	_ SyscallCounter = (*DelayDisk)(nil)
+)

@@ -1,0 +1,14 @@
+//go:build linux
+
+package pdm
+
+import "syscall"
+
+// haveDirectIO reports platform support for opening files with O_DIRECT.
+// Whether a *particular* file supports it still depends on the
+// filesystem (tmpfs does not); NewFileDiskOpts probes per file and falls
+// back gracefully.
+const haveDirectIO = true
+
+// directIOFlag is the open(2) flag requesting direct I/O.
+const directIOFlag = syscall.O_DIRECT

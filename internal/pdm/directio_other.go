@@ -1,0 +1,12 @@
+//go:build !linux
+
+package pdm
+
+// Direct I/O is Linux-only here (other platforms spell it differently —
+// F_NOCACHE on darwin, FILE_FLAG_NO_BUFFERING on windows); requesting it
+// elsewhere falls back to buffered file I/O, reported by
+// FileDisk.DirectIO.
+const haveDirectIO = false
+
+// directIOFlag is zero where unsupported: the open flags are unchanged.
+const directIOFlag = 0

@@ -58,15 +58,10 @@ func (d *MemDisk) Tracks() int {
 	return len(d.tracks)
 }
 
-// ReadTrack copies track t into dst.
+// readLocked copies track t into dst; caller holds mu (either mode).
 //
 // emcgm:hotpath
-func (d *MemDisk) ReadTrack(t int, dst []Word) error {
-	if len(dst) != d.b {
-		return ErrBadBlockSize
-	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+func (d *MemDisk) readLocked(t int, dst []Word) error {
 	if d.closed {
 		return ErrClosed
 	}
@@ -77,18 +72,10 @@ func (d *MemDisk) ReadTrack(t int, dst []Word) error {
 	return nil
 }
 
-// WriteTrack stores src as track t.
+// writeLocked stores src as track t; caller holds mu exclusively.
 //
 // emcgm:hotpath
-func (d *MemDisk) WriteTrack(t int, src []Word) error {
-	if len(src) != d.b {
-		return ErrBadBlockSize
-	}
-	if t < 0 {
-		return ErrTrackOutOfRange
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+func (d *MemDisk) writeLocked(t int, src []Word) error {
 	if d.closed {
 		return ErrClosed
 	}
@@ -108,6 +95,69 @@ func (d *MemDisk) WriteTrack(t int, src []Word) error {
 	return nil
 }
 
+// ReadTrack copies track t into dst.
+//
+// emcgm:hotpath
+func (d *MemDisk) ReadTrack(t int, dst []Word) error {
+	if len(dst) != d.b {
+		return ErrBadBlockSize
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.readLocked(t, dst)
+}
+
+// WriteTrack stores src as track t.
+//
+// emcgm:hotpath
+func (d *MemDisk) WriteTrack(t int, src []Word) error {
+	if len(src) != d.b {
+		return ErrBadBlockSize
+	}
+	if t < 0 {
+		return ErrTrackOutOfRange
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeLocked(t, src)
+}
+
+// ReadTracks implements BatchDisk: the whole batch copies under one lock
+// acquisition instead of one per track.
+//
+// emcgm:hotpath
+func (d *MemDisk) ReadTracks(tracks []int, bufs [][]Word) error {
+	if err := validateBatch(d.b, tracks, bufs); err != nil {
+		return err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i, t := range tracks {
+		if err := d.readLocked(t, bufs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTracks implements BatchDisk: the whole batch stores under one lock
+// acquisition.
+//
+// emcgm:hotpath
+func (d *MemDisk) WriteTracks(tracks []int, bufs [][]Word) error {
+	if err := validateBatch(d.b, tracks, bufs); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, t := range tracks {
+		if err := d.writeLocked(t, bufs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close marks the disk closed; subsequent I/O fails with ErrClosed.
 func (d *MemDisk) Close() error {
 	d.mu.Lock()
@@ -118,4 +168,7 @@ func (d *MemDisk) Close() error {
 	return nil
 }
 
-var _ Disk = (*MemDisk)(nil)
+var (
+	_ Disk      = (*MemDisk)(nil)
+	_ BatchDisk = (*MemDisk)(nil)
+)

@@ -1,0 +1,77 @@
+package pdm
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkFileDiskBlockSize is the Figure-8 experiment (Stevens'
+// block-size/throughput curve) on the real backend: sequential track
+// reads at increasing block sizes, buffered vs O_DIRECT, single-track
+// vs batched. b.SetBytes makes `go test -bench` report MB/s, the
+// quantity the paper plots against block size. Direct sub-benchmarks
+// skip where the temp filesystem cannot negotiate O_DIRECT.
+func BenchmarkFileDiskBlockSize(b *testing.B) {
+	const fileTracks = 256
+	for _, words := range []int{64, 512, 4096, 32768} {
+		for _, direct := range []bool{false, true} {
+			mode := "buffered"
+			if direct {
+				mode = "direct"
+			}
+			name := fmt.Sprintf("b=%d/%s", words, mode)
+			prep := func(b *testing.B) *FileDisk {
+				b.Helper()
+				path := filepath.Join(b.TempDir(), "fig8.disk")
+				d, err := NewFileDiskOpts(path, words, FileDiskOptions{DirectIO: direct})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { _ = d.Close() })
+				if direct && !d.DirectIO() {
+					b.Skip("filesystem does not support O_DIRECT")
+				}
+				buf := make([]Word, words)
+				for t := 0; t < fileTracks; t++ {
+					fillWords(buf, 8, t)
+					if err := d.WriteTrack(t, buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return d
+			}
+			b.Run(name+"/read", func(b *testing.B) {
+				d := prep(b)
+				buf := make([]Word, words)
+				b.SetBytes(int64(8 * words))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := d.ReadTrack(i%fileTracks, buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name+"/readv", func(b *testing.B) {
+				d := prep(b)
+				const k = 16
+				tracks := make([]int, k)
+				bufs := make([][]Word, k)
+				for i := range bufs {
+					bufs[i] = make([]Word, words)
+				}
+				b.SetBytes(int64(8 * words * k))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t0 := (i * k) % (fileTracks - k)
+					for j := range tracks {
+						tracks[j] = t0 + j
+					}
+					if err := d.ReadTracks(tracks, bufs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -41,6 +41,25 @@ func (m TimeModel) BlockTime(b int) time.Duration {
 // all disks work concurrently, so it equals one block's service time.
 func (m TimeModel) OpTime(b int) time.Duration { return m.BlockTime(b) }
 
+// BatchTime returns the service time for one coalesced batch of k
+// contiguous blocks of b words: the head positions once and the k blocks
+// stream past it, so the fixed Seek + Rotate/2 term is paid once rather
+// than k times,
+//
+//	Seek + Rotate/2 + k·8·B / TransferBytesPerSec.
+//
+// This is the model behind DelayDisk's batched transfers and the reason
+// the disk-array workers coalesce: on a real disk a batch of k tracks
+// approaches the cost of one transfer of k·B words.
+func (m TimeModel) BatchTime(b, k int) time.Duration {
+	if k < 1 {
+		return 0
+	}
+	bytes := float64(8*b) * float64(k)
+	transfer := time.Duration(bytes / m.TransferBytesPerSec * float64(time.Second))
+	return m.Seek + m.Rotate/2 + transfer
+}
+
 // Throughput returns the effective transfer rate, in bytes per second,
 // achieved when reading with block size b words — the quantity plotted
 // against block size in Figure 8. It rises with b and saturates at the

@@ -1,0 +1,124 @@
+// Vectored positioned I/O: one preadv/pwritev syscall moves a contiguous
+// file range into/out of many separate block buffers, which is what lets
+// a coalesced batch of zero-copy track transfers cost one syscall instead
+// of one per track. Raw syscall.Syscall6 behind this build tag — no
+// golang.org/x/sys dependency; non-Linux targets take the portable
+// pooled-buffer loop in vectored_other.go.
+
+//go:build linux
+
+package pdm
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// haveVectored reports that preadv/pwritev are available.
+const haveVectored = true
+
+// rawPreadv and rawPwritev issue exactly one vectored positioned-I/O
+// syscall. The offset is split lo/hi as the kernel ABI expects
+// (pos_from_hilo recombines; on 64-bit targets the low word carries the
+// whole offset and the high word is shifted out). They are variables so
+// the tests can interpose short transfers and EINTR.
+var rawPreadv = func(fd uintptr, iovs []syscall.Iovec, off int64) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(syscall.SYS_PREADV, fd,
+		uintptr(unsafe.Pointer(&iovs[0])), uintptr(len(iovs)),
+		uintptr(off), uintptr(uint64(off)>>32), 0)
+	return int(n), e
+}
+
+var rawPwritev = func(fd uintptr, iovs []syscall.Iovec, off int64) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(syscall.SYS_PWRITEV, fd,
+		uintptr(unsafe.Pointer(&iovs[0])), uintptr(len(iovs)),
+		uintptr(off), uintptr(uint64(off)>>32), 0)
+	return int(n), e
+}
+
+// iovPool recycles iovec scratch between vectored transfers; batches are
+// bounded by MaxBatchTracks, so the arrays never grow past that.
+var iovPool = sync.Pool{New: func() any {
+	s := make([]syscall.Iovec, 0, MaxBatchTracks)
+	return &s
+}}
+
+// vectorTracks performs one logical vectored transfer of the word
+// buffers bufs against the contiguous file range starting at off:
+// a gather-write when write is set, a scatter-read otherwise. The
+// transfer is driven to completion across EINTR and short returns, with
+// the iovec list advanced past transferred bytes in place. Returns the
+// number of syscalls issued (the quantity the batched path exists to
+// shrink). Only called on zero-copy targets — the iovec bases alias the
+// word buffers directly.
+func vectorTracks(f *os.File, bufs [][]Word, off int64, write bool) (int64, error) {
+	ip := iovPool.Get().(*[]syscall.Iovec)
+	iovs := (*ip)[:0]
+	total := 0
+	for _, b := range bufs {
+		bs := wordsAsBytes(b)
+		var iov syscall.Iovec
+		iov.Base = &bs[0]
+		iov.SetLen(len(bs))
+		iovs = append(iovs, iov)
+		total += len(bs)
+	}
+	*ip = iovs // keep the (possibly grown) backing array pooled
+	raw := rawPreadv
+	if write {
+		raw = rawPwritev
+	}
+	var syscalls int64
+	var err error
+	fd := f.Fd()
+	rest := iovs
+	for total > 0 {
+		n, e := raw(fd, rest, off)
+		syscalls++
+		if e == syscall.EINTR {
+			continue
+		}
+		if e != 0 {
+			err = e
+			break
+		}
+		if n <= 0 {
+			err = io.ErrUnexpectedEOF
+			break
+		}
+		total -= n
+		if total == 0 {
+			break
+		}
+		off += int64(n)
+		rest = advanceIovecs(rest, n)
+	}
+	// The kernel saw the buffers only through unsafe pointers; pin the
+	// slices (and through them the *os.File's fd) past the last syscall.
+	runtime.KeepAlive(bufs)
+	runtime.KeepAlive(f)
+	iovPool.Put(ip)
+	return syscalls, err
+}
+
+// advanceIovecs skips n already-transferred bytes: whole leading iovecs
+// are dropped and a partially-consumed one has its base and length
+// adjusted in place. n must not exceed the remaining total.
+func advanceIovecs(iovs []syscall.Iovec, n int) []syscall.Iovec {
+	for n > 0 && len(iovs) > 0 {
+		l := int(iovs[0].Len)
+		if l <= n {
+			n -= l
+			iovs = iovs[1:]
+			continue
+		}
+		iovs[0].Base = (*byte)(unsafe.Add(unsafe.Pointer(iovs[0].Base), n))
+		iovs[0].SetLen(l - n)
+		n = 0
+	}
+	return iovs
+}

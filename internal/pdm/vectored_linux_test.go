@@ -1,0 +1,182 @@
+//go:build linux
+
+package pdm
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"unsafe"
+)
+
+// swapRaw interposes the raw vectored-syscall hooks for one test and
+// restores them afterwards. Tests using it must not run in parallel.
+func swapRaw(t *testing.T, preadv, pwritev func(uintptr, []syscall.Iovec, int64) (int, syscall.Errno)) {
+	t.Helper()
+	origR, origW := rawPreadv, rawPwritev
+	if preadv != nil {
+		rawPreadv = preadv
+	}
+	if pwritev != nil {
+		rawPwritev = pwritev
+	}
+	t.Cleanup(func() { rawPreadv, rawPwritev = origR, origW })
+}
+
+func vectoredFixture(t *testing.T, b, tracks int) (*os.File, [][]Word) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "vec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	bufs := make([][]Word, tracks)
+	for i := range bufs {
+		bufs[i] = make([]Word, b)
+		fillWords(bufs[i], 1, i)
+	}
+	return f, bufs
+}
+
+func checkReadBack(t *testing.T, f *os.File, bufs [][]Word) {
+	t.Helper()
+	b := len(bufs[0])
+	got := make([][]Word, len(bufs))
+	for i := range got {
+		got[i] = make([]Word, b)
+	}
+	if n, err := vectorTracks(f, got, 0, false); err != nil {
+		t.Fatalf("read back: %v after %d syscalls", err, n)
+	}
+	for i := range bufs {
+		for j := range bufs[i] {
+			if got[i][j] != bufs[i][j] {
+				t.Fatalf("track %d word %d = %#x, want %#x", i, j, got[i][j], bufs[i][j])
+			}
+		}
+	}
+}
+
+// TestVectorTracksShortTransfers forces the kernel hooks to transfer at
+// most a fixed odd byte count per call — landing mid-word and mid-iovec —
+// and checks that the retry loop still completes the transfer exactly.
+func TestVectorTracksShortTransfers(t *testing.T) {
+	const b, tracks = 16, 5 // 128-byte tracks
+	const chunk = 77        // not a multiple of anything relevant
+	clamp := func(raw func(uintptr, []syscall.Iovec, int64) (int, syscall.Errno)) func(uintptr, []syscall.Iovec, int64) (int, syscall.Errno) {
+		return func(fd uintptr, iovs []syscall.Iovec, off int64) (int, syscall.Errno) {
+			short := iovs
+			budget := chunk
+			for i := range short {
+				if l := int(short[i].Len); l > budget {
+					cp := short[i]
+					cp.SetLen(budget)
+					short = append(append([]syscall.Iovec{}, short[:i]...), cp)
+					break
+				} else {
+					budget -= l
+				}
+			}
+			return raw(fd, short, off)
+		}
+	}
+	origR, origW := rawPreadv, rawPwritev
+	swapRaw(t, clamp(origR), clamp(origW))
+
+	f, bufs := vectoredFixture(t, b, tracks)
+	total := 8 * b * tracks
+	wantCalls := int64((total + chunk - 1) / chunk)
+	if n, err := vectorTracks(f, bufs, 0, true); err != nil {
+		t.Fatalf("write: %v", err)
+	} else if n != wantCalls {
+		t.Errorf("write took %d syscalls, want %d at %d bytes each", n, wantCalls, chunk)
+	}
+	checkReadBack(t, f, bufs)
+}
+
+// TestVectorTracksEINTR delivers EINTR on the first call of each
+// direction; the loop must retry without consuming any progress.
+func TestVectorTracksEINTR(t *testing.T) {
+	interrupted := 0
+	intr := func(raw func(uintptr, []syscall.Iovec, int64) (int, syscall.Errno)) func(uintptr, []syscall.Iovec, int64) (int, syscall.Errno) {
+		fired := false
+		return func(fd uintptr, iovs []syscall.Iovec, off int64) (int, syscall.Errno) {
+			if !fired {
+				fired = true
+				interrupted++
+				return 0, syscall.EINTR
+			}
+			return raw(fd, iovs, off)
+		}
+	}
+	origR, origW := rawPreadv, rawPwritev
+	swapRaw(t, intr(origR), intr(origW))
+
+	f, bufs := vectoredFixture(t, 8, 3)
+	if n, err := vectorTracks(f, bufs, 0, true); err != nil {
+		t.Fatalf("write across EINTR: %v", err)
+	} else if n != 2 {
+		t.Errorf("write took %d syscalls, want 2 (EINTR + retry)", n)
+	}
+	checkReadBack(t, f, bufs)
+	if interrupted != 2 {
+		t.Errorf("interposer fired %d times, want 2", interrupted)
+	}
+}
+
+// TestVectorTracksErrors checks errno and zero-progress propagation.
+func TestVectorTracksErrors(t *testing.T) {
+	f, bufs := vectoredFixture(t, 8, 2)
+
+	swapRaw(t, nil, func(uintptr, []syscall.Iovec, int64) (int, syscall.Errno) {
+		return 0, syscall.EIO
+	})
+	if _, err := vectorTracks(f, bufs, 0, true); !errors.Is(err, syscall.EIO) {
+		t.Errorf("write error = %v, want EIO", err)
+	}
+
+	swapRaw(t, func(uintptr, []syscall.Iovec, int64) (int, syscall.Errno) {
+		return 0, 0 // EOF: zero bytes, no errno
+	}, nil)
+	if _, err := vectorTracks(f, bufs, 0, false); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("zero-progress read error = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestAdvanceIovecs pins the in-place advance arithmetic.
+func TestAdvanceIovecs(t *testing.T) {
+	mk := func(lens ...int) []syscall.Iovec {
+		backing := make([]byte, 0, 1024)
+		iovs := make([]syscall.Iovec, len(lens))
+		for i, l := range lens {
+			start := len(backing)
+			backing = append(backing, make([]byte, l)...)
+			iovs[i].Base = &backing[start : start+l][0]
+			iovs[i].SetLen(l)
+		}
+		return iovs
+	}
+	rest := advanceIovecs(mk(10, 20, 30), 10)
+	if len(rest) != 2 || rest[0].Len != 20 {
+		t.Errorf("advance whole iovec: got %d iovecs, first len %d", len(rest), rest[0].Len)
+	}
+	rest = advanceIovecs(mk(10, 20, 30), 15)
+	if len(rest) != 2 || rest[0].Len != 15 || rest[1].Len != 30 {
+		t.Errorf("advance mid-iovec: got %d iovecs, lens %d,%d", len(rest), rest[0].Len, rest[1].Len)
+	}
+	base := mk(10, 20)
+	p0 := base[0].Base
+	rest = advanceIovecs(base, 3)
+	if len(rest) != 2 || rest[0].Len != 7 {
+		t.Fatalf("partial first: got %d iovecs, first len %d", len(rest), rest[0].Len)
+	}
+	if got, want := uintptr(unsafe.Pointer(rest[0].Base)), uintptr(unsafe.Pointer(p0))+3; got != want {
+		t.Errorf("base advanced to %#x, want %#x", got, want)
+	}
+	if rest = advanceIovecs(mk(5), 5); len(rest) != 0 {
+		t.Errorf("fully consumed: %d iovecs left", len(rest))
+	}
+}

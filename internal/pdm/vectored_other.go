@@ -1,0 +1,17 @@
+//go:build !linux
+
+package pdm
+
+import "os"
+
+// haveVectored is false off Linux: batched transfers still coalesce a
+// contiguous track run into one ReadAt/WriteAt through a pooled buffer
+// (one syscall per run, plus a conversion copy), they just cannot
+// scatter/gather directly into separate block buffers.
+const haveVectored = false
+
+// vectorTracks is unreachable here: every call site is guarded by the
+// haveVectored constant.
+func vectorTracks(f *os.File, bufs [][]Word, off int64, write bool) (int64, error) {
+	panic("pdm: vectorTracks without preadv/pwritev (guarded by haveVectored)")
+}

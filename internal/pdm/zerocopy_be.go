@@ -1,0 +1,19 @@
+// Checked fallback for targets where []Word may not be reinterpreted as
+// its little-endian byte encoding (big-endian machines). Transfers go
+// through the explicit binary.LittleEndian conversion in
+// gatherWords/scatterWords, preserving the on-disk format.
+
+//go:build !(amd64 || 386 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package pdm
+
+// zeroCopyWords is false here: every transfer converts through a pooled
+// byte buffer.
+const zeroCopyWords = false
+
+// wordsAsBytes is unreachable on these targets: every call site is
+// guarded by the zeroCopyWords constant, so the compiler eliminates the
+// branches that would reach it. The panic documents the invariant.
+func wordsAsBytes(ws []Word) []byte {
+	panic("pdm: wordsAsBytes on a target without the zero-copy fast path (guarded by zeroCopyWords)")
+}

@@ -68,6 +68,12 @@ type Exec struct {
 	// Pipeline selects the superstep schedule when EM (default
 	// PipelineOn; the PDM accounting is identical either way).
 	Pipeline core.PipelineMode
+	// DiskDir, when non-empty and EM, backs every phase's disks with
+	// files under this directory (see core.Config.DiskDir); DirectIO
+	// additionally requests O_DIRECT. Sequential phases reuse the same
+	// disk files — each phase truncates them on creation.
+	DiskDir  string
+	DirectIO bool
 
 	// Recorder, when non-nil, traces every EM phase run through this
 	// executor; phases share one recorder, so a composite algorithm's
@@ -81,6 +87,7 @@ type Exec struct {
 	MsgOps     int64
 	CommItems  int64
 	Supersteps int
+	Syscalls   int64
 }
 
 // NewMem returns an in-memory executor with v virtual processors.
@@ -121,7 +128,7 @@ func (e *Exec) Run(prog cgm.Program[R], inputs [][]R) ([][]R, error) {
 		}
 		maxMsg = 6*((total+e.V-1)/e.V) + e.V + 16
 	}
-	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced, Pipeline: e.Pipeline, Recorder: e.Recorder}
+	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced, Pipeline: e.Pipeline, DiskDir: e.DiskDir, DirectIO: e.DirectIO, Recorder: e.Recorder}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,6 +142,7 @@ func (e *Exec) Run(prog cgm.Program[R], inputs [][]R) ([][]R, error) {
 	e.MsgOps += res.MsgOps
 	e.CommItems += res.CommItems
 	e.Supersteps += res.Supersteps
+	e.Syscalls += res.Syscalls
 	return res.Outputs, nil
 }
 

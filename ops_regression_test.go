@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cgm"
 	"repro/internal/core"
+	"repro/internal/pdm"
 	"repro/internal/permute"
 	"repro/internal/sortalg"
 	"repro/internal/wordcodec"
@@ -73,6 +74,47 @@ func TestIOOpsMatchSeed(t *testing.T) {
 		if res.IO.ParallelOps != 468 || res.CtxOps != 180 || res.MsgOps != 288 {
 			t.Errorf("ops = (%d, ctx %d, msg %d), seed counted (468, ctx 180, msg 288)",
 				res.IO.ParallelOps, res.CtxOps, res.MsgOps)
+		}
+	})
+
+	// The file-backed disks must count exactly as MemDisk in every mode:
+	// buffered or O_DIRECT, synchronous or pipelined schedule, the batched
+	// vectored path included. Accounting is charged at operation begin, so
+	// none of the backend mechanics may show up in the PDM measure.
+	t.Run("filedisk-modes", func(t *testing.T) {
+		seed := want{1368, 792, 576, 4, 297} // the sort-seq case above
+		keys := workload.Int64s(7, 1<<12)
+		modes := []struct {
+			name     string
+			direct   bool
+			schedule core.PipelineMode
+		}{
+			{"buffered-sync", false, core.PipelineOff},
+			{"buffered-pipelined", false, core.PipelineOn},
+			{"direct-pipelined", true, core.PipelineOn},
+		}
+		for _, m := range modes {
+			t.Run(m.name, func(t *testing.T) {
+				dir := t.TempDir()
+				if m.direct && !pdm.DirectIOSupported(dir, 64) {
+					t.Skip("filesystem does not support O_DIRECT")
+				}
+				cfg := core.Config{
+					V: 8, P: 1, D: 2, B: 64,
+					DiskDir: dir, DirectIO: m.direct, Pipeline: m.schedule,
+				}
+				_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := want{res.IO.ParallelOps, res.CtxOps, res.MsgOps, res.Rounds, res.MaxTracks}
+				if got != seed {
+					t.Errorf("ops = %+v, seed counted %+v", got, seed)
+				}
+				if res.Syscalls < 1 {
+					t.Errorf("Syscalls = %d, want > 0 on file-backed disks", res.Syscalls)
+				}
+			})
 		}
 	})
 
