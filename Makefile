@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build test race bench bench-smoke bench-filedisk allocs lint lint-tool fuzz
+.PHONY: verify build test race bench bench-smoke bench-filedisk bench-record bench-baseline allocs lint lint-tool fuzz
 
 verify: build test race
 
@@ -34,11 +34,28 @@ bench-smoke:
 
 # File-backed PDM smoke: one small end-to-end run of the FileDisk
 # figure (buffered + direct I/O rows, sync vs pipelined schedule). The
-# committed BENCH_filedisk.json uses the full size:
+# committed BENCH_filedisk.json (benchfmt schema) uses the full size:
 #
-#	go run ./cmd/emcgm-bench -fig filedisk -json -n 131072 -v 16 -b 128
+#	go run ./cmd/emcgm-bench -fig filedisk -n 131072 -v 16 -b 128 -bench BENCH_filedisk.json
 bench-filedisk:
 	$(GO) run ./cmd/emcgm-bench -fig filedisk -n 16384 -v 8 -b 64
+
+# Benchmark recording and the regression gate. bench-record runs the
+# pipeline figure (sync vs pipelined over mem / mem+delay / file
+# backends) at smoke scale, writes the versioned benchfmt recording to
+# bench-out.json, and diffs it against the committed BENCH_smoke.json
+# baseline. The gate uses -exact-only: wall times are machine-specific
+# noise across runners, so only the model-determined metrics (PDM
+# parallel I/Os, rounds) gate; compare like-for-like machines with the
+# default -tol 0.10 to also judge wall movement. bench-baseline
+# refreshes the committed baseline after an intentional model change.
+BENCH_SCALE = -n 16384 -v 8 -b 64
+bench-record:
+	$(GO) run ./cmd/emcgm-bench -fig pipeline $(BENCH_SCALE) -bench bench-out.json > /dev/null
+	$(GO) run ./cmd/emcgm-benchdiff -exact-only BENCH_smoke.json bench-out.json
+
+bench-baseline:
+	$(GO) run ./cmd/emcgm-bench -fig pipeline $(BENCH_SCALE) -bench BENCH_smoke.json > /dev/null
 
 # Allocation profile of the hot path: the dispatch benchmark must report
 # 0 allocs/op and the end-to-end sort should stay well under the seed's

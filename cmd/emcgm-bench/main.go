@@ -6,6 +6,8 @@
 //	emcgm-bench -csv            # machine-readable output (CSV)
 //	emcgm-bench -json           # machine-readable output (JSON)
 //	emcgm-bench -trace out.json # Chrome trace of every EM run (Perfetto)
+//	emcgm-bench -bench out.json # benchfmt recording for emcgm-benchdiff
+//	emcgm-bench -ledger led.json    # predicted-vs-measured cost-model ledger
 //	emcgm-bench -debug-addr :6060   # live /metrics, /trace.json, pprof
 //
 // Figures: 3 (VM vs EM-CGM sort), 4 (1 vs 2 disks), 5 (measured problem
@@ -20,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/pdm"
@@ -35,6 +38,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of tables instead of aligned tables")
 	traceOut := flag.String("trace", "", "write a Chrome trace of every EM-CGM run to this file (load in Perfetto)")
+	benchOut := flag.String("bench", "", "write a versioned benchfmt recording of the wall-clock figures (pipeline, filedisk) to this file for emcgm-benchdiff")
+	ledgerOut := flag.String("ledger", "", "collect a predicted-vs-measured cost-model ledger over the Figure 5 workloads, print its summary, calibrate its time model from the session's own disk latencies, and write the JSON export to this file; exits 1 if any prediction misses (use with -fig 5 or -fig all)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	pipeline := flag.Bool("pipeline", true, "use the split-phase pipelined superstep schedule (PDM counts are identical either way)")
 	disks := flag.String("disks", "", "directory for the filedisk figure's disk files (empty = temporary directory)")
@@ -82,8 +87,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *traceOut != "" || *debugAddr != "" {
+	if *traceOut != "" || *debugAddr != "" || *ledgerOut != "" {
 		s.Rec = obs.NewRecorder()
+	}
+	if *ledgerOut != "" {
+		s.Ledger = costmodel.NewLedger(pdm.DefaultTimeModel())
+	}
+	if *benchOut != "" {
+		s.Bench = s.NewBenchFile("emcgm-bench")
 	}
 	opTime := pdm.DefaultTimeModel().OpTime(s.B)
 	if *debugAddr != "" {
@@ -141,6 +152,40 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(tables); err != nil {
 			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *benchOut != "" {
+		if err := s.Bench.WriteFile(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *ledgerOut != "" {
+		// Calibrate the ledger's time model from the per-disk batch
+		// latencies this very session observed, so the exported modelled
+		// wall times reflect the machine that produced them.
+		if _, err := costmodel.Calibrate(s.Ledger, s.Rec, s.B); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: calibrate: %v (keeping the default time model)\n", err)
+		}
+		if !*csv && !*jsonOut {
+			s.Ledger.SummaryTable().Render(os.Stdout)
+		}
+		f, err := os.Create(*ledgerOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Ledger.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: write ledger: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Ledger.Reconcile(); err != nil {
+			fmt.Fprintf(os.Stderr, "emcgm-bench: cost-model drift: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,216 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Verdict classifies one metric's old→new movement.
+type Verdict string
+
+const (
+	// Regression: the metric moved the wrong way beyond noise — or, for
+	// Exact metrics, moved at all.
+	Regression Verdict = "regression"
+	// Improvement: the metric moved the right way beyond noise.
+	Improvement Verdict = "improvement"
+	// Noise: the movement is within tolerance, or the old and new
+	// iteration ranges overlap (the runs are not distinguishable).
+	Noise Verdict = "noise"
+	// Missing: the baseline has the metric but the new file doesn't;
+	// counted as a regression so schema drift cannot pass silently.
+	Missing Verdict = "missing"
+)
+
+// Options tunes Compare.
+type Options struct {
+	// Tol is the relative tolerance for Lower/Higher metrics (default
+	// 0.10): |new−old|/old must exceed it to leave the noise band.
+	Tol float64
+	// ExactOnly restricts the comparison to Exact metrics — the mode CI
+	// uses, since wall times are not comparable across runners.
+	ExactOnly bool
+}
+
+// Delta is one compared metric.
+type Delta struct {
+	Bench   string  `json:"bench"`
+	Metric  string  `json:"metric"`
+	Unit    string  `json:"unit"`
+	Better  string  `json:"better"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Rel     float64 `json:"rel"` // (new−old)/old, 0 when old == 0
+	Verdict Verdict `json:"verdict"`
+}
+
+// Report is the outcome of comparing two Files.
+type Report struct {
+	Tol          float64 `json:"tol"`
+	ExactOnly    bool    `json:"exactOnly"`
+	Deltas       []Delta `json:"deltas"`
+	Regressions  int     `json:"regressions"`
+	Improvements int     `json:"improvements"`
+}
+
+// HasRegression reports whether any metric regressed (or went missing).
+func (r *Report) HasRegression() bool { return r.Regressions > 0 }
+
+// Compare evaluates every baseline metric against the new file.
+//
+// Exact metrics regress on any difference. Lower/Higher metrics regress
+// only when the relative movement exceeds opt.Tol AND the two runs'
+// iteration ranges [Min, Max] do not overlap — a movement inside the
+// baseline's own run-to-run spread is noise no matter how large the
+// point estimate's delta. Improvements are classified symmetrically.
+// Benchmarks or metrics present only in the new file are ignored (new
+// coverage is not a regression).
+func Compare(old, new *File, opt Options) *Report {
+	if opt.Tol <= 0 {
+		opt.Tol = 0.10
+	}
+	rep := &Report{Tol: opt.Tol, ExactOnly: opt.ExactOnly}
+	for _, ob := range old.Benchmarks {
+		nb := new.Find(ob.Name)
+		for _, om := range ob.Metrics {
+			if opt.ExactOnly && om.Better != Exact {
+				continue
+			}
+			d := Delta{Bench: ob.Name, Metric: om.Name, Unit: om.Unit, Better: om.Better, Old: om.Value}
+			nm := nb.Metric(om.Name)
+			if nm == nil {
+				d.Verdict = Missing
+				rep.Regressions++
+				rep.Deltas = append(rep.Deltas, d)
+				continue
+			}
+			d.New = nm.Value
+			if om.Value != 0 {
+				d.Rel = (nm.Value - om.Value) / math.Abs(om.Value)
+			}
+			d.Verdict = verdict(om, *nm, opt.Tol)
+			switch d.Verdict {
+			case Regression:
+				rep.Regressions++
+			case Improvement:
+				rep.Improvements++
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	return rep
+}
+
+func verdict(old, new Metric, tol float64) Verdict {
+	if old.Better == Exact {
+		if new.Value != old.Value {
+			return Regression
+		}
+		return Noise
+	}
+	if old.Value == 0 {
+		if new.Value == 0 {
+			return Noise
+		}
+		// No baseline magnitude to scale by; any appearance of a
+		// nonzero value is direction-classified without tolerance.
+		if (old.Better == Lower) == (new.Value > 0) {
+			return Regression
+		}
+		return Improvement
+	}
+	rel := (new.Value - old.Value) / math.Abs(old.Value)
+	worse := rel > tol
+	better := rel < -tol
+	if old.Better == Higher {
+		worse, better = better, worse
+	}
+	// Range overlap: if either side recorded dispersion and the spreads
+	// intersect, the movement is indistinguishable from run-to-run noise.
+	if rangesOverlap(old, new) {
+		return Noise
+	}
+	switch {
+	case worse:
+		return Regression
+	case better:
+		return Improvement
+	default:
+		return Noise
+	}
+}
+
+// rangesOverlap reports whether the two metrics' [Min, Max] iteration
+// spreads intersect. A metric without recorded dispersion (Min == Max
+// == 0 while Value != 0) collapses to its point value.
+func rangesOverlap(a, b Metric) bool {
+	alo, ahi := spread(a)
+	blo, bhi := spread(b)
+	return alo <= bhi && blo <= ahi
+}
+
+func spread(m Metric) (float64, float64) {
+	if m.Min == 0 && m.Max == 0 && m.Value != 0 {
+		return m.Value, m.Value
+	}
+	return m.Min, m.Max
+}
+
+// WriteText renders the report for humans: one line per delta, with a
+// trailing summary line.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, d := range r.Deltas {
+		var err error
+		switch d.Verdict {
+		case Missing:
+			_, err = fmt.Fprintf(w, "%-11s %s/%s: baseline %g %s, metric missing from new file\n",
+				d.Verdict+":", d.Bench, d.Metric, d.Old, d.Unit)
+		case Noise:
+			_, err = fmt.Fprintf(w, "%-11s %s/%s: %g → %g %s (%+.1f%%)\n",
+				d.Verdict+":", d.Bench, d.Metric, d.Old, d.New, d.Unit, 100*d.Rel)
+		default:
+			_, err = fmt.Fprintf(w, "%-11s %s/%s: %g → %g %s (%+.1f%%, tol %.0f%%)\n",
+				d.Verdict+":", d.Bench, d.Metric, d.Old, d.New, d.Unit, 100*d.Rel, 100*r.Tol)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "compared %d metrics: %d regression(s), %d improvement(s)\n",
+		len(r.Deltas), r.Regressions, r.Improvements)
+	return err
+}
+
+// Perturb returns a copy of f with every metric made worse: Exact
+// counts shift by one, Lower metrics scale up by factor, Higher metrics
+// scale down. CI uses it to prove the regression gate actually fires —
+// a seeded synthetic regression must make benchdiff exit non-zero.
+func Perturb(f *File, factor float64) *File {
+	if factor <= 1 {
+		factor = 1.25
+	}
+	out := *f
+	out.Benchmarks = make([]Benchmark, len(f.Benchmarks))
+	for i, b := range f.Benchmarks {
+		nb := b
+		nb.Metrics = make([]Metric, len(b.Metrics))
+		for j, m := range b.Metrics {
+			switch m.Better {
+			case Exact:
+				m.Value++
+			case Higher:
+				m.Value /= factor
+				m.Min /= factor
+				m.Max /= factor
+			default: // Lower
+				m.Value *= factor
+				m.Min *= factor
+				m.Max *= factor
+			}
+			nb.Metrics[j] = m
+		}
+		out.Benchmarks[i] = nb
+	}
+	return &out
+}

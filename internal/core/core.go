@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/cgm"
+	"repro/internal/costmodel"
 	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/pdm"
@@ -170,6 +171,13 @@ type Config struct {
 	// per-disk latency histograms, and BalancedRouting message sizes.
 	// nil disables recording; the disabled path is a nil check.
 	Recorder *obs.Recorder
+	// Ledger, when non-nil, receives one costmodel entry per run: every
+	// recorded superstep row priced against the Theorem 2/3 prediction,
+	// plus the Result totals, so predicted and measured parallel I/Os
+	// can be reconciled bit-exactly. Requires Recorder — the rows are
+	// the recorder's superstep spans; Validate rejects a ledger without
+	// one. The unrecorded hot path still pays only nil checks.
+	Ledger *costmodel.Ledger
 }
 
 // Validate checks the structural machine preconditions the paper's
@@ -205,6 +213,9 @@ func (c Config) Validate() error {
 	}
 	if c.DirectIO && c.DiskDir == "" && c.NewDisk == nil {
 		return fmt.Errorf("core: DirectIO requires file-backed disks (set DiskDir, or supply NewDisk); in-memory disks have no page cache to bypass")
+	}
+	if c.Ledger != nil && c.Recorder == nil {
+		return fmt.Errorf("core: Ledger requires a Recorder (the ledger prices the recorder's superstep spans)")
 	}
 	return nil
 }
@@ -480,6 +491,34 @@ func RunPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		return runBalanced(prog, codec, cfg, inputs, runPar[balance.Item[T]])
 	}
 	return runPar(prog, codec, cfg, inputs)
+}
+
+// ledgerAdd prices a finished run into cfg.Ledger: the superstep rows
+// recorded since base (captured with Recorder.StepCount before the init
+// span) against the Theorem 2/3 prediction for the machine's geometry,
+// plus the Result totals for reconciliation. All four drivers call it
+// once at their success return; a nil Ledger costs one comparison.
+func ledgerAdd[T any](cfg Config, par bool, cb, bpm int, cacheCtx bool, base int, res *Result[T]) {
+	if cfg.Ledger == nil || cfg.Recorder == nil {
+		return
+	}
+	cfg.Ledger.AddRun(
+		costmodel.Machine{
+			Par: par, V: cfg.V, P: cfg.P, D: cfg.D, B: cfg.B,
+			CB: cb, BPM: bpm, Rounds: res.Rounds, CacheCtx: cacheCtx,
+		},
+		cfg.Recorder.StepsSince(base),
+		costmodel.RunTotals{
+			Rounds:      res.Rounds,
+			ParallelOps: res.IO.ParallelOps,
+			BlocksMoved: res.IO.BlocksMoved,
+			CtxOps:      res.CtxOps,
+			MsgOps:      res.MsgOps,
+			CommItems:   res.CommItems,
+			Syscalls:    res.Syscalls,
+			Stall:       res.Stall,
+		},
+	)
 }
 
 // engine is the signature shared by runSeq and runPar.

@@ -145,6 +145,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	res := &Result[T]{Outputs: make([][]T, v)}
 
 	// Input distribution.
+	ledBase := rec.StepCount()
 	initSpan := rec.Begin(mtrack, "input distribution", "init")
 	for j := 0; j < v; j++ {
 		vp := &cgm.VP[T]{ID: j, V: v}
@@ -493,5 +494,6 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		}
 	}
 	res.Supersteps = res.Rounds * localV
+	ledgerAdd(cfg, true, cb, bpm, cacheCtx, ledBase, res)
 	return res, nil
 }

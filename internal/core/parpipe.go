@@ -120,6 +120,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 	res := &Result[T]{Outputs: make([][]T, v)}
 
 	// Input distribution — synchronous, identical to runPar.
+	ledBase := rec.StepCount()
 	initSpan := rec.Begin(mtrack, "input distribution", "init")
 	for j := 0; j < v; j++ {
 		vp := &cgm.VP[T]{ID: j, V: v}
@@ -604,5 +605,6 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		}
 	}
 	res.Supersteps = res.Rounds * localV
+	ledgerAdd(cfg, true, cb, bpm, cacheCtx, ledBase, res)
 	return res, nil
 }

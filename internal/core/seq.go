@@ -92,6 +92,7 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	}
 
 	// Input distribution: initialise and write every context.
+	ledBase := rec.StepCount()
 	initSpan := rec.Begin(track, "input distribution", "init")
 	for j := 0; j < v; j++ {
 		vp := &cgm.VP[T]{ID: j, V: v}
@@ -262,5 +263,6 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 		}
 	}
 	res.Supersteps = res.Rounds * v // v compound supersteps per simulated round
+	ledgerAdd(cfg, false, cb, bpm, false, ledBase, res)
 	return res, nil
 }

@@ -108,6 +108,7 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 
 	// Input distribution: initialise and write every context,
 	// synchronously, exactly as the reference schedule does.
+	ledBase := rec.StepCount()
 	initSpan := rec.Begin(track, "input distribution", "init")
 	for j := 0; j < v; j++ {
 		vp := &cgm.VP[T]{ID: j, V: v}
@@ -375,5 +376,6 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		}
 	}
 	res.Supersteps = res.Rounds * v // v compound supersteps per simulated round
+	ledgerAdd(cfg, false, cb, bpm, false, ledBase, res)
 	return res, nil
 }

@@ -1,0 +1,82 @@
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pdm"
+)
+
+// FitTimeModel least-squares-fits a pdm.TimeModel to per-disk service
+// observations. Every sample obs.FitAcc collected has the form
+// (runs, tracks, latency) and the model predicts
+//
+//	latency = pos·runs + per·tracks
+//
+// — exactly pdm.TimeModel.BatchTime's shape, where pos is the once-per-
+// contiguous-run positioning cost and per the per-block transfer time.
+// Solving the 2×2 normal equations over the pooled moment sums gives
+// (pos, per) without ever storing samples. When the design is degenerate
+// (every sample has runs == tracks, as on a fixed-delay DelayDisk or any
+// unbatched schedule, making the two columns collinear) the positioning
+// term is unidentifiable; the fit then collapses to the one-parameter
+// model pos = 0, per = Σ(k·t)/Σk², which remains exact for such disks.
+//
+// The result maps onto TimeModel as Seek = pos, Rotate = 0 (the fit
+// cannot split positioning into seek and rotation — only their sum is
+// observable), TransferBytesPerSec = 8·b·1e9/per for block size b words.
+func FitTimeModel(b int, snaps []obs.FitSnapshot) (pdm.TimeModel, error) {
+	var s obs.FitSnapshot
+	for _, o := range snaps {
+		s.Add(o)
+	}
+	if s.N == 0 {
+		return pdm.TimeModel{}, fmt.Errorf("costmodel: no calibration samples")
+	}
+	if s.SumKK <= 0 {
+		return pdm.TimeModel{}, fmt.Errorf("costmodel: degenerate calibration moments (Σk² = %d)", s.SumKK)
+	}
+
+	rr, rk, kk := float64(s.SumRR), float64(s.SumRK), float64(s.SumKK)
+	rt, kt := float64(s.SumRT), float64(s.SumKT)
+
+	det := rr*kk - rk*rk
+	pos, per := 0.0, kt/kk
+	// The determinant is scale-dependent; compare against the matrix
+	// magnitude so "numerically collinear" is detected at any sample
+	// count. 1e-9 of the Gram norm is far below any real batched
+	// schedule's conditioning and far above float64 noise.
+	if det > 1e-9*rr*kk {
+		pos = (rt*kk - kt*rk) / det
+		per = (kt*rr - rt*rk) / det
+	}
+	if per <= 0 {
+		// Transfer time can't be non-positive; the noise landed in the
+		// positioning column. Refit the one-parameter model.
+		pos, per = 0, kt/kk
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	if per <= 0 {
+		return pdm.TimeModel{}, fmt.Errorf("costmodel: calibration fit collapsed (per-track %g ns)", per)
+	}
+	return pdm.TimeModel{
+		Seek:                time.Duration(pos),
+		Rotate:              0,
+		TransferBytesPerSec: float64(8*b) * 1e9 / per,
+	}, nil
+}
+
+// Calibrate fits a TimeModel from every calibration accumulator the
+// recorder collected (pooled across disks and processors) and installs
+// it into the ledger. Returns the fitted model.
+func Calibrate(l *Ledger, rec *obs.Recorder, b int) (pdm.TimeModel, error) {
+	tm, err := FitTimeModel(b, rec.Fits())
+	if err != nil {
+		return tm, err
+	}
+	l.SetTimeModel(tm)
+	return tm, nil
+}

@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"repro/internal/balance"
+	"repro/internal/benchfmt"
 	"repro/internal/cache"
 	"repro/internal/cgm"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/internal/pdm"
 	"repro/internal/sortalg"
@@ -45,6 +47,26 @@ type Scale struct {
 
 	// Rec, when non-nil, traces every EM-CGM run an experiment performs.
 	Rec *obs.Recorder
+
+	// Ledger, when non-nil (requires Rec), collects a predicted-vs-
+	// measured costmodel entry for every EM-CGM run an experiment
+	// performs, reconcilable with costmodel.Ledger.Reconcile.
+	Ledger *costmodel.Ledger
+
+	// Bench, when non-nil, receives one versioned benchfmt entry per
+	// measured configuration from the wall-clock experiments (Pipeline,
+	// FileDiskFig): best/worst wall over the repetitions plus the exact
+	// PDM counts, ready for emcgm-benchdiff.
+	Bench *benchfmt.File
+}
+
+// NewBenchFile returns a benchfmt File stamped with this scale's
+// parameters; assign it to Bench before running the experiments.
+func (s Scale) NewBenchFile(tool string) *benchfmt.File {
+	return benchfmt.New(tool, benchfmt.Params{
+		N: s.N, V: s.V, P: s.P, D: 2, B: s.B,
+		Pipeline: s.Pipeline != core.PipelineOff,
+	})
 }
 
 // DefaultScale is used by the CLI and the benchmarks.

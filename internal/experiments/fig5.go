@@ -37,19 +37,17 @@ type fig5Row struct {
 func runEM(s Scale, n int, run func(e *rec.Exec, n int) error) (r1, r2 *rec.Exec, err error) {
 	e1 := rec.NewEM(s.V, s.P, 2, s.B)
 	e1.Recorder = s.Rec
+	e1.Ledger = s.Ledger
 	if err := run(e1, n); err != nil {
 		return nil, nil, err
 	}
 	e2 := rec.NewEM(s.V, s.P, 2, s.B)
 	e2.Recorder = s.Rec
+	e2.Ledger = s.Ledger
 	if err := run(e2, 2*n); err != nil {
 		return nil, nil, err
 	}
 	return e1, e2, nil
-}
-
-func ioConst(ops int64, n, p, d, b int) float64 {
-	return float64(ops) / (float64(n) / float64(p*d*b))
 }
 
 // Fig5 measures every problem of the paper's Figure 5 under the EM-CGM
@@ -68,8 +66,8 @@ func Fig5(s Scale) (*trace.Table, error) {
 		rows = append(rows, fig5Row{
 			group: group, problem: problem, class: class, n: n,
 			rounds: e1.Rounds, ops: e1.IO.ParallelOps,
-			constant:   ioConst(e1.IO.ParallelOps, n, s.P, d, s.B),
-			constant2x: ioConst(e2.IO.ParallelOps, 2*n, s.P, d, s.B),
+			constant:   theory.IOConstant(e1.IO.ParallelOps, n, s.P, d, s.B),
+			constant2x: theory.IOConstant(e2.IO.ParallelOps, 2*n, s.P, d, s.B),
 			note:       note,
 		})
 		return nil
@@ -80,7 +78,7 @@ func Fig5(s Scale) (*trace.Table, error) {
 	{
 		run := func(n int) (*core.Result[int64], error) {
 			keys := workload.Int64s(int64(n), n)
-			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline}
+			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline, Ledger: s.Ledger}
 			if err := cfg.Validate(); err != nil {
 				return nil, err
 			}
@@ -91,10 +89,12 @@ func Fig5(s Scale) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.Ledger.SetRunName(fmt.Sprintf("sort n=%d", nA))
 		r2, err := run(2 * nA)
 		if err != nil {
 			return nil, err
 		}
+		s.Ledger.SetRunName(fmt.Sprintf("sort n=%d", 2*nA))
 		// PDM baseline at both sizes, small memory to expose the log factor.
 		base := func(n int) (sortalg.Info, error) {
 			arr := pdm.NewMemArray(d, s.B)
@@ -114,8 +114,8 @@ func Fig5(s Scale) (*trace.Table, error) {
 		rows = append(rows,
 			fig5Row{group: "A", problem: "sorting (EM-CGM, PSRS)", class: "O(N/pDB)", n: nA,
 				rounds: r1.Rounds, ops: r1.IO.ParallelOps,
-				constant:   ioConst(r1.IO.ParallelOps, nA, s.P, d, s.B),
-				constant2x: ioConst(r2.IO.ParallelOps, 2*nA, s.P, d, s.B)},
+				constant:   theory.IOConstant(r1.IO.ParallelOps, nA, s.P, d, s.B),
+				constant2x: theory.IOConstant(r2.IO.ParallelOps, 2*nA, s.P, d, s.B)},
 			fig5Row{group: "A", problem: "sorting (PDM mergesort baseline)", class: "O(N/DB·log_{M/B}N/B)", n: nA,
 				rounds: b1.Passes + 1, ops: b1.SortOps,
 				constant:   float64(b1.SortOps) / (float64(nA) / float64(d*s.B)),
@@ -127,7 +127,7 @@ func Fig5(s Scale) (*trace.Table, error) {
 		run := func(n int) (*core.Result[permute.Item], error) {
 			vals := workload.Int64s(int64(n), n)
 			dests := workload.Permutation(int64(n)+1, n)
-			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline}
+			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline, Ledger: s.Ledger}
 			if err := cfg.Validate(); err != nil {
 				return nil, err
 			}
@@ -138,14 +138,16 @@ func Fig5(s Scale) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.Ledger.SetRunName(fmt.Sprintf("permute n=%d", nA))
 		r2, err := run(2 * nA)
 		if err != nil {
 			return nil, err
 		}
+		s.Ledger.SetRunName(fmt.Sprintf("permute n=%d", 2*nA))
 		rows = append(rows, fig5Row{group: "A", problem: "permutation (CGMPermute)", class: "O(N/pDB)", n: nA,
 			rounds: r1.Rounds, ops: r1.IO.ParallelOps,
-			constant:   ioConst(r1.IO.ParallelOps, nA, s.P, d, s.B),
-			constant2x: ioConst(r2.IO.ParallelOps, 2*nA, s.P, d, s.B),
+			constant:   theory.IOConstant(r1.IO.ParallelOps, nA, s.P, d, s.B),
+			constant2x: theory.IOConstant(r2.IO.ParallelOps, 2*nA, s.P, d, s.B),
 			note:       "2 words/item"})
 	}
 	{
@@ -153,7 +155,7 @@ func Fig5(s Scale) (*trace.Table, error) {
 		run := func(n int) (*core.Result[permute.Item], error) {
 			l := n / k
 			vals := workload.Int64s(int64(n), k*l)
-			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline}
+			cfg := core.Config{V: s.V, P: s.P, D: d, B: s.B, Recorder: s.Rec, Pipeline: s.Pipeline, Ledger: s.Ledger}
 			if err := cfg.Validate(); err != nil {
 				return nil, err
 			}
@@ -164,14 +166,16 @@ func Fig5(s Scale) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.Ledger.SetRunName(fmt.Sprintf("transpose n=%d", nA))
 		r2, err := run(2 * nA)
 		if err != nil {
 			return nil, err
 		}
+		s.Ledger.SetRunName(fmt.Sprintf("transpose n=%d", 2*nA))
 		rows = append(rows, fig5Row{group: "A", problem: "matrix transpose (CGMTranspose)", class: "O(N/pDB)", n: nA,
 			rounds: r1.Rounds, ops: r1.IO.ParallelOps,
-			constant:   ioConst(r1.IO.ParallelOps, nA, s.P, d, s.B),
-			constant2x: ioConst(r2.IO.ParallelOps, 2*nA, s.P, d, s.B),
+			constant:   theory.IOConstant(r1.IO.ParallelOps, nA, s.P, d, s.B),
+			constant2x: theory.IOConstant(r2.IO.ParallelOps, 2*nA, s.P, d, s.B),
 			note:       fmt.Sprintf("%d×N/%d matrix", k, k)})
 	}
 

@@ -51,8 +51,7 @@ func FileDiskFig(s Scale) (*trace.Table, error) {
 	if s.Rec != nil {
 		reps = 1 // keep an attached trace to one run per schedule
 	}
-	run := func(mode core.PipelineMode, direct bool) (time.Duration, *core.Result[int64], error) {
-		var bestWall time.Duration
+	run := func(mode core.PipelineMode, direct bool) (best, worst time.Duration, _ *core.Result[int64], _ error) {
 		var bestRes *core.Result[int64]
 		for r := 0; r < reps; r++ {
 			rec := s.Rec
@@ -62,19 +61,22 @@ func FileDiskFig(s Scale) (*trace.Table, error) {
 			cfg := core.Config{V: s.V, P: s.P, D: 2, B: s.B, Recorder: rec,
 				Pipeline: mode, DiskDir: dir, DirectIO: direct}
 			if err := cfg.ValidateFor(s.N); err != nil {
-				return 0, nil, err
+				return 0, 0, nil, err
 			}
 			t0 := time.Now()
 			_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
 			wall := time.Since(t0)
 			if err != nil {
-				return 0, nil, err
+				return 0, 0, nil, err
 			}
-			if bestRes == nil || wall < bestWall {
-				bestWall, bestRes = wall, res
+			if bestRes == nil || wall < best {
+				best, bestRes = wall, res
+			}
+			if wall > worst {
+				worst = wall
 			}
 		}
-		return bestWall, bestRes, nil
+		return best, worst, bestRes, nil
 	}
 
 	sysPerOp := func(res *core.Result[int64]) string {
@@ -85,11 +87,11 @@ func FileDiskFig(s Scale) (*trace.Table, error) {
 	}
 
 	pair := func(label string, direct bool) error {
-		syncWall, syncRes, err := run(core.PipelineOff, direct)
+		syncWall, syncWorst, syncRes, err := run(core.PipelineOff, direct)
 		if err != nil {
 			return fmt.Errorf("filedisk %s sync: %w", label, err)
 		}
-		pipeWall, pipeRes, err := run(core.PipelineOn, direct)
+		pipeWall, pipeWorst, pipeRes, err := run(core.PipelineOn, direct)
 		if err != nil {
 			return fmt.Errorf("filedisk %s pipelined: %w", label, err)
 		}
@@ -104,6 +106,7 @@ func FileDiskFig(s Scale) (*trace.Table, error) {
 			pipeRes.IO.ParallelOps, pipeRes.Syscalls, sysPerOp(pipeRes),
 			trace.FormatFloat(stallFrac(pipeRes.Stall, pipeWall, s.P)),
 			trace.FormatFloat(float64(syncWall)/float64(pipeWall)))
+		benchPair(s.Bench, "filedisk/"+label, reps, syncWall, syncWorst, syncRes, pipeWall, pipeWorst, pipeRes)
 		return nil
 	}
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pdm"
@@ -50,8 +51,7 @@ func Pipeline(s Scale) (*trace.Table, error) {
 	if s.Rec != nil {
 		reps = 1 // keep an attached trace to one run per schedule
 	}
-	run := func(mode core.PipelineMode, newDisk func(proc, disk int) pdm.Disk) (time.Duration, *core.Result[int64], error) {
-		var bestWall time.Duration
+	run := func(mode core.PipelineMode, newDisk func(proc, disk int) pdm.Disk) (best, worst time.Duration, _ *core.Result[int64], _ error) {
 		var bestRes *core.Result[int64]
 		for r := 0; r < reps; r++ {
 			rec := s.Rec
@@ -61,27 +61,30 @@ func Pipeline(s Scale) (*trace.Table, error) {
 			cfg := core.Config{V: s.V, P: s.P, D: 2, B: s.B, Recorder: rec,
 				Pipeline: mode, NewDisk: newDisk}
 			if err := cfg.ValidateFor(s.N); err != nil {
-				return 0, nil, err
+				return 0, 0, nil, err
 			}
 			t0 := time.Now()
 			_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
 			wall := time.Since(t0)
 			if err != nil {
-				return 0, nil, err
+				return 0, 0, nil, err
 			}
-			if bestRes == nil || wall < bestWall {
-				bestWall, bestRes = wall, res
+			if bestRes == nil || wall < best {
+				best, bestRes = wall, res
+			}
+			if wall > worst {
+				worst = wall
 			}
 		}
-		return bestWall, bestRes, nil
+		return best, worst, bestRes, nil
 	}
 
 	pair := func(label string, newDisk func(proc, disk int) pdm.Disk) error {
-		syncWall, syncRes, err := run(core.PipelineOff, newDisk)
+		syncWall, syncWorst, syncRes, err := run(core.PipelineOff, newDisk)
 		if err != nil {
 			return fmt.Errorf("pipeline %s sync: %w", label, err)
 		}
-		pipeWall, pipeRes, err := run(core.PipelineOn, newDisk)
+		pipeWall, pipeWorst, pipeRes, err := run(core.PipelineOn, newDisk)
 		if err != nil {
 			return fmt.Errorf("pipeline %s pipelined: %w", label, err)
 		}
@@ -96,6 +99,7 @@ func Pipeline(s Scale) (*trace.Table, error) {
 			pipeRes.IO.ParallelOps, pipeRes.Stall.Round(time.Microsecond).String(),
 			trace.FormatFloat(stallFrac(pipeRes.Stall, pipeWall, s.P)),
 			trace.FormatFloat(float64(syncWall)/float64(pipeWall)))
+		benchPair(s.Bench, "pipeline/"+label, reps, syncWall, syncWorst, syncRes, pipeWall, pipeWorst, pipeRes)
 		return nil
 	}
 
@@ -105,7 +109,7 @@ func Pipeline(s Scale) (*trace.Table, error) {
 
 	// Calibrate the delay so the modelled disk subsystem matches this
 	// machine's CPU: per-processor I/O time ≈ whole-run CPU wall.
-	cpuWall, cpuRes, err := run(core.PipelineOff, nil)
+	cpuWall, _, cpuRes, err := run(core.PipelineOff, nil)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline calibration: %w", err)
 	}
@@ -156,4 +160,31 @@ func stallFrac(stall, wall time.Duration, p int) float64 {
 		return 0
 	}
 	return float64(stall) / (float64(p) * float64(wall))
+}
+
+// benchPair emits the sync/pipelined pair of a wall-clock figure into
+// the scale's benchfmt file (a nil file ignores the call): wall with
+// best/worst dispersion, stall, the exact PDM op count, and — when the
+// backend issues real syscalls — the syscall count.
+func benchPair[T any](f *benchfmt.File, name string, reps int,
+	syncBest, syncWorst time.Duration, syncRes *core.Result[T],
+	pipeBest, pipeWorst time.Duration, pipeRes *core.Result[T]) {
+	if f == nil {
+		return
+	}
+	one := func(sched string, best, worst time.Duration, res *core.Result[T]) {
+		ms := []benchfmt.Metric{
+			benchfmt.WallMetric(best, worst),
+			benchfmt.ExactMetric("parallel_ios", "ops", res.IO.ParallelOps),
+			benchfmt.ExactMetric("rounds", "rounds", int64(res.Rounds)),
+			{Name: "stall", Unit: "ns", Better: benchfmt.Lower, Value: float64(res.Stall)},
+		}
+		if res.Syscalls > 0 {
+			ms = append(ms, benchfmt.Metric{Name: "syscalls", Unit: "calls",
+				Better: benchfmt.Lower, Value: float64(res.Syscalls)})
+		}
+		f.Add(name+"/"+sched, reps, ms...)
+	}
+	one("sync", syncBest, syncWorst, syncRes)
+	one("pipelined", pipeBest, pipeWorst, pipeRes)
 }

@@ -58,6 +58,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	r.mu.Lock()
 	tracks := append([]string(nil), r.tracks...)
 	events := append([]event(nil), r.events...)
+	gauges := append([]gauge(nil), r.gauges...)
 	r.mu.Unlock()
 
 	out := chromeTrace{
@@ -94,6 +95,18 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			}
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	// Registered gauges (pdm op/syscall counters and friends) render as
+	// Chrome counter ("C") events sampled once at export time, stamped at
+	// the end of the recorded interval so the counter track shows the
+	// run's final totals alongside the spans.
+	end := r.now()
+	for _, g := range gauges {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: g.name, Cat: "counter", Ph: "C",
+			Ts:   float64(end.Nanoseconds()) / 1e3,
+			Args: map[string]int64{"value": g.f()},
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

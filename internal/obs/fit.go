@@ -1,0 +1,123 @@
+package obs
+
+import "sync/atomic"
+
+// FitAcc accumulates calibration samples for one disk: for every served
+// transfer it records (runs, tracks, latency), where runs is the number
+// of contiguous track runs the batch touched (positioning events) and
+// tracks is the number of blocks transferred. The accumulator keeps only
+// the moment sums needed for the two-variable least-squares fit
+//
+//	latency ≈ a·runs + b·tracks
+//
+// which is exactly the shape of pdm.TimeModel.BatchTime (a = positioning
+// cost, b = per-block transfer cost), so costmodel.FitTimeModel can
+// recover TimeModel parameters from real-disk measurements without
+// storing individual samples. All fields are atomic adds — the disk
+// workers call Observe from inside their existing rec != nil branches,
+// allocation-free.
+type FitAcc struct {
+	name  string
+	n     atomic.Int64
+	sumRR atomic.Int64 // Σ runs²
+	sumRK atomic.Int64 // Σ runs·tracks
+	sumKK atomic.Int64 // Σ tracks²
+	sumRT atomic.Int64 // Σ runs·latencyNs
+	sumKT atomic.Int64 // Σ tracks·latencyNs
+}
+
+// Observe folds one served transfer into the accumulator. runs and
+// tracks clamp to ≥ 1 (a transfer always positions at least once and
+// moves at least one block); negative latencies clamp to 0.
+func (f *FitAcc) Observe(runs, tracks int, latNs int64) {
+	if f == nil {
+		return
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	if tracks < 1 {
+		tracks = 1
+	}
+	if latNs < 0 {
+		latNs = 0
+	}
+	r, k := int64(runs), int64(tracks)
+	f.n.Add(1)
+	f.sumRR.Add(r * r)
+	f.sumRK.Add(r * k)
+	f.sumKK.Add(k * k)
+	f.sumRT.Add(r * latNs)
+	f.sumKT.Add(k * latNs)
+}
+
+// FitSnapshot is a copy of a FitAcc's moment sums for export/fitting.
+type FitSnapshot struct {
+	Name  string
+	N     int64
+	SumRR int64
+	SumRK int64
+	SumKK int64
+	SumRT int64
+	SumKT int64
+}
+
+// Add folds another snapshot into s, pooling samples across disks.
+func (s *FitSnapshot) Add(o FitSnapshot) {
+	s.N += o.N
+	s.SumRR += o.SumRR
+	s.SumRK += o.SumRK
+	s.SumKK += o.SumKK
+	s.SumRT += o.SumRT
+	s.SumKT += o.SumKT
+}
+
+// Snapshot copies the accumulator's current state.
+func (f *FitAcc) Snapshot() FitSnapshot {
+	if f == nil {
+		return FitSnapshot{}
+	}
+	return FitSnapshot{
+		Name:  f.name,
+		N:     f.n.Load(),
+		SumRR: f.sumRR.Load(),
+		SumRK: f.sumRK.Load(),
+		SumKK: f.sumKK.Load(),
+		SumRT: f.sumRT.Load(),
+		SumKT: f.sumKT.Load(),
+	}
+}
+
+// Fit returns the calibration accumulator registered under name, creating
+// it on first use. Returns nil on a nil recorder.
+func (r *Recorder) Fit(name string) *FitAcc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.fits {
+		if f.name == name {
+			return f
+		}
+	}
+	f := &FitAcc{name: name}
+	r.fits = append(r.fits, f)
+	return f
+}
+
+// Fits snapshots every registered calibration accumulator.
+func (r *Recorder) Fits() []FitSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fits := make([]*FitAcc, len(r.fits))
+	copy(fits, r.fits)
+	r.mu.Unlock()
+	out := make([]FitSnapshot, len(fits))
+	for i, f := range fits {
+		out[i] = f.Snapshot()
+	}
+	return out
+}

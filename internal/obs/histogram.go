@@ -69,6 +69,65 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the power-of-two
+// buckets by locating the bucket holding the target rank and
+// interpolating uniformly within its value range [2^(k−1), 2^k − 1].
+// The estimate is therefore exact only up to the bucket's factor-of-two
+// resolution — good enough for p50/p95/p99 latency reporting, which is
+// what the summary export uses it for. Returns 0 on an empty snapshot;
+// q outside [0,1] clamps.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based: the smallest rank r with
+	// r ≥ q·Count. q=0 maps to rank 1 (the minimum), q=1 to rank Count.
+	rank := int64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for k, c := range s.Buckets {
+		if c <= 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		lo, hi := BucketUpper(k-1)+1, BucketUpper(k)
+		if k == 0 {
+			return 0
+		}
+		// Position of the target rank within this bucket, in (0, 1].
+		frac := float64(rank-cum) / float64(c)
+		v := lo + int64(frac*float64(hi-lo)+0.5)
+		if v > hi {
+			v = hi
+		}
+		return v
+	}
+	// Unreachable when Count equals the bucket total; be defensive.
+	return BucketUpper(histBuckets - 1)
+}
+
+// Quantile estimates the q-quantile of the live histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
 // Mean returns the average observed value (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h == nil {

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuantileUniform checks the estimator on a known uniform
+// distribution 1..1000: within the power-of-two bucket resolution the
+// interpolated p50/p95/p99 must land close to the true order
+// statistics.
+func TestQuantileUniform(t *testing.T) {
+	h := &Histogram{name: "u"}
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 500}, {0.95, 950}, {0.99, 990}} {
+		got := h.Quantile(tc.q)
+		lo, hi := tc.want-tc.want/10, tc.want+tc.want/10
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%g) = %d, want within 10%% of %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantilePointMass: every observation equal means every quantile
+// must fall inside the single occupied bucket's value band.
+func TestQuantilePointMass(t *testing.T) {
+	h := &Histogram{name: "p"}
+	for i := 0; i < 1000; i++ {
+		h.Observe(777) // bucket 10: band [512, 1023]
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 512 || got > 1023 {
+			t.Errorf("Quantile(%g) = %d, outside the occupied bucket [512, 1023]", q, got)
+		}
+	}
+}
+
+// TestQuantileBimodal: half the mass at ~100, half at ~100000; the
+// median must come from the low mode and p95 from the high mode.
+func TestQuantileBimodal(t *testing.T) {
+	h := &Histogram{name: "b"}
+	for i := 0; i < 500; i++ {
+		h.Observe(100)
+		h.Observe(100000)
+	}
+	if p50 := h.Quantile(0.5); p50 > BucketUpper(7) {
+		t.Errorf("p50 = %d, want inside the low mode (≤ %d)", p50, BucketUpper(7))
+	}
+	if p95 := h.Quantile(0.95); p95 <= BucketUpper(16) {
+		t.Errorf("p95 = %d, want inside the high mode (> %d)", p95, BucketUpper(16))
+	}
+}
+
+// TestQuantileMonotone: the estimate must be non-decreasing in q.
+func TestQuantileMonotone(t *testing.T) {
+	h := &Histogram{name: "m"}
+	for v := int64(1); v <= 300; v++ {
+		h.Observe(v * v % 9973)
+	}
+	s := h.Snapshot()
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %d < previous %d: not monotone", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestQuantileEdges pins the degenerate cases: empty histogram, nil
+// histogram, all-zero observations, and out-of-range q clamping.
+func TestQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %d, want 0", got)
+	}
+	empty := &Histogram{name: "e"}
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	zeros := &Histogram{name: "z"}
+	for i := 0; i < 10; i++ {
+		zeros.Observe(0)
+	}
+	if got := zeros.Quantile(0.99); got != 0 {
+		t.Errorf("all-zero Quantile(0.99) = %d, want 0", got)
+	}
+	h := &Histogram{name: "c"}
+	h.Observe(5)
+	if lo, hi := h.Quantile(-3), h.Quantile(42); lo > hi {
+		t.Errorf("clamped quantiles inverted: q=-3 → %d, q=42 → %d", lo, hi)
+	}
+}
+
+// TestWriteMetricsSummary: a populated histogram must render a summary
+// series with the three fixed quantiles next to its bucket series.
+func TestWriteMetricsSummary(t *testing.T) {
+	r := NewRecorder()
+	h := r.Histogram("disk latency ns")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v * 1000)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE disk_latency_ns_summary summary",
+		`disk_latency_ns_summary{quantile="0.5"}`,
+		`disk_latency_ns_summary{quantile="0.95"}`,
+		`disk_latency_ns_summary{quantile="0.99"}`,
+		"disk_latency_ns_summary_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteMetrics output missing %q", want)
+		}
+	}
+}

@@ -87,6 +87,7 @@ type Recorder struct {
 	steps     []SuperstepIO
 	counters  []*Counter
 	hists     []*Histogram
+	fits      []*FitAcc
 	gauges    []gauge
 	msgBound  int
 	msgRounds map[int]*msgAgg
@@ -198,6 +199,35 @@ func (r *Recorder) Supersteps() []SuperstepIO {
 	defer r.mu.Unlock()
 	out := make([]SuperstepIO, len(r.steps))
 	copy(out, r.steps)
+	return out
+}
+
+// StepCount returns the number of superstep rows recorded so far. Drivers
+// capture it before a run so StepsSince can slice out exactly that run's
+// rows even when one recorder observes several runs.
+func (r *Recorder) StepCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.steps)
+}
+
+// StepsSince returns a copy of the superstep rows recorded at index from
+// onward (in recording order). from values outside the recorded range
+// yield nil.
+func (r *Recorder) StepsSince(from int) []SuperstepIO {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from < 0 || from >= len(r.steps) {
+		return nil
+	}
+	out := make([]SuperstepIO, len(r.steps)-from)
+	copy(out, r.steps[from:])
 	return out
 }
 

@@ -81,6 +81,22 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 			n, s.Count, n, s.Sum, n, s.Count); err != nil {
 			return err
 		}
+		// Summary-style quantile series estimated from the power-of-two
+		// buckets (factor-of-two resolution) — dashboards get p50/p95/p99
+		// without reconstructing them from cumulative buckets.
+		if s.Count > 0 {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_summary summary\n", n); err != nil {
+				return err
+			}
+			for _, q := range [...]float64{0.5, 0.95, 0.99} {
+				if _, err := fmt.Fprintf(w, "%s_summary{quantile=\"%g\"} %d\n", n, q, s.Quantile(q)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_summary_sum %d\n%s_summary_count %d\n", n, s.Sum, n, s.Count); err != nil {
+				return err
+			}
+		}
 	}
 	_, err := fmt.Fprintf(w, "# TYPE emcgm_trace_events gauge\nemcgm_trace_events %d\n"+
 		"# TYPE emcgm_trace_events_dropped gauge\nemcgm_trace_events_dropped %d\n", events, dropped)

@@ -29,6 +29,7 @@ type diskObs struct {
 	track    obs.TrackID
 	lat      *obs.Histogram // per-service service time, nanoseconds
 	batch    *obs.Histogram // transfers coalesced per service (BatchDisk workers)
+	fit      *obs.FitAcc    // (runs, tracks, latency) calibration moments
 	inflight *atomic.Int64  // array-wide outstanding transfers
 }
 
@@ -127,7 +128,9 @@ func serveOp(d Disk, op diskOp, ob *diskObs) {
 		} else {
 			err = d.WriteTrack(op.track, op.buf)
 		}
-		ob.lat.Observe(int64(time.Since(t0)))
+		lat := int64(time.Since(t0))
+		ob.lat.Observe(lat)
+		ob.fit.Observe(1, 1, lat)
 		ob.rec.SpanSince(ob.track, name, "disk", t0)
 		ob.inflight.Add(-1)
 	}
@@ -195,7 +198,17 @@ func serveBatch(bd BatchDisk, ops []diskOp, ob *diskObs, bat *workerBatch) {
 		} else {
 			err = bd.WriteTracks(tracks, bufs)
 		}
-		ob.lat.Observe(int64(time.Since(t0)))
+		lat := int64(time.Since(t0))
+		// Contiguous-run count over the (sorted ascending) tracks — the
+		// positioning events the TimeModel calibration fit regresses on.
+		runs := 1
+		for i := 1; i < len(tracks); i++ {
+			if tracks[i] != tracks[i-1]+1 {
+				runs++
+			}
+		}
+		ob.lat.Observe(lat)
+		ob.fit.Observe(runs, len(tracks), lat)
 		ob.rec.SpanSince(ob.track, name, "disk", t0)
 		ob.inflight.Add(-int64(len(ops)))
 	}
@@ -398,7 +411,11 @@ func (a *DiskArray) SetRecorder(rec *obs.Recorder, proc int) {
 		ob.track = rec.Track(fmt.Sprintf("p%d disk %d", proc, i))
 		ob.lat = rec.Histogram(fmt.Sprintf("pdm_p%d_disk%d_latency_ns", proc, i))
 		ob.batch = rec.Histogram(fmt.Sprintf("pdm_p%d_disk%d_batch_blocks", proc, i))
+		ob.fit = rec.Fit(fmt.Sprintf("pdm_p%d_disk%d", proc, i))
 		ob.inflight = &a.inflight
+		if sc, ok := a.disks[i].(SyscallCounter); ok {
+			rec.Gauge(fmt.Sprintf("pdm_p%d_disk%d_syscalls", proc, i), sc.Syscalls)
+		}
 	}
 	a.depthHist = rec.Histogram(fmt.Sprintf("pdm_p%d_queue_depth", proc))
 	a.fullHist = rec.Histogram(fmt.Sprintf("pdm_p%d_blocks_per_op", proc))
@@ -408,6 +425,7 @@ func (a *DiskArray) SetRecorder(rec *obs.Recorder, proc int) {
 	rec.Gauge(fmt.Sprintf("pdm_p%d_blocks_moved", proc), a.stats.blocksMoved.Load)
 	rec.Gauge(fmt.Sprintf("pdm_p%d_words_moved", proc), a.stats.wordsMoved.Load)
 	rec.Gauge(fmt.Sprintf("pdm_p%d_full_ops", proc), a.stats.fullOps.Load)
+	rec.Gauge(fmt.Sprintf("pdm_p%d_syscalls", proc), func() int64 { return SyscallsOf(a) })
 }
 
 // Stats returns a snapshot of the accumulated I/O statistics.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cgm"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/internal/pdm"
 )
@@ -79,6 +80,9 @@ type Exec struct {
 	// executor; phases share one recorder, so a composite algorithm's
 	// trace shows its phase boundaries as consecutive spans.
 	Recorder *obs.Recorder
+	// Ledger, when non-nil (requires Recorder), receives one
+	// predicted-vs-measured costmodel entry per EM phase run.
+	Ledger *costmodel.Ledger
 
 	// Accumulated accounting.
 	Rounds     int
@@ -128,7 +132,7 @@ func (e *Exec) Run(prog cgm.Program[R], inputs [][]R) ([][]R, error) {
 		}
 		maxMsg = 6*((total+e.V-1)/e.V) + e.V + 16
 	}
-	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced, Pipeline: e.Pipeline, DiskDir: e.DiskDir, DirectIO: e.DirectIO, Recorder: e.Recorder}
+	cfg := core.Config{V: e.V, P: p, D: d, B: b, MaxMsgItems: maxMsg, Balanced: e.Balanced, Pipeline: e.Pipeline, DiskDir: e.DiskDir, DirectIO: e.DirectIO, Recorder: e.Recorder, Ledger: e.Ledger}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

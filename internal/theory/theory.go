@@ -59,6 +59,14 @@ func EMCGMIO(n, p, d, b, lambda float64) float64 {
 	return lambda * n / (p * d * b)
 }
 
+// IOConstant inverts EMCGMIO: it normalises a measured parallel-I/O
+// count by N/(pDB), yielding the λ·c constant of Theorems 2–4. A value
+// flat in N confirms the linear-I/O class; Figure 5's tables report it
+// at N and 2N for exactly that comparison.
+func IOConstant(ops int64, n, p, d, b int) float64 {
+	return float64(ops) / (float64(n) / float64(p*d*b))
+}
+
 // MinNForConstant returns, for a desired constant c > 1, the minimum
 // problem size N satisfying N^{c−1} = v^c·B^{c−1} — the Figure 6 surface.
 // Any N at or above it lets the sorting log factor be replaced by c
