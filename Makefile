@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build test race bench bench-smoke bench-filedisk bench-record bench-baseline allocs lint lint-tool fuzz
+.PHONY: verify build test race bench bench-smoke bench-filedisk bench-record bench-baseline allocs lint lint-tool lint-selftest fuzz
 
 verify: build test race
 
@@ -76,10 +76,14 @@ lint-tool:
 # functions), recorderguard (obs calls behind nil guards), ioerrcheck
 # (no dropped I/O errors), detorder (determinism scope), barrierpair
 # (compensating barrier sends), lockscope (sends/blocking calls under
-# locks, span pairing), paramcheck (validated core.Config). Driven
-# through `go vet -vettool` so per-package results land in the build
-# cache; golangci-lint runs too when present — it is not vendored, so
-# the target degrades gracefully without it.
+# locks, span pairing), paramcheck (validated core.Config), plus the
+# split-phase typestate checks (DESIGN.md §15): pendingwait (every
+# Pending waited exactly once on all paths), bufown (loaned write
+# buffers untouched until Wait), batchasc (static BatchDisk batches
+# strictly ascending, ≤ 64 tracks). Driven through `go vet -vettool`
+# so per-package results land in the build cache; golangci-lint runs
+# too when present — it is not vendored, so the target degrades
+# gracefully without it.
 lint:
 	$(GO) vet ./...
 	$(GO) vet -vettool=$$($(MAKE) -s lint-tool) ./...
@@ -89,9 +93,25 @@ lint:
 		echo "golangci-lint not installed; skipped (CI runs it)"; \
 	fi
 
+# Seeded-negative self-test: run each typestate analyzer alone over its
+# own violation fixtures and require findings (exit 1). A refactor that
+# silences an analyzer fails here, not in code review. The waived
+# fixtures in the same packages double as false-positive coverage: any
+# unexpected diagnostic fails the antest suites under `make test`.
+lint-selftest:
+	@tool=$$($(MAKE) -s lint-tool); \
+	for f in pendingwait:pw bufown:bo batchasc:ba; do \
+		name=$${f%%:*}; pkg=$${f##*:}; \
+		if $$tool -run $$name ./internal/analysis/testdata/src/$$name/$$pkg >/dev/null; then \
+			echo "lint-selftest: $$name reported nothing on its seeded violations"; exit 1; \
+		fi; \
+		echo "lint-selftest: $$name still fires"; \
+	done
+
 # Native fuzz smoke: go test -fuzz accepts one target per invocation, so
 # each property gets its own run. FUZZTIME=2m make fuzz for a longer soak.
 fuzz:
 	$(GO) test ./internal/wordcodec -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/balance -run '^$$' -fuzz FuzzBalancedRouting -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/layout -run '^$$' -fuzz FuzzStaggeredLayout -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pdm -run '^$$' -fuzz FuzzBatchCoalesce -fuzztime $(FUZZTIME)

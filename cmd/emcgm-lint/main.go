@@ -30,11 +30,14 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/barrierpair"
+	"repro/internal/analysis/batchasc"
+	"repro/internal/analysis/bufown"
 	"repro/internal/analysis/detorder"
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/ioerrcheck"
 	"repro/internal/analysis/lockscope"
 	"repro/internal/analysis/paramcheck"
+	"repro/internal/analysis/pendingwait"
 	"repro/internal/analysis/recorderguard"
 )
 
@@ -46,6 +49,9 @@ var analyzers = []*analysis.Analyzer{
 	barrierpair.Analyzer,
 	lockscope.Analyzer,
 	paramcheck.Analyzer,
+	pendingwait.Analyzer,
+	bufown.Analyzer,
+	batchasc.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,600 @@
+// Package batchasc is the typestate analyzer for BatchDisk request
+// construction: ReadTracks/WriteTracks demand a strictly ascending track
+// slice of at most MaxBatchTracks (64) entries — the contract
+// validateBatch enforces at run time, checked here at lint time for the
+// call sites that build their batches statically.
+//
+// The analysis runs an abstract interpretation of local track slices
+// through the dataflow engine. A slice's abstract value is one of:
+//
+//   - consts: every element known (composite literals of constant ints,
+//     element-wise constant updates, constant appends);
+//   - zerofill(n): make([]int, n) — all zeros, which for n > 1 is a
+//     duplicate-track violation if passed unfilled;
+//   - asc(n): proved strictly ascending by an affine fill — a loop
+//     writing v[i] = base + i*c with constant c > 0 promotes a zerofill;
+//   - top: anything else (unknown length, escaped to a callee, runtime
+//     values).
+//
+// Violations are reported only when provable: a consts batch out of
+// order, with duplicates, negative, or longer than 64; a zerofill longer
+// than one passed unfilled; an asc batch with a known length over 64.
+// Dynamic batches (the coalescing worker's, built from runtime queues)
+// are top and stay silent — validateBatch covers them. Waive with
+// `// emcgm:batchok`.
+package batchasc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+const (
+	pdmPath = "repro/internal/pdm"
+	waiver  = "emcgm:batchok"
+
+	// maxBatchTracks mirrors pdm.MaxBatchTracks; the analyzer cannot
+	// import the package it analyzes without creating a load cycle in
+	// the vettool, so the contract constant is restated here.
+	maxBatchTracks = 64
+)
+
+// Analyzer reports statically built BatchDisk track slices that would
+// fail validateBatch at run time: unsorted, duplicated, negative, or
+// longer than MaxBatchTracks.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchasc",
+	Doc: "check statically built BatchDisk track slices: strictly ascending, ≤64 tracks\n\n" +
+		"ReadTracks/WriteTracks reject unsorted, duplicated, negative, or\n" +
+		"oversized batches at run time (validateBatch); this flags call sites\n" +
+		"whose batches are provably wrong at lint time. Waive with // emcgm:batchok.",
+	Run: run,
+}
+
+// Abstract value kinds.
+const (
+	kTop = iota
+	kConsts
+	kZero
+	kAsc
+)
+
+type absVal struct {
+	kind   int
+	vals   []int64   // kConsts
+	n      int       // kZero/kAsc: length, -1 unknown
+	origin token.Pos // allocation site, for alias degradation
+}
+
+type state struct {
+	vars map[*types.Var]absVal
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		waived := analysis.MarkedNodes(pass.Fset, file, waiver)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || analysis.FuncMarked(fd, waiver) {
+				continue
+			}
+			for _, body := range analysis.FunctionBodies(fd) {
+				f := &flow{pass: pass, info: pass.TypesInfo, waived: waived,
+					seen: map[string]bool{}}
+				g := dataflow.New(body)
+				res := dataflow.Forward[*state](g, f)
+				f.report = true
+				res.Replay(f, func(n ast.Node, before *state) {})
+			}
+		}
+	}
+	return nil
+}
+
+type flow struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	waived map[ast.Node]bool
+
+	report bool
+	seen   map[string]bool
+}
+
+func (f *flow) Entry() *state { return &state{vars: map[*types.Var]absVal{}} }
+
+func (f *flow) Copy(s *state) *state {
+	out := f.Entry()
+	for v, av := range s.vars {
+		if av.kind == kConsts {
+			av.vals = append([]int64(nil), av.vals...)
+		}
+		out.vars[v] = av
+	}
+	return out
+}
+
+func (f *flow) Equal(a, b *state) bool {
+	if len(a.vars) != len(b.vars) {
+		return false
+	}
+	for v, av := range a.vars {
+		bv, ok := b.vars[v]
+		if !ok || av.kind != bv.kind || av.n != bv.n || av.origin != bv.origin ||
+			len(av.vals) != len(bv.vals) {
+			return false
+		}
+		for i := range av.vals {
+			if av.vals[i] != bv.vals[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Join merges toward "unknown" — flagging happens only on provable
+// violations, so losing precision can only silence reports, never
+// invent them. zerofill ⊔ asc keeps asc: the claim is used purely to
+// suppress duplicate-track flags along the filled path.
+func (f *flow) Join(a, b *state) *state {
+	for v, av := range a.vars {
+		bv, ok := b.vars[v]
+		if !ok {
+			av.kind = kTop
+			a.vars[v] = av
+			continue
+		}
+		a.vars[v] = joinVal(av, bv)
+	}
+	for v, bv := range b.vars {
+		if _, ok := a.vars[v]; !ok {
+			bv.kind = kTop
+			a.vars[v] = bv
+		}
+	}
+	return a
+}
+
+func joinVal(a, b absVal) absVal {
+	if a.kind == b.kind && a.origin == b.origin {
+		switch a.kind {
+		case kConsts:
+			if len(a.vals) == len(b.vals) {
+				same := true
+				for i := range a.vals {
+					if a.vals[i] != b.vals[i] {
+						same = false
+						break
+					}
+				}
+				if same {
+					return a
+				}
+			}
+			return absVal{kind: kTop}
+		default:
+			if a.n == b.n {
+				return a
+			}
+			c := a
+			c.n = -1
+			return c
+		}
+	}
+	// zerofill ⊔ asc of the same allocation: the fill loop's entry join.
+	if a.origin == b.origin &&
+		((a.kind == kZero && b.kind == kAsc) || (a.kind == kAsc && b.kind == kZero)) {
+		c := a
+		c.kind = kAsc
+		if a.n != b.n {
+			c.n = -1
+		}
+		return c
+	}
+	return absVal{kind: kTop}
+}
+
+func (f *flow) TransferBranch(cond ast.Expr, branch bool, s *state) *state { return s }
+
+func (f *flow) Transfer(n ast.Node, s *state) *state {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.assign(n, s)
+	case *ast.ExprStmt:
+		f.scan(n, n.X, s)
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			f.scan(n, e, s)
+		}
+	case *ast.DeferStmt:
+		f.scan(n, n.Call, s)
+	case *dataflow.DeferRun:
+		f.scan(n, n.Call, s)
+	case *ast.GoStmt:
+		f.scan(n, n.Call, s)
+	case *ast.RangeStmt:
+		f.scan(n, n.X, s)
+	case ast.Expr:
+		f.scan(n, n, s)
+	case ast.Stmt:
+		f.scan(n, n, s)
+	}
+	return s
+}
+
+func (f *flow) assign(as *ast.AssignStmt, s *state) {
+	for _, rhs := range as.Rhs {
+		f.scan(as, rhs, s)
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		for _, lhs := range as.Lhs {
+			if v := f.intSliceVar(lhs); v != nil {
+				s.vars[v] = absVal{kind: kTop}
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		rhs := unparen(as.Rhs[i])
+		if v := f.intSliceVar(lhs); v != nil {
+			s.vars[v] = f.eval(rhs, v, s)
+			continue
+		}
+		// Element write: v[idx] = expr.
+		ix, ok := unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		v := f.intSliceVar(ix.X)
+		if v == nil {
+			continue
+		}
+		f.elemWrite(v, ix.Index, as.Rhs[i], s)
+	}
+}
+
+// eval computes the abstract value of an RHS bound to an int-slice var.
+func (f *flow) eval(rhs ast.Expr, dst *types.Var, s *state) absVal {
+	switch e := rhs.(type) {
+	case *ast.CompositeLit:
+		if vals, ok := f.constElems(e); ok {
+			return absVal{kind: kConsts, vals: vals, origin: e.Pos()}
+		}
+	case *ast.Ident:
+		if v := f.varObj(e); v != nil {
+			if av, ok := s.vars[v]; ok {
+				return av
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "make":
+				n := -1
+				if len(e.Args) >= 2 {
+					if c, ok := f.constInt(e.Args[1]); ok {
+						n = int(c)
+					}
+				}
+				return absVal{kind: kZero, n: n, origin: e.Pos()}
+			case "append":
+				if len(e.Args) >= 1 {
+					if v := f.intSliceVar(e.Args[0]); v != nil {
+						if av, ok := s.vars[v]; ok && av.kind == kConsts {
+							vals := append([]int64(nil), av.vals...)
+							allConst := true
+							for _, a := range e.Args[1:] {
+								c, ok := f.constInt(a)
+								if !ok {
+									allConst = false
+									break
+								}
+								vals = append(vals, c)
+							}
+							if allConst {
+								return absVal{kind: kConsts, vals: vals, origin: av.origin}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return absVal{kind: kTop}
+}
+
+// elemWrite folds `v[idx] = rhs` through the abstraction: constant
+// updates stay consts, affine fills promote zerofill to asc, anything
+// else degrades — and every other variable sharing the allocation
+// degrades regardless, because the write is visible through it.
+func (f *flow) elemWrite(v *types.Var, idx, rhs ast.Expr, s *state) {
+	av, ok := s.vars[v]
+	if !ok {
+		return
+	}
+	for w, wv := range s.vars {
+		if w != v && wv.origin == av.origin && wv.origin != token.NoPos {
+			wv.kind = kTop
+			s.vars[w] = wv
+		}
+	}
+	switch av.kind {
+	case kConsts:
+		if i, iok := f.constInt(idx); iok {
+			if c, cok := f.constInt(rhs); cok && i >= 0 && int(i) < len(av.vals) {
+				vals := append([]int64(nil), av.vals...)
+				vals[i] = c
+				s.vars[v] = absVal{kind: kConsts, vals: vals, origin: av.origin}
+				return
+			}
+		}
+		s.vars[v] = absVal{kind: kTop}
+	case kZero, kAsc:
+		if iv := f.indexVar(idx); iv != nil && f.affineAscending(rhs, iv) {
+			av.kind = kAsc
+			s.vars[v] = av
+			return
+		}
+		s.vars[v] = absVal{kind: kTop}
+	}
+}
+
+// affineAscending reports whether e is affine in iv with positive slope:
+// iv, iv*c, c*iv, base+iv, iv+base, base+iv*c, ... (c, base constant,
+// c > 0).
+func (f *flow) affineAscending(e ast.Expr, iv *types.Var) bool {
+	slope, _, ok := f.affine(unparen(e), iv)
+	return ok && slope > 0
+}
+
+func (f *flow) affine(e ast.Expr, iv *types.Var) (slope, base int64, ok bool) {
+	if c, cok := f.constInt(e); cok {
+		return 0, c, true
+	}
+	if id, iok := e.(*ast.Ident); iok {
+		if f.varObj(id) == iv {
+			return 1, 0, true
+		}
+		return 0, 0, false
+	}
+	b, bok := e.(*ast.BinaryExpr)
+	if !bok {
+		return 0, 0, false
+	}
+	xs, xb, xok := f.affine(unparen(b.X), iv)
+	ys, yb, yok := f.affine(unparen(b.Y), iv)
+	if !xok || !yok {
+		return 0, 0, false
+	}
+	switch b.Op {
+	case token.ADD:
+		return xs + ys, xb + yb, true
+	case token.SUB:
+		return xs - ys, xb - yb, true
+	case token.MUL:
+		// Affine only when one side is constant.
+		if xs == 0 {
+			return xb * ys, xb * yb, true
+		}
+		if ys == 0 {
+			return xs * yb, xb * yb, true
+		}
+	}
+	return 0, 0, false
+}
+
+// scan finds batch call sites and escaping uses of tracked slices.
+func (f *flow) scan(ctx ast.Node, root ast.Node, s *state) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if tracks, ok := f.batchTracksArg(n); ok {
+				f.checkBatch(ctx, n, tracks, s)
+				for _, a := range n.Args {
+					f.scan(ctx, a, s)
+				}
+				return false
+			}
+			if isLenCap(n) {
+				return false
+			}
+			// Any other call may mutate a slice it receives.
+			for _, a := range n.Args {
+				ae := unparen(a)
+				if u, uok := ae.(*ast.UnaryExpr); uok && u.Op == token.AND {
+					ae = unparen(u.X)
+				}
+				if v := f.intSliceVar(ae); v != nil {
+					if _, tracked := s.vars[v]; tracked {
+						s.vars[v] = absVal{kind: kTop}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// batchTracksArg returns the tracks argument of a ReadTracks/WriteTracks
+// call with the BatchDisk shape (tracks []int, bufs [][]pdm.Word).
+func (f *flow) batchTracksArg(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "ReadTracks" && sel.Sel.Name != "WriteTracks") {
+		return nil, false
+	}
+	if len(call.Args) != 2 {
+		return nil, false
+	}
+	if !isIntSlice(f.info.TypeOf(call.Args[0])) || !isBlockSlices(f.info.TypeOf(call.Args[1])) {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// checkBatch verifies a statically known tracks argument.
+func (f *flow) checkBatch(ctx ast.Node, call *ast.CallExpr, tracks ast.Expr, s *state) {
+	tracks = unparen(tracks)
+	var av absVal
+	if lit, ok := tracks.(*ast.CompositeLit); ok {
+		vals, cok := f.constElems(lit)
+		if !cok {
+			return
+		}
+		av = absVal{kind: kConsts, vals: vals}
+	} else if v := f.intSliceVar(tracks); v != nil {
+		var ok bool
+		av, ok = s.vars[v]
+		if !ok {
+			return
+		}
+	} else {
+		return
+	}
+
+	switch av.kind {
+	case kConsts:
+		if len(av.vals) > maxBatchTracks {
+			f.violation(ctx, call.Pos(), "len",
+				"batch of %d tracks exceeds MaxBatchTracks (%d)", len(av.vals), maxBatchTracks)
+		}
+		for i, t := range av.vals {
+			if t < 0 {
+				f.violation(ctx, call.Pos(), "neg", "negative track %d in batch", t)
+				break
+			}
+			if i > 0 && t <= av.vals[i-1] {
+				f.violation(ctx, call.Pos(), "asc",
+					"batch tracks must be strictly ascending: tracks[%d]=%d after tracks[%d]=%d",
+					i, t, i-1, av.vals[i-1])
+				break
+			}
+		}
+	case kZero:
+		if av.n > 1 {
+			f.violation(ctx, call.Pos(), "zero",
+				"zero-filled track slice of length %d passed unfilled: duplicate track 0", av.n)
+		}
+	case kAsc:
+		if av.n > maxBatchTracks {
+			f.violation(ctx, call.Pos(), "len",
+				"batch of %d tracks exceeds MaxBatchTracks (%d)", av.n, maxBatchTracks)
+		}
+	}
+}
+
+func (f *flow) violation(ctx ast.Node, pos token.Pos, kind, format string, args ...any) {
+	if !f.report || f.waived[ctx] {
+		return
+	}
+	dedup := fmt.Sprintf("%s:%d", kind, pos)
+	if f.seen[dedup] {
+		return
+	}
+	f.seen[dedup] = true
+	f.pass.Reportf(pos, format, args...)
+}
+
+// ---------------------------------------------------------------------
+// Type plumbing
+// ---------------------------------------------------------------------
+
+func (f *flow) constElems(lit *ast.CompositeLit) ([]int64, bool) {
+	if !isIntSlice(f.info.TypeOf(lit)) {
+		return nil, false
+	}
+	vals := make([]int64, 0, len(lit.Elts))
+	for _, el := range lit.Elts {
+		if _, keyed := el.(*ast.KeyValueExpr); keyed {
+			return nil, false
+		}
+		c, ok := f.constInt(el)
+		if !ok {
+			return nil, false
+		}
+		vals = append(vals, c)
+	}
+	return vals, true
+}
+
+func (f *flow) constInt(e ast.Expr) (int64, bool) {
+	tv, ok := f.info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+func (f *flow) intSliceVar(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := f.varObj(id)
+	if v == nil || !isIntSlice(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func (f *flow) indexVar(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return f.varObj(id)
+}
+
+func (f *flow) varObj(id *ast.Ident) *types.Var {
+	v, _ := f.info.ObjectOf(id).(*types.Var)
+	return v
+}
+
+func isIntSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+// isBlockSlices reports whether t is [][]pdm.Word (an alias for uint64,
+// so the check is structural).
+func isBlockSlices(t types.Type) bool {
+	outer, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	inner, ok := outer.Elem().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := inner.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+func isLenCap(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && (id.Name == "len" || id.Name == "cap")
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

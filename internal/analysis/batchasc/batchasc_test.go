@@ -1,0 +1,15 @@
+package batchasc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/batchasc"
+)
+
+// TestBatchAsc runs batchasc over its testdata: provably unsorted,
+// duplicated, negative, unfilled, or oversized static batches must be
+// flagged; affine fills, dynamic batches, and waived sites must not.
+func TestBatchAsc(t *testing.T) {
+	antest.Run(t, batchasc.Analyzer, "../testdata/src/batchasc/ba")
+}

@@ -1,0 +1,492 @@
+// Package bufown is the typestate analyzer for buffer loans across
+// split-phase writes: the blocks handed to BeginWriteBlocks (directly or
+// through layout.BeginWriteStripedScratch / BeginWriteFIFOScratch) are
+// owned by the disk workers until the matching Wait. Any read, write, or
+// re-slice of the loaned memory in the window between begin and wait is
+// a silent data race — the worker encodes the block on its own
+// goroutine while the caller mutates it.
+//
+// The analysis is a forward may-analysis over lexical buffer keys
+// (identifier / selector-chain spellings, the same keying the guard
+// helpers use). A call to a BeginWrite* function freezes the keys that
+// back its [][]pdm.Word argument. Because the loaned memory is the block
+// contents rather than the slice-of-slices header, the analyzer prefers
+// to freeze the *alias sources* recorded for the argument — the second
+// operand of layout.SplitBlocksInto (the flat image the views point
+// into) and the elements of a [][]Word composite literal — and falls
+// back to the argument's own key when no aliasing is on record.
+//
+// Frozen keys thaw when control reaches a wait: a Wait method on a
+// Pending or PendingSet, or any call that receives a *pdm.Pending /
+// *pdm.PendingSet argument (the repo's drivers wait through closures
+// like `wait(&sl.writes)`). PendingSet.Add and Len do not thaw — adding
+// a handle to a set is not waiting on it. Rebinding a frozen variable
+// (`s := scr[cur]`, `s.bufs = ...`) kills the fact: the name no longer
+// refers to the loaned memory.
+//
+// Reported: any other appearance of a frozen key — element reads and
+// writes, re-slices, passing the buffer to an unrelated call — except
+// len/cap (header-only) and handing the same buffers to another
+// BeginWrite* call (a loan extension, which the FIFO writer does
+// per-disk). Waive with `// emcgm:bufhandoff` on the statement.
+package bufown
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+const (
+	pdmPath = "repro/internal/pdm"
+	waiver  = "emcgm:bufhandoff"
+)
+
+// Analyzer reports uses of a buffer between the BeginWrite* that loaned
+// it to the disk workers and the Wait that returns ownership.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc: "check that buffers loaned to BeginWrite* are not touched before the matching Wait\n\n" +
+		"Between BeginWriteBlocks and Wait the disk workers own the blocks; a\n" +
+		"caller-side use is a data race. Waive with // emcgm:bufhandoff.",
+	Run: run,
+}
+
+// state maps frozen buffer keys to the begin that froze them, plus the
+// alias sources recorded for slice-of-slices views.
+type state struct {
+	frozen map[string]token.Pos
+	alias  map[string]map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		waived := analysis.MarkedNodes(pass.Fset, file, waiver)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || analysis.FuncMarked(fd, waiver) {
+				continue
+			}
+			for _, body := range analysis.FunctionBodies(fd) {
+				f := &flow{pass: pass, info: pass.TypesInfo, waived: waived,
+					seen: map[string]bool{}}
+				g := dataflow.New(body)
+				res := dataflow.Forward[*state](g, f)
+				f.report = true
+				res.Replay(f, func(n ast.Node, before *state) {})
+			}
+		}
+	}
+	return nil
+}
+
+type flow struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	waived map[ast.Node]bool
+
+	report bool
+	seen   map[string]bool
+}
+
+func (f *flow) Entry() *state {
+	return &state{frozen: map[string]token.Pos{}, alias: map[string]map[string]bool{}}
+}
+
+func (f *flow) Copy(s *state) *state {
+	out := f.Entry()
+	for k, p := range s.frozen {
+		out.frozen[k] = p
+	}
+	for k, src := range s.alias {
+		m := make(map[string]bool, len(src))
+		for sk := range src {
+			m[sk] = true
+		}
+		out.alias[k] = m
+	}
+	return out
+}
+
+func (f *flow) Equal(a, b *state) bool {
+	if len(a.frozen) != len(b.frozen) || len(a.alias) != len(b.alias) {
+		return false
+	}
+	for k, p := range a.frozen {
+		if op, ok := b.frozen[k]; !ok || op != p {
+			return false
+		}
+	}
+	for k, src := range a.alias {
+		osrc, ok := b.alias[k]
+		if !ok || len(osrc) != len(src) {
+			return false
+		}
+		for sk := range src {
+			if !osrc[sk] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (f *flow) Join(a, b *state) *state {
+	for k, p := range b.frozen {
+		if old, ok := a.frozen[k]; !ok || p < old {
+			a.frozen[k] = p
+		}
+	}
+	for k, src := range b.alias {
+		if a.alias[k] == nil {
+			a.alias[k] = src
+			continue
+		}
+		for sk := range src {
+			a.alias[k][sk] = true
+		}
+	}
+	return a
+}
+
+func (f *flow) TransferBranch(cond ast.Expr, branch bool, s *state) *state { return s }
+
+func (f *flow) Transfer(n ast.Node, s *state) *state {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.assign(n, s)
+	case *ast.RangeStmt:
+		f.scan(n, n.X, s)
+	case *ast.TypeSwitchStmt:
+		if as, ok := n.Assign.(*ast.AssignStmt); ok {
+			for _, e := range as.Rhs {
+				f.scan(n, e, s)
+			}
+		} else if es, ok := n.Assign.(*ast.ExprStmt); ok {
+			f.scan(n, es.X, s)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						f.scan(n, e, s)
+					}
+					for _, id := range vs.Names {
+						f.kill(s, id.Name)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		f.scan(n, n.X, s)
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			f.scan(n, e, s)
+		}
+	case *ast.DeferStmt:
+		f.scan(n, n.Call, s)
+	case *dataflow.DeferRun:
+		f.scan(n, n.Call, s)
+	case *ast.GoStmt:
+		f.scan(n, n.Call, s)
+	case *ast.SendStmt:
+		f.scan(n, n.Chan, s)
+		f.scan(n, n.Value, s)
+	case *ast.IncDecStmt:
+		f.scan(n, n.X, s)
+	case ast.Expr:
+		f.scan(n, n, s)
+	case ast.Stmt:
+		f.scan(n, n, s)
+	}
+	return s
+}
+
+// assign folds one assignment: RHS uses first (old bindings), alias
+// recording, then LHS kills and element-write checks.
+func (f *flow) assign(as *ast.AssignStmt, s *state) {
+	for _, rhs := range as.Rhs {
+		f.scan(as, rhs, s)
+	}
+	for i, lhs := range as.Lhs {
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			k := analysis.ExprKey(l.(ast.Expr))
+			if k == "" {
+				break
+			}
+			f.kill(s, k)
+			if i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) {
+				if src := f.aliasSources(as.Rhs[i]); len(src) > 0 {
+					m := map[string]bool{}
+					for _, sk := range src {
+						m[sk] = true
+					}
+					s.alias[k] = m
+				}
+			}
+		default:
+			// Element/slice writes: k[i] = ..., k[i][j] = ...
+			if k := baseKey(lhs); k != "" {
+				if pos, ok := s.frozen[k]; ok {
+					f.violation(as, lhs.Pos(), k, pos)
+				}
+			}
+		}
+	}
+}
+
+// aliasSources extracts the content-backing keys of an RHS that builds a
+// slice-of-slices view: layout.SplitBlocksInto(dst, src, b) → src's key;
+// a [][]Word composite literal → its elements' keys.
+func (f *flow) aliasSources(rhs ast.Expr) []string {
+	rhs = unparen(rhs)
+	switch e := rhs.(type) {
+	case *ast.CallExpr:
+		fn := analysis.Callee(f.info, e.Fun)
+		if fn != nil && fn.Name() == "SplitBlocksInto" && len(e.Args) >= 2 {
+			if k := baseKey(e.Args[1]); k != "" {
+				return []string{k}
+			}
+		}
+	case *ast.CompositeLit:
+		var out []string
+		for _, el := range e.Elts {
+			if k := baseKey(el); k != "" {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// kill removes facts for key k and its selector extensions (rebinding s
+// invalidates s.bufs, s.flat, ...).
+func (f *flow) kill(s *state, k string) {
+	for fk := range s.frozen {
+		if fk == k || strings.HasPrefix(fk, k+".") {
+			delete(s.frozen, fk)
+		}
+	}
+	for ak := range s.alias {
+		if ak == k || strings.HasPrefix(ak, k+".") {
+			delete(s.alias, ak)
+		}
+	}
+}
+
+// scan walks an expression applying call effects (freeze, thaw) and
+// flagging any other appearance of a frozen key. Function literal bodies
+// are separate scopes and are not descended into.
+func (f *flow) scan(ctx ast.Node, root ast.Node, s *state) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if f.isFreeze(n) {
+				f.freeze(ctx, n, s)
+				return false
+			}
+			if f.isBeginLoan(n) {
+				// A read-side Begin (BeginReadBlocks, BeginReadFIFOScratch)
+				// taking the buffers is a handoff to the pdm layer, not a
+				// caller-side touch; begin/begin overlap is the runtime
+				// checker's concern. Non-buffer args are ordinary uses.
+				for _, a := range n.Args {
+					if !isBlockSlices(f.info.TypeOf(a)) {
+						f.scan(ctx, a, s)
+					}
+				}
+				return false
+			}
+			if f.thaws(n) {
+				s.frozen = map[string]token.Pos{}
+				// Fall through to scan args: thaw precedes the uses.
+			}
+			if isLenCap(n) {
+				return false // header-only reads are safe
+			}
+			return true
+		case *ast.Ident:
+			f.checkUse(ctx, n, s)
+		case *ast.SelectorExpr:
+			if k := analysis.ExprKey(n); k != "" {
+				f.checkUse(ctx, n, s)
+				return false // don't re-flag the components
+			}
+		}
+		return true
+	})
+}
+
+func (f *flow) checkUse(ctx ast.Node, e ast.Expr, s *state) {
+	k := analysis.ExprKey(e)
+	if k == "" {
+		return
+	}
+	if pos, ok := s.frozen[k]; ok {
+		f.violation(ctx, e.Pos(), k, pos)
+	}
+}
+
+// freeze applies a BeginWrite* call: loan every [][]Word argument,
+// preferring recorded alias sources over the argument's own key.
+func (f *flow) freeze(ctx ast.Node, call *ast.CallExpr, s *state) {
+	for _, a := range call.Args {
+		if !isBlockSlices(f.info.TypeOf(a)) {
+			// Non-buffer arguments are ordinary uses (reqs, scratch,
+			// pending sets): still check them against the frozen set.
+			f.scan(ctx, a, s)
+			continue
+		}
+		k := baseKey(a)
+		if k == "" {
+			continue
+		}
+		if src, ok := s.alias[k]; ok && len(src) > 0 {
+			for sk := range src {
+				if _, dup := s.frozen[sk]; !dup {
+					s.frozen[sk] = call.Pos()
+				}
+			}
+			continue
+		}
+		if _, dup := s.frozen[k]; !dup {
+			s.frozen[k] = call.Pos()
+		}
+	}
+}
+
+// isFreeze reports whether the call loans write buffers to the disk
+// workers: any BeginWrite*-named function with a [][]pdm.Word parameter.
+func (f *flow) isFreeze(call *ast.CallExpr) bool {
+	return f.beginWithBufs(call, "BeginWrite")
+}
+
+// isBeginLoan reports whether the call is any other Begin* entry point
+// taking block buffers (the read side).
+func (f *flow) isBeginLoan(call *ast.CallExpr) bool {
+	return f.beginWithBufs(call, "Begin")
+}
+
+func (f *flow) beginWithBufs(call *ast.CallExpr, prefix string) bool {
+	fn := analysis.Callee(f.info, call.Fun)
+	if fn == nil || !strings.HasPrefix(fn.Name(), prefix) {
+		return false
+	}
+	for _, a := range call.Args {
+		if isBlockSlices(f.info.TypeOf(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// thaws reports whether the call may wait in-flight I/O: a Wait method
+// on Pending/PendingSet, or any call handed a Pending or PendingSet
+// (the drivers wait through closures). Add/Len on a PendingSet do not
+// wait.
+func (f *flow) thaws(call *ast.CallExpr) bool {
+	if fn := analysis.Callee(f.info, call.Fun); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if analysis.IsNamedType(t, pdmPath, "Pending") || analysis.IsNamedType(t, pdmPath, "PendingSet") {
+				return fn.Name() == "Wait"
+			}
+		}
+	}
+	for _, a := range call.Args {
+		t := f.info.TypeOf(a)
+		if t == nil {
+			continue
+		}
+		if analysis.IsNamedType(t, pdmPath, "Pending") || analysis.IsNamedType(t, pdmPath, "PendingSet") {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *flow) violation(ctx ast.Node, pos token.Pos, key string, frozenAt token.Pos) {
+	if !f.report || f.waived[ctx] {
+		return
+	}
+	at := f.pass.Fset.Position(frozenAt)
+	dedup := fmt.Sprintf("%s:%d:%d", key, pos, frozenAt)
+	if f.seen[dedup] {
+		return
+	}
+	f.seen[dedup] = true
+	f.pass.Reportf(pos,
+		"buffer %s is loaned to the in-flight write begun at line %d; using it before the matching Wait is a use-after-begin race (// %s to waive)",
+		key, at.Line, waiver)
+}
+
+// ---------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------
+
+// baseKey strips slicing and indexing down to the base identifier or
+// selector chain and returns its lexical key ("" when untrackable).
+func baseKey(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return ""
+			}
+			e = x.X
+		default:
+			return analysis.ExprKey(e)
+		}
+	}
+}
+
+// isBlockSlices reports whether t is [][]pdm.Word. Word is an alias for
+// uint64, so the check is structural.
+func isBlockSlices(t types.Type) bool {
+	outer, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	inner, ok := outer.Elem().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := inner.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+func isLenCap(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && (id.Name == "len" || id.Name == "cap")
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,16 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/bufown"
+)
+
+// TestBufOwn runs bufown over its testdata: in-flight buffer touches
+// (element writes/reads, re-slices, aliased flat images, escapes) must
+// be flagged; post-Wait uses, loan extensions, header reads, rebinds,
+// and waived fault injections must not.
+func TestBufOwn(t *testing.T) {
+	antest.Run(t, bufown.Analyzer, "../testdata/src/bufown/bo")
+}

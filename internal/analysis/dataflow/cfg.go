@@ -1,0 +1,430 @@
+// Package dataflow is the intraprocedural dataflow engine under the
+// typestate analyzers of the invariant lint suite (pendingwait, bufown,
+// batchasc). It has two halves:
+//
+//   - a control-flow-graph builder over go/ast function bodies: basic
+//     blocks of statements with explicit edges for if/else, for and range
+//     loops, switch/type-switch/select, labeled break/continue, goto,
+//     fallthrough, and return — plus deferred calls replayed at function
+//     exit (as DeferRun nodes) so exit-time obligations (a deferred Wait)
+//     are visible to forward analyses;
+//
+//   - a worklist-driven forward solver (solve.go) parameterised over the
+//     client's lattice: states attach to block entries, statements are
+//     folded through a Transfer function, branch edges are refined
+//     through TransferBranch (so `if err != nil` can kill the typestate
+//     of the handle that err guards), and iteration runs to fixpoint.
+//
+// Like the rest of internal/analysis it is stdlib-only: the shape mirrors
+// golang.org/x/tools/go/cfg but is built directly on go/ast, because the
+// module deliberately has no external dependencies.
+//
+// The engine is deliberately intraprocedural. Function literals are not
+// inlined: each body is a separate graph (a closure neither shares its
+// definer's control flow nor its exit paths), and analyzers treat values
+// captured by a literal as having escaped.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DeferRun marks the deferred execution of a call at function exit. The
+// CFG builder places one DeferRun per defer statement into the exit
+// block (in reverse registration order), so a forward analysis sees the
+// deferred call run after every return path has merged. A defer
+// registered on only some paths is replayed unconditionally — a
+// may-execution approximation that is the right polarity for obligation
+// analyses (a conditional `defer p.Wait()` may discharge the obligation,
+// so the leak check must not fire).
+type DeferRun struct {
+	Call *ast.CallExpr
+}
+
+// Pos returns the position of the underlying call.
+func (d *DeferRun) Pos() token.Pos { return d.Call.Pos() }
+
+// End returns the end of the underlying call.
+func (d *DeferRun) End() token.Pos { return d.Call.End() }
+
+// Edge is one control-flow edge. When Cond is non-nil the edge is taken
+// only when Cond evaluates to Branch; the solver refines the flowing
+// state through Analysis.TransferBranch on such edges.
+type Edge struct {
+	To     *Block
+	Cond   ast.Expr
+	Branch bool
+}
+
+// Block is one basic block: Nodes execute in order, then control follows
+// one of Succs. Nodes holds statements plus a few non-statement nodes
+// with flow significance: the RangeStmt/TypeSwitchStmt themselves (their
+// per-iteration/per-clause bindings), select comm statements, and
+// DeferRun markers in the exit block.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+
+	kind string // builder-internal description, kept for debugging
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	// Entry is where control enters the body.
+	Entry *Block
+	// Exit is the single block every completing path (fall-through and
+	// return) reaches; it carries the DeferRun nodes. Panic paths do not
+	// reach Exit: a crashing program discharges no obligations, and
+	// flagging cleanup on the way to a panic would drown real findings.
+	Exit *Block
+}
+
+// builder carries the state of one CFG construction.
+type builder struct {
+	g      *Graph
+	cur    *Block
+	defers []*ast.DeferStmt
+
+	// breakTo / continueTo map "" to the innermost target and each label
+	// to its labeled statement's target.
+	breakTo    []labeledTarget
+	continueTo []labeledTarget
+	// gotos are resolved after the walk: labels may be defined later.
+	labels  map[string]*Block
+	pending []pendingGoto
+	// nextLabel is consumed by the next loop/switch statement: a label
+	// immediately preceding it makes the statement break/continue-able
+	// by name.
+	nextLabel string
+}
+
+type labeledTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*Block{}}
+	b.g.Entry = b.newBlock("entry")
+	b.cur = b.g.Entry
+	b.g.Exit = b.newBlock("exit")
+	b.stmts(body.List)
+	b.jump(b.g.Exit) // fall off the end of the body
+	for _, pg := range b.pending {
+		if target, ok := b.labels[pg.label]; ok {
+			pg.from.Succs = append(pg.from.Succs, Edge{To: target})
+		}
+	}
+	// Deferred calls run after every completing path has merged.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.g.Exit.Nodes = append(b.g.Exit.Nodes, &DeferRun{Call: b.defers[i].Call})
+	}
+	return b.g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// jump ends the current block with an unconditional edge and leaves the
+// builder on a fresh unreachable block (statements after a return).
+func (b *builder) jump(to *Block) {
+	b.cur.Succs = append(b.cur.Succs, Edge{To: to})
+	b.cur = b.newBlock("unreachable")
+}
+
+// branch ends the current block with a two-way conditional edge.
+func (b *builder) branch(cond ast.Expr, then, els *Block) {
+	if cond != nil {
+		b.cur.Succs = append(b.cur.Succs,
+			Edge{To: then, Cond: cond, Branch: true},
+			Edge{To: els, Cond: cond, Branch: false})
+	} else {
+		b.cur.Succs = append(b.cur.Succs, Edge{To: then}, Edge{To: els})
+	}
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findTarget resolves a break/continue target by label ("" = innermost).
+func findTarget(stack []labeledTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// Any statement other than a loop/switch consumes a pending label.
+	label := b.nextLabel
+	b.nextLabel = ""
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		then := b.newBlock("if.then")
+		after := b.newBlock("if.after")
+		els := after
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.branch(s.Cond, then, els)
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.jump(after)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.after")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.branch(s.Cond, body, after)
+		} else {
+			b.cur.Succs = append(b.cur.Succs, Edge{To: body})
+		}
+		b.loopBody(label, body, post, after, s.Body)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.jump(head)
+		b.cur = head
+		// The RangeStmt node itself carries the per-iteration bindings
+		// (key/value) and the ranged expression for the transfer function.
+		b.add(s)
+		b.cur.Succs = append(b.cur.Succs, Edge{To: body}, Edge{To: after})
+		b.loopBody(label, body, head, after, s.Body)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.clauses(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		// The assign (`v := x.(type)`) binds per clause; hand the whole
+		// statement to each clause block via the clause walk below.
+		b.clauses(label, s.Body, s)
+
+	case *ast.SelectStmt:
+		after := b.newBlock("select.after")
+		b.breakTo = append(b.breakTo, labeledTarget{label, after})
+		entry := b.cur
+		b.cur = b.newBlock("unreachable")
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock("select.clause")
+			entry.Succs = append(entry.Succs, Edge{To: blk})
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.stmts(cc.Body)
+			b.jump(after)
+		}
+		_ = hasDefault // a blocking select with no ready case never leaves; edges cover the cases
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock("label." + s.Label.Name)
+		b.labels[s.Label.Name] = lb
+		b.jump(lb)
+		b.cur = lb
+		b.nextLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.nextLabel = ""
+
+	case *ast.BranchStmt:
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breakTo, name); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = b.newBlock("unreachable")
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continueTo, name); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = b.newBlock("unreachable")
+			}
+		case token.GOTO:
+			b.pending = append(b.pending, pendingGoto{from: b.cur, label: name})
+			b.cur = b.newBlock("unreachable")
+		case token.FALLTHROUGH:
+			// Handled structurally by clauses(): the clause body's tail
+			// edge goes to the next clause. Nothing to add here.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		// The registration point evaluates the call's function and
+		// arguments; the call itself runs at exit (DeferRun).
+		b.add(s)
+		b.defers = append(b.defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminal(s.X) {
+			b.cur = b.newBlock("unreachable") // panic/os.Exit: no edge, not even to Exit
+		}
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// loopBody builds a loop body with break/continue targets registered.
+func (b *builder) loopBody(label string, body, cont, after *Block, stmts *ast.BlockStmt) {
+	b.breakTo = append(b.breakTo, labeledTarget{label, after})
+	b.continueTo = append(b.continueTo, labeledTarget{label, cont})
+	b.cur = body
+	b.stmts(stmts.List)
+	b.jump(cont)
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+// clauses builds switch/type-switch clause blocks: entry fans out to
+// every clause (conditions are not assumed exhaustive unless a default
+// exists), fallthrough chains to the next clause body.
+func (b *builder) clauses(label string, body *ast.BlockStmt, ts *ast.TypeSwitchStmt) {
+	after := b.newBlock("switch.after")
+	b.breakTo = append(b.breakTo, labeledTarget{label, after})
+	entry := b.cur
+	b.cur = b.newBlock("unreachable")
+
+	var ccs []*ast.CaseClause
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			ccs = append(ccs, cc)
+		}
+	}
+	blocks := make([]*Block, len(ccs))
+	hasDefault := false
+	for i, cc := range ccs {
+		blocks[i] = b.newBlock("switch.clause")
+		entry.Succs = append(entry.Succs, Edge{To: blocks[i]})
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		entry.Succs = append(entry.Succs, Edge{To: after})
+	}
+	for i, cc := range ccs {
+		b.cur = blocks[i]
+		if ts != nil {
+			// The per-clause binding of `v := x.(type)`.
+			b.add(ts)
+		}
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fallsThrough := false
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmts(cc.Body)
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = after
+}
+
+// terminal reports whether the expression is a call that never returns:
+// panic, os.Exit, (*testing.T).Fatal-alikes, log.Fatal.
+func terminal(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Goexit":
+			return true
+		}
+	}
+	return false
+}

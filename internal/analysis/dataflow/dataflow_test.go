@@ -1,0 +1,350 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `src` as the body of function f in a scratch file.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reach returns the set of blocks reachable from the entry.
+func reach(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := New(parseBody(t, "x := 1\ny := 2\n_ = x\n_ = y"))
+	r := reach(g)
+	if !r[g.Exit] {
+		t.Fatalf("exit unreachable in straight-line code")
+	}
+}
+
+func TestCFGIfElseBranchEdges(t *testing.T) {
+	g := New(parseBody(t, `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+_ = x`))
+	// Some block must end with a two-way conditional edge on `x > 0`.
+	found := false
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				found = true
+				if len(b.Succs) != 2 {
+					t.Errorf("conditional block has %d succs, want 2", len(b.Succs))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no conditional edge built for if/else")
+	}
+	if !reach(g)[g.Exit] {
+		t.Fatalf("exit unreachable")
+	}
+}
+
+func TestCFGReturnSkipsRest(t *testing.T) {
+	g := New(parseBody(t, `
+x := 1
+if x > 0 {
+	return
+}
+x = 2
+_ = x`))
+	// The return edge must reach Exit without flowing through `x = 2`.
+	var retBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlock = b
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatalf("no block holds the return")
+	}
+	if len(retBlock.Succs) != 1 || retBlock.Succs[0].To != g.Exit {
+		t.Fatalf("return block does not jump straight to exit: %v", retBlock.Succs)
+	}
+}
+
+func TestCFGLoopHasBackEdge(t *testing.T) {
+	g := New(parseBody(t, `
+s := 0
+for i := 0; i < 10; i++ {
+	s += i
+}
+_ = s`))
+	// Find a cycle: some reachable block must reach itself.
+	r := reach(g)
+	cyclic := false
+	for b := range r {
+		sub := map[*Block]bool{}
+		var walk func(x *Block)
+		walk = func(x *Block) {
+			for _, e := range x.Succs {
+				if e.To == b {
+					cyclic = true
+				}
+				if !sub[e.To] {
+					sub[e.To] = true
+					walk(e.To)
+				}
+			}
+		}
+		walk(b)
+		if cyclic {
+			break
+		}
+	}
+	if !cyclic {
+		t.Fatalf("for loop built no back edge")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := New(parseBody(t, `
+outer:
+for {
+	for {
+		break outer
+	}
+}
+return`))
+	if !reach(g)[g.Exit] {
+		t.Fatalf("labeled break did not escape the nested loops: exit unreachable")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := New(parseBody(t, `
+	x := 0
+	goto done
+	x = 1
+done:
+	_ = x`))
+	if !reach(g)[g.Exit] {
+		t.Fatalf("goto target unreachable")
+	}
+}
+
+func TestCFGPanicDoesNotReachExit(t *testing.T) {
+	g := New(parseBody(t, `panic("boom")`))
+	// The only statement panics: exit must be unreachable.
+	if reach(g)[g.Exit] {
+		t.Fatalf("panic path reaches exit")
+	}
+}
+
+func TestCFGDeferReplayedAtExit(t *testing.T) {
+	g := New(parseBody(t, `
+defer println("a")
+defer println("b")
+return`))
+	var runs []*DeferRun
+	for _, n := range g.Exit.Nodes {
+		if d, ok := n.(*DeferRun); ok {
+			runs = append(runs, d)
+		}
+	}
+	if len(runs) != 2 {
+		t.Fatalf("exit block replays %d deferred calls, want 2", len(runs))
+	}
+	// Reverse registration order: "b" first.
+	if arg := runs[0].Call.Args[0].(*ast.BasicLit).Value; !strings.Contains(arg, "b") {
+		t.Errorf("defers not replayed in reverse order: first is %s", arg)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := New(parseBody(t, `
+x := 1
+switch x {
+case 1:
+	x = 10
+	fallthrough
+case 2:
+	x = 20
+case 3:
+	x = 30
+}
+_ = x`))
+	if !reach(g)[g.Exit] {
+		t.Fatalf("switch exit unreachable")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Solver: a toy sign analysis of integer literals assigned to idents.
+// ---------------------------------------------------------------------
+
+// signState maps variable names to a sign lattice value.
+type signState map[string]string // "+", "-", "0", or "T" (top)
+
+type signFlow struct{}
+
+func (signFlow) Entry() signState { return signState{} }
+
+func (signFlow) Copy(s signState) signState {
+	out := make(signState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (signFlow) Equal(a, b signState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (signFlow) Join(a, b signState) signState {
+	for k, v := range b {
+		if old, ok := a[k]; !ok {
+			a[k] = v
+		} else if old != v {
+			a[k] = "T"
+		}
+	}
+	return a
+}
+
+func litSign(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.INT {
+			if e.Value == "0" {
+				return "0", true
+			}
+			return "+", true
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			if s, ok := litSign(e.X); ok && s == "+" {
+				return "-", true
+			}
+		}
+	}
+	return "", false
+}
+
+func (signFlow) Transfer(n ast.Node, s signState) signState {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != len(as.Rhs) {
+		return s
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if sign, ok := litSign(as.Rhs[i]); ok {
+			s[id.Name] = sign
+		} else {
+			s[id.Name] = "T"
+		}
+	}
+	return s
+}
+
+func (signFlow) TransferBranch(cond ast.Expr, branch bool, s signState) signState { return s }
+
+func TestForwardJoinsBranches(t *testing.T) {
+	g := New(parseBody(t, `
+x := 1
+y := 1
+if x > 0 {
+	y = 2
+} else {
+	y = -3
+}
+_ = y`))
+	res := Forward[signState](g, signFlow{})
+	exit, ok := res.ExitState(signFlow{})
+	if !ok {
+		t.Fatalf("exit unreachable")
+	}
+	if exit["x"] != "+" {
+		t.Errorf("x = %q at exit, want +", exit["x"])
+	}
+	if exit["y"] != "T" {
+		t.Errorf("y = %q at exit, want T (joined + and -)", exit["y"])
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	g := New(parseBody(t, `
+x := 1
+for i := 0; i < 3; i++ {
+	x = -1
+}
+_ = x`))
+	res := Forward[signState](g, signFlow{})
+	exit, ok := res.ExitState(signFlow{})
+	if !ok {
+		t.Fatalf("exit unreachable")
+	}
+	// Zero iterations leave +, one or more leave -: joined to T.
+	if exit["x"] != "T" {
+		t.Errorf("x = %q at exit, want T", exit["x"])
+	}
+}
+
+func TestReplayVisitsFixpointStates(t *testing.T) {
+	g := New(parseBody(t, `
+x := 1
+x = -2
+_ = x`))
+	res := Forward[signState](g, signFlow{})
+	var saw []string
+	res.Replay(signFlow{}, func(n ast.Node, before signState) {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+				saw = append(saw, before["x"])
+			}
+		}
+	})
+	// Before `x := 1` x is unset (""); before `x = -2` it is "+".
+	want := []string{"", "+"}
+	if len(saw) < 2 || saw[0] != want[0] || saw[1] != want[1] {
+		t.Errorf("replay states = %v, want prefix %v", saw, want)
+	}
+}

@@ -1,0 +1,113 @@
+package dataflow
+
+import "go/ast"
+
+// Analysis is a forward dataflow problem over states of type S. States
+// must be treated as immutable by the engine's clients: Transfer and
+// TransferBranch return a state that may share structure with their
+// input only if they did not modify it (Copy first, then mutate).
+//
+// The lattice contract: Join must be commutative, associative, and
+// idempotent; Transfer and TransferBranch must be monotone with respect
+// to the order Join induces. Termination additionally needs finite
+// ascending chains, which every analyzer in this suite gets from
+// finite key spaces (one abstract cell per variable or begin site).
+type Analysis[S any] interface {
+	// Entry returns the state on function entry.
+	Entry() S
+	// Transfer folds one CFG node through the state.
+	Transfer(n ast.Node, s S) S
+	// TransferBranch refines the state along a conditional edge: cond
+	// evaluated to branch. Return s unchanged when the condition says
+	// nothing about the tracked state.
+	TransferBranch(cond ast.Expr, branch bool, s S) S
+	// Join merges the states of two predecessors.
+	Join(a, b S) S
+	// Equal reports whether two states coincide (fixpoint detection).
+	Equal(a, b S) bool
+	// Copy returns an independent copy of s.
+	Copy(s S) S
+}
+
+// Result carries the fixpoint of one Forward run: the state at the
+// entry of every reachable block.
+type Result[S any] struct {
+	Graph *Graph
+	In    map[*Block]S
+}
+
+// Forward runs the worklist algorithm to fixpoint and returns the
+// entry state of every reachable block. Unreachable blocks (dangling
+// blocks after return/panic, bodies of dead gotos) have no entry in
+// the map.
+func Forward[S any](g *Graph, a Analysis[S]) *Result[S] {
+	in := map[*Block]S{g.Entry: a.Entry()}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		s := a.Copy(in[blk])
+		for _, n := range blk.Nodes {
+			s = a.Transfer(n, s)
+		}
+		for _, e := range blk.Succs {
+			es := s
+			if e.Cond != nil {
+				es = a.TransferBranch(e.Cond, e.Branch, a.Copy(s))
+			}
+			old, seen := in[e.To]
+			var merged S
+			if seen {
+				merged = a.Join(a.Copy(old), a.Copy(es))
+			} else {
+				merged = a.Copy(es)
+			}
+			if !seen || !a.Equal(old, merged) {
+				in[e.To] = merged
+				if !queued[e.To] {
+					queued[e.To] = true
+					work = append(work, e.To)
+				}
+			}
+		}
+	}
+	return &Result[S]{Graph: g, In: in}
+}
+
+// Replay re-folds the transfer function over every reachable block from
+// its fixpoint entry state, calling visit with the state immediately
+// before each node. Analyzers report diagnostics from visit (or from a
+// Transfer that toggles a reporting flag), keeping the fixpoint
+// iteration itself report-free so no diagnostic is emitted twice.
+func (r *Result[S]) Replay(a Analysis[S], visit func(n ast.Node, before S)) {
+	for _, blk := range r.Graph.Blocks {
+		s, ok := r.In[blk]
+		if !ok {
+			continue
+		}
+		s = a.Copy(s)
+		for _, n := range blk.Nodes {
+			visit(n, s)
+			s = a.Transfer(n, s)
+		}
+	}
+}
+
+// ExitState returns the fixpoint state at the function exit (after the
+// deferred calls) and whether the exit is reachable at all.
+func (r *Result[S]) ExitState(a Analysis[S]) (S, bool) {
+	s, ok := r.In[r.Graph.Exit]
+	if !ok {
+		var zero S
+		return zero, false
+	}
+	s = a.Copy(s)
+	for _, n := range r.Graph.Exit.Nodes {
+		s = a.Transfer(n, s)
+	}
+	return s, true
+}

@@ -65,6 +65,24 @@ func MarkedNodes(fset *token.FileSet, f *ast.File, marker string) map[ast.Node]b
 	return out
 }
 
+// FunctionBodies returns the declaration's body plus the body of every
+// nested function literal, each to be analyzed as its own lexical scope:
+// a closure neither shares its definer's control flow nor its exit
+// paths, so intraprocedural analyses treat the bodies independently.
+func FunctionBodies(fd *ast.FuncDecl) []*ast.BlockStmt {
+	if fd.Body == nil {
+		return nil
+	}
+	bodies := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, fl.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
 // Callee resolves the statically-called function for plain, selector,
 // parenthesised, and generic-instantiation call expressions; nil for
 // calls through function values.

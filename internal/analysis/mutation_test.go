@@ -1,0 +1,129 @@
+package analysis_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/batchasc"
+	"repro/internal/analysis/bufown"
+	"repro/internal/analysis/pendingwait"
+)
+
+// mutationTemplate is a clean split-phase driver in miniature: the
+// begin/add/wait shape of beginFIFO, the loaned-buffer discipline of the
+// pipelined drivers, and a statically ascending batch. Each MUT marker
+// is a splice point for one contract-breaking mutation; the unmutated
+// template must be diagnostic-free under all three typestate analyzers.
+const mutationTemplate = `package m
+
+import (
+	"repro/internal/pdm"
+)
+
+func fifoWrite(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, pend *pdm.PendingSet) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	pend.Add(p) // MUT:drop-wait
+	// MUT:touch-buffer
+	return nil
+}
+
+func ascendingBatch(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	return d.ReadTracks([]int{1, 2, 9}, bufs) // MUT:desort
+}
+`
+
+// mutations maps each contract-breaking edit to the analyzer that must
+// catch it: deleting the Wait/Add handoff, touching a loaned buffer,
+// de-sorting a batch.
+var mutations = []struct {
+	name     string
+	analyzer *analysis.Analyzer
+	old, new string
+}{
+	{"delete-handoff", pendingwait.Analyzer,
+		"pend.Add(p) // MUT:drop-wait", "_ = p"},
+	{"touch-loaned-buffer", bufown.Analyzer,
+		"// MUT:touch-buffer", "bufs[0][0] = 1"},
+	{"desort-batch", batchasc.Analyzer,
+		"[]int{1, 2, 9}, bufs) // MUT:desort", "[]int{1, 9, 2}, bufs)"},
+}
+
+// runOn loads a single-file package from dir and returns the analyzer's
+// diagnostics.
+func runOn(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, markers, err := analysis.Load(fset, dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrs {
+			t.Fatalf("type error in mutated source: %v", terr)
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Markers:   markers,
+		}
+		pass.SetReport(func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	return diags
+}
+
+// writePkg materialises src as a one-file package under testdata (inside
+// the module, so the loader resolves repro/... imports) and returns its
+// directory.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("testdata", "mutation-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "m.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return "./" + dir
+}
+
+// TestMutationsCaught verifies the typestate analyzers earn their keep:
+// the clean template passes all three, and each seeded contract-breaking
+// mutation is caught by exactly the analyzer that owns the contract.
+func TestMutationsCaught(t *testing.T) {
+	cleanDir := writePkg(t, mutationTemplate)
+	for _, m := range mutations {
+		if diags := runOn(t, m.analyzer, cleanDir); len(diags) != 0 {
+			t.Fatalf("%s flags the clean template: %v", m.analyzer.Name, diags[0].Message)
+		}
+	}
+
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			if !strings.Contains(mutationTemplate, m.old) {
+				t.Fatalf("template lost mutation anchor %q", m.old)
+			}
+			mutated := strings.Replace(mutationTemplate, m.old, m.new, 1)
+			dir := writePkg(t, mutated)
+			diags := runOn(t, m.analyzer, dir)
+			if len(diags) == 0 {
+				t.Fatalf("mutation %q not caught by %s", m.name, m.analyzer.Name)
+			}
+			t.Logf("%s: %s", m.analyzer.Name, diags[0].Message)
+		})
+	}
+}

@@ -1,0 +1,707 @@
+// Package pendingwait is the typestate analyzer for the split-phase I/O
+// handle lifecycle: every *pdm.Pending returned by BeginReadBlocks /
+// BeginWriteBlocks (or any function returning one) must reach exactly one
+// discharge — a Wait call or an escape such as PendingSet.Add — on every
+// path through the function, including error exits.
+//
+// The analysis runs the dataflow engine forward over each function body.
+// Each begin call site is one abstract handle; its state is a may-set
+// over {live, waited, escaped}. Local variables holding handles are
+// tracked through a points-to map, `q := p` aliasing included. Branch
+// edges refine the state: the pdm Begin* contract returns a nil handle
+// exactly when err != nil, so the true edge of `if err != nil` kills the
+// live obligation of the handle that err guards (the err variable is
+// correlated with the handle at the begin assignment).
+//
+// Reported:
+//
+//   - a handle that may still be live at function exit (leaked: some
+//     path neither waits nor hands it off);
+//   - a Wait on a handle that may already be waited (double Wait frees
+//     the handle to the freelist twice);
+//   - a begin whose result is discarded outright;
+//   - a begin re-executed in a loop while the previous iteration's
+//     handle may still be live;
+//   - a Wait inside a go statement on a handle begun outside it
+//     (Pending is not safe for cross-goroutine Wait).
+//
+// Escapes — passing the handle to any call (PendingSet.Add, helper
+// functions), storing it into a field, slice, map, channel or global,
+// returning it, or capturing it in a function literal — discharge the
+// obligation: responsibility transferred to code this intraprocedural
+// pass cannot see. The waiver marker is `// emcgm:pendingok` on the
+// begin statement (for deliberate leaks in tests) or in the function's
+// doc comment.
+package pendingwait
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+const (
+	pdmPath = "repro/internal/pdm"
+	waiver  = "emcgm:pendingok"
+)
+
+// Analyzer reports *pdm.Pending handles that may leak, be waited twice,
+// or be waited from a goroutine other than the one that began them.
+var Analyzer = &analysis.Analyzer{
+	Name: "pendingwait",
+	Doc: "check that every *pdm.Pending handle is waited exactly once on all paths\n\n" +
+		"A begun handle that is never waited leaks its freelist slot and its\n" +
+		"error results; a double Wait recycles the handle twice. Waive with\n" +
+		"// emcgm:pendingok on the begin statement.",
+	Run: run,
+}
+
+// Handle state bits (a may-set: joins union the bits).
+const (
+	live    uint8 = 1 << iota // obligation outstanding
+	waited                    // Wait observed
+	escaped                   // handed off (call arg, store, return, capture)
+)
+
+// state is the dataflow lattice element: per-handle state bits, the
+// points-to sets of local Pending variables, and the err variable
+// correlated with each handle's begin.
+type state struct {
+	handles map[token.Pos]uint8
+	pts     map[*types.Var]map[token.Pos]bool
+	errOf   map[token.Pos]*types.Var
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		waived := analysis.MarkedNodes(pass.Fset, file, waiver)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || analysis.FuncMarked(fd, waiver) {
+				continue
+			}
+			for _, body := range analysis.FunctionBodies(fd) {
+				f := &flow{pass: pass, info: pass.TypesInfo, body: body,
+					waived: waived, sites: map[token.Pos]*ast.CallExpr{},
+					waivedH: map[token.Pos]bool{}, seen: map[string]bool{}}
+				g := dataflow.New(body)
+				res := dataflow.Forward[*state](g, f)
+				f.report = true
+				res.Replay(f, func(n ast.Node, before *state) {})
+				if exit, ok := res.ExitState(f); ok {
+					f.leaks(exit)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// flow implements dataflow.Analysis[*state].
+type flow struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	body   *ast.BlockStmt
+	waived map[ast.Node]bool
+
+	sites   map[token.Pos]*ast.CallExpr // begin site -> call, for messages
+	waivedH map[token.Pos]bool          // handles begun under a waived stmt
+
+	report bool            // true during Replay: diagnostics enabled
+	seen   map[string]bool // report dedup across replay and exit check
+}
+
+func (f *flow) Entry() *state {
+	return &state{handles: map[token.Pos]uint8{},
+		pts: map[*types.Var]map[token.Pos]bool{}, errOf: map[token.Pos]*types.Var{}}
+}
+
+func (f *flow) Copy(s *state) *state {
+	out := f.Entry()
+	for h, b := range s.handles {
+		out.handles[h] = b
+	}
+	for v, hs := range s.pts {
+		m := make(map[token.Pos]bool, len(hs))
+		for h := range hs {
+			m[h] = true
+		}
+		out.pts[v] = m
+	}
+	for h, v := range s.errOf {
+		out.errOf[h] = v
+	}
+	return out
+}
+
+func (f *flow) Equal(a, b *state) bool {
+	if len(a.handles) != len(b.handles) || len(a.pts) != len(b.pts) || len(a.errOf) != len(b.errOf) {
+		return false
+	}
+	for h, bits := range a.handles {
+		if b.handles[h] != bits {
+			return false
+		}
+	}
+	for v, hs := range a.pts {
+		ohs, ok := b.pts[v]
+		if !ok || len(ohs) != len(hs) {
+			return false
+		}
+		for h := range hs {
+			if !ohs[h] {
+				return false
+			}
+		}
+	}
+	for h, v := range a.errOf {
+		if b.errOf[h] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *flow) Join(a, b *state) *state {
+	for h, bits := range b.handles {
+		a.handles[h] |= bits
+	}
+	for v, hs := range b.pts {
+		if a.pts[v] == nil {
+			a.pts[v] = hs
+			continue
+		}
+		for h := range hs {
+			a.pts[v][h] = true
+		}
+	}
+	for h, v := range b.errOf {
+		if ev, ok := a.errOf[h]; ok && ev != v {
+			delete(a.errOf, h) // conflicting correlation: drop it
+		} else {
+			a.errOf[h] = v
+		}
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------
+// Transfer
+// ---------------------------------------------------------------------
+
+func (f *flow) Transfer(n ast.Node, s *state) *state {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.assign(n, s)
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			if v := f.pendingIdentVar(e); v != nil {
+				f.escape(s, s.pts[v])
+			} else if call, ok := unparen(e).(*ast.CallExpr); ok && f.isBegin(call) {
+				// `return arr.BeginReadBlocks(...)`: the handle moves to
+				// the caller along with the obligation.
+				for _, a := range call.Args {
+					f.scan(n, a, s)
+				}
+			} else {
+				f.scan(n, e, s)
+			}
+		}
+	case *ast.DeferStmt:
+		// Registration evaluates fn+args now; a deferred Wait runs at
+		// exit (the DeferRun below). Any other deferred call escapes its
+		// handle arguments — discharge via code we can't see.
+		if f.waitReceiver(n.Call) == nil {
+			f.scan(n, n.Call, s)
+		}
+	case *dataflow.DeferRun:
+		if v := f.waitReceiver(n.Call); v != nil {
+			f.applyWait(n, v, s)
+		}
+	case *ast.GoStmt:
+		f.goStmt(n, s)
+	case *ast.SendStmt:
+		if v := f.pendingIdentVar(n.Value); v != nil {
+			f.escape(s, s.pts[v])
+		} else {
+			f.scan(n, n.Value, s)
+		}
+		f.scan(n, n.Chan, s)
+	case *ast.RangeStmt:
+		// Per-iteration bindings of Pending-typed key/value vars are
+		// untracked: clear any stale points-to facts.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if v := f.pendingIdentVar(e); v != nil {
+				delete(s.pts, v)
+			}
+		}
+		f.scan(n, n.X, s)
+	case *ast.TypeSwitchStmt:
+		if as, ok := n.Assign.(*ast.AssignStmt); ok {
+			for _, e := range as.Rhs {
+				f.scan(n, e, s)
+			}
+		} else if es, ok := n.Assign.(*ast.ExprStmt); ok {
+			f.scan(n, es.X, s)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						f.scan(n, e, s)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		f.scan(n, n.X, s)
+	case ast.Expr:
+		f.scan(n, n, s)
+	case ast.Stmt:
+		f.scan(n, n, s)
+	}
+	return s
+}
+
+// assign folds one assignment: begin-call bindings, handle aliasing,
+// err-correlation kills, and overwrites.
+func (f *flow) assign(as *ast.AssignStmt, s *state) {
+	// p, err := Begin*(...) — the canonical binding form.
+	if len(as.Rhs) == 1 {
+		if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok && f.isBegin(call) {
+			for _, a := range call.Args {
+				f.scan(as, a, s)
+			}
+			h := call.Pos()
+			f.sites[h] = call
+			if f.waived[as] {
+				f.waivedH[h] = true
+			}
+			if s.handles[h]&live != 0 {
+				f.reportOnce(as.Pos(), "loop", int(h),
+					"%s re-executed while the handle from the previous iteration may still be un-waited",
+					f.callName(call))
+			}
+			s.handles[h] = live
+			delete(s.errOf, h)
+			switch l := unparen(as.Lhs[0]).(type) {
+			case *ast.Ident:
+				if l.Name == "_" {
+					f.reportOnce(as.Pos(), "drop", int(h),
+						"result of %s is discarded: the returned *pdm.Pending must be waited", f.callName(call))
+					s.handles[h] = escaped
+				} else if v := f.varObj(l); v != nil {
+					s.pts[v] = map[token.Pos]bool{h: true}
+				}
+			default:
+				// Bound straight into a field/slice/map: handed off.
+				s.handles[h] = escaped
+			}
+			if len(as.Lhs) == 2 {
+				if id, ok := unparen(as.Lhs[1]).(*ast.Ident); ok && id.Name != "_" {
+					if v := f.varObj(id); v != nil {
+						s.errOf[h] = v
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// General assignments: aliasing, escapes, overwrites.
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			rhs := as.Rhs[i]
+			if rv := f.pendingIdentVar(rhs); rv != nil {
+				if lid, ok := unparen(lhs).(*ast.Ident); ok {
+					if lid.Name == "_" {
+						continue
+					}
+					if lv := f.varObj(lid); lv != nil {
+						// q := p — q may point to everything p does.
+						hs := make(map[token.Pos]bool, len(s.pts[rv]))
+						for h := range s.pts[rv] {
+							hs[h] = true
+						}
+						s.pts[lv] = hs
+						continue
+					}
+				}
+				// Stored into a field/slice/map/global: escaped.
+				f.escape(s, s.pts[rv])
+				continue
+			}
+			f.scan(as, rhs, s)
+			if lid, ok := unparen(lhs).(*ast.Ident); ok {
+				if lv := f.varObj(lid); lv != nil {
+					if f.isPending(lv.Type()) {
+						delete(s.pts, lv) // overwritten by an untracked value
+					}
+					f.killErrCorrelation(s, lv)
+				}
+			}
+		}
+	} else {
+		// Tuple assignment from a non-begin call / map read / type assert.
+		for _, rhs := range as.Rhs {
+			f.scan(as, rhs, s)
+		}
+		for _, lhs := range as.Lhs {
+			if lid, ok := unparen(lhs).(*ast.Ident); ok && lid.Name != "_" {
+				if lv := f.varObj(lid); lv != nil {
+					if f.isPending(lv.Type()) {
+						delete(s.pts, lv)
+					}
+					f.killErrCorrelation(s, lv)
+				}
+			}
+		}
+	}
+}
+
+// killErrCorrelation drops err-to-handle links when the err variable is
+// reassigned by anything other than the begin that created the link.
+func (f *flow) killErrCorrelation(s *state, v *types.Var) {
+	for h, ev := range s.errOf {
+		if ev == v {
+			delete(s.errOf, h)
+		}
+	}
+}
+
+// goStmt handles `go ...`: a Wait moved to another goroutine is a
+// reported contract violation; everything referenced escapes.
+func (f *flow) goStmt(g *ast.GoStmt, s *state) {
+	if v := f.waitReceiver(g.Call); v != nil {
+		f.reportOnce(g.Pos(), "goro", int(g.Pos()),
+			"Pending waited in a goroutine other than the one that begun it")
+		f.escape(s, s.pts[v])
+		return
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		f.checkGoroutineLit(lit)
+	}
+	f.scan(g, g.Call, s)
+}
+
+// checkGoroutineLit flags Wait calls inside a go literal on handles
+// captured from the enclosing function.
+func (f *flow) checkGoroutineLit(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		v := f.waitReceiver(call)
+		if v == nil {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			f.reportOnce(call.Pos(), "goro", int(call.Pos()),
+				"Pending waited in a goroutine other than the one that begun it")
+		}
+		return true
+	})
+}
+
+// scan walks an expression (or statement) for flow-relevant calls: Wait
+// discharges, handle-escaping arguments, bare begin calls, and function
+// literals capturing handles. Function literal bodies are not descended
+// into beyond the capture check — each is analyzed as its own scope.
+func (f *flow) scan(ctx ast.Node, root ast.Node, s *state) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			f.escapeCaptured(n, s)
+			return false
+		case *ast.CallExpr:
+			if v := f.waitReceiver(n); v != nil {
+				f.applyWait(ctx, v, s)
+				for _, a := range n.Args {
+					f.scan(ctx, a, s)
+				}
+				return false
+			}
+			if f.isBegin(n) {
+				// A begin whose result is consumed by no assignment:
+				// nothing can ever wait it.
+				h := n.Pos()
+				f.sites[h] = n
+				if !f.waived[ctx] {
+					f.reportOnce(n.Pos(), "drop", int(h),
+						"result of %s is discarded: the returned *pdm.Pending must be waited", f.callName(n))
+				}
+				for _, a := range n.Args {
+					f.scan(ctx, a, s)
+				}
+				return false
+			}
+			// Any other call: handle-typed arguments (p, &p) escape.
+			for _, a := range n.Args {
+				if v := f.pendingIdentVar(a); v != nil {
+					f.escape(s, s.pts[v])
+				}
+			}
+			// A non-Wait method on a tracked handle also escapes it.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if v := f.pendingIdentVar(sel.X); v != nil {
+					f.escape(s, s.pts[v])
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// applyWait folds `v.Wait()` through the state: double-wait check, then
+// live→waited on every handle v may hold.
+func (f *flow) applyWait(ctx ast.Node, v *types.Var, s *state) {
+	for h := range s.pts[v] {
+		if s.handles[h]&waited != 0 && !f.waived[ctx] && !f.waivedH[h] {
+			f.reportOnce(ctx.Pos(), "dbl", int(h),
+				"handle from %s may already have been waited (double Wait)", f.callName(f.sites[h]))
+		}
+		s.handles[h] = s.handles[h]&^live | waited
+	}
+}
+
+// escape discharges the obligation of every handle in hs.
+func (f *flow) escape(s *state, hs map[token.Pos]bool) {
+	for h := range hs {
+		s.handles[h] = s.handles[h]&^live | escaped
+	}
+}
+
+// escapeCaptured escapes every handle held by an outer Pending variable
+// the literal references.
+func (f *flow) escapeCaptured(lit *ast.FuncLit, s *state) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := f.info.Uses[id].(*types.Var)
+		if ok && f.isPending(v.Type()) && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			f.escape(s, s.pts[v])
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------
+// Branch refinement
+// ---------------------------------------------------------------------
+
+func (f *flow) TransferBranch(cond ast.Expr, branch bool, s *state) *state {
+	f.applyCond(unparen(cond), branch, s)
+	return s
+}
+
+func (f *flow) applyCond(cond ast.Expr, branch bool, s *state) {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		f.applyCond(c.X, branch, s)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			f.applyCond(unparen(c.X), !branch, s)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case c.Op == token.LAND && branch:
+			f.applyCond(unparen(c.X), true, s)
+			f.applyCond(unparen(c.Y), true, s)
+		case c.Op == token.LOR && !branch:
+			f.applyCond(unparen(c.X), false, s)
+			f.applyCond(unparen(c.Y), false, s)
+		case c.Op == token.EQL || c.Op == token.NEQ:
+			id, ok := nilCompareOperand(c)
+			if !ok {
+				return
+			}
+			v := f.varObj(id)
+			if v == nil {
+				return
+			}
+			// Polarity: on this edge, is the compared value nil?
+			isNil := (c.Op == token.EQL) == branch
+			if f.isPending(v.Type()) && isNil {
+				// p == nil on this path: no handle to wait.
+				for h := range s.pts[v] {
+					s.handles[h] &^= live
+				}
+			}
+			if !isNil && isErrType(v.Type()) {
+				// err != nil: the Begin contract returned a nil handle.
+				for h, ev := range s.errOf {
+					if ev == v {
+						s.handles[h] &^= live
+					}
+				}
+			}
+		}
+	}
+}
+
+// nilCompareOperand returns the identifier compared against nil, if the
+// binary expression is exactly `x op nil` or `nil op x`.
+func nilCompareOperand(b *ast.BinaryExpr) (*ast.Ident, bool) {
+	x, y := unparen(b.X), unparen(b.Y)
+	if isNilIdent(y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return id, true
+		}
+	}
+	if isNilIdent(x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return id, true
+		}
+	}
+	return nil, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isErrType reports whether t is the built-in error interface.
+func isErrType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------
+
+// leaks reports every handle that may still be live at function exit.
+func (f *flow) leaks(exit *state) {
+	for h, bits := range exit.handles {
+		if bits&live == 0 || f.waivedH[h] {
+			continue
+		}
+		call := f.sites[h]
+		f.reportOnce(call.Pos(), "leak", int(h),
+			"pending handle from %s may not be waited on some path to return (leak)", f.callName(call))
+	}
+}
+
+// reportOnce emits a diagnostic at most once per (kind, key), and only
+// when reporting is enabled (during Replay / the exit check).
+func (f *flow) reportOnce(pos token.Pos, kind string, key int, format string, args ...any) {
+	if !f.report {
+		return
+	}
+	dedup := fmt.Sprintf("%s:%d", kind, key)
+	if f.seen[dedup] {
+		return
+	}
+	f.seen[dedup] = true
+	f.pass.Reportf(pos, format, args...)
+}
+
+// ---------------------------------------------------------------------
+// Type plumbing
+// ---------------------------------------------------------------------
+
+// isBegin reports whether the call's (first) result is a *pdm.Pending —
+// the defining property of a begin site.
+func (f *flow) isBegin(call *ast.CallExpr) bool {
+	tv, ok := f.info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && f.isPendingPtr(t.At(0).Type())
+	default:
+		return f.isPendingPtr(tv.Type)
+	}
+}
+
+func (f *flow) isPendingPtr(t types.Type) bool {
+	if _, ok := t.(*types.Pointer); !ok {
+		return false
+	}
+	return analysis.IsNamedType(t, pdmPath, "Pending")
+}
+
+func (f *flow) isPending(t types.Type) bool {
+	return analysis.IsNamedType(t, pdmPath, "Pending")
+}
+
+// waitReceiver returns the local variable v of a `v.Wait()` call on a
+// Pending handle, nil otherwise.
+func (f *flow) waitReceiver(call *ast.CallExpr) *types.Var {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return nil
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := f.varObj(id)
+	if v == nil || !f.isPending(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// pendingIdentVar resolves e (unwrapping parens and unary &) to a local
+// Pending-typed variable, nil otherwise.
+func (f *flow) pendingIdentVar(e ast.Expr) *types.Var {
+	if e == nil {
+		return nil
+	}
+	e = unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := f.varObj(id)
+	if v == nil || !f.isPending(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func (f *flow) varObj(id *ast.Ident) *types.Var {
+	v, _ := f.info.ObjectOf(id).(*types.Var)
+	return v
+}
+
+func (f *flow) callName(call *ast.CallExpr) string {
+	if call == nil {
+		return "Begin"
+	}
+	if fn := analysis.Callee(f.info, call.Fun); fn != nil {
+		return fn.Name()
+	}
+	return "Begin"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

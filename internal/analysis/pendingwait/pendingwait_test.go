@@ -1,0 +1,16 @@
+package pendingwait_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/pendingwait"
+)
+
+// TestPendingWait runs pendingwait over its testdata: leaks, double
+// waits, discarded handles, loop re-begins, cross-goroutine waits, and
+// the clean idioms the real tree uses (error-exit waits, branched
+// begins, PendingSet handoff, waivers).
+func TestPendingWait(t *testing.T) {
+	antest.Run(t, pendingwait.Analyzer, "../testdata/src/pendingwait/pw")
+}

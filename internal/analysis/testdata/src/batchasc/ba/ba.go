@@ -1,0 +1,87 @@
+// Package ba is the batchasc testdata: statically built BatchDisk track
+// slices must be strictly ascending, non-negative, and at most 64 long.
+package ba
+
+import (
+	"repro/internal/pdm"
+)
+
+// ---------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------
+
+func descendingLiteral(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	return d.ReadTracks([]int{3, 7, 5}, bufs) // want `batch tracks must be strictly ascending: tracks\[2\]=5 after tracks\[1\]=7`
+}
+
+func duplicateTrack(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	tracks := []int{1, 4, 4, 9}
+	return d.WriteTracks(tracks, bufs) // want `strictly ascending: tracks\[2\]=4 after tracks\[1\]=4`
+}
+
+func negativeTrack(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	return d.ReadTracks([]int{-1, 2}, bufs) // want `negative track -1 in batch`
+}
+
+func unfilledZeroes(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	tracks := make([]int, 8)
+	return d.ReadTracks(tracks, bufs) // want `zero-filled track slice of length 8 passed unfilled: duplicate track 0`
+}
+
+func oversizedAffine(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	tracks := make([]int, 100)
+	for i := range tracks {
+		tracks[i] = i * 2
+	}
+	return d.ReadTracks(tracks, bufs) // want `batch of 100 tracks exceeds MaxBatchTracks \(64\)`
+}
+
+func constUpdateBreaksOrder(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	tracks := []int{1, 2, 3}
+	tracks[1] = 9
+	return d.WriteTracks(tracks, bufs) // want `strictly ascending: tracks\[2\]=3 after tracks\[1\]=9`
+}
+
+// ---------------------------------------------------------------------
+// Clean
+// ---------------------------------------------------------------------
+
+func cleanLiteral(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	return d.ReadTracks([]int{0, 3, 7}, bufs)
+}
+
+func cleanAffineFill(d pdm.BatchDisk, bufs [][]pdm.Word, base int) error {
+	tracks := make([]int, 16)
+	for i := range tracks {
+		tracks[i] = base + i
+	}
+	return d.ReadTracks(tracks, bufs)
+}
+
+func cleanStridedFill(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	tracks := make([]int, 32)
+	for i := 0; i < len(tracks); i++ {
+		tracks[i] = 4 + i*3
+	}
+	return d.WriteTracks(tracks, bufs)
+}
+
+// cleanDynamic is the coalescing worker's shape: tracks built from
+// runtime state are top — validateBatch covers them at run time.
+func cleanDynamic(d pdm.BatchDisk, bufs [][]pdm.Word, queue []int) error {
+	tracks := queue[:len(bufs)]
+	return d.ReadTracks(tracks, bufs)
+}
+
+func cleanAppend(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	tracks := []int{2}
+	tracks = append(tracks, 5, 11)
+	return d.ReadTracks(tracks, bufs)
+}
+
+// waivedDescending is the seeded negative for the waiver: a test double
+// deliberately passing an unsorted batch (to exercise validateBatch's
+// error path) under the marker.
+func waivedDescending(d pdm.BatchDisk, bufs [][]pdm.Word) error {
+	return d.ReadTracks([]int{9, 1}, bufs) // emcgm:batchok — exercising validateBatch's rejection
+}

@@ -1,0 +1,162 @@
+// Package bo is the bufown testdata: buffers loaned to BeginWrite* are
+// frozen until the matching Wait; touching them in between is a
+// use-after-begin data race.
+package bo
+
+import (
+	"repro/internal/layout"
+	"repro/internal/pdm"
+)
+
+// ---------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------
+
+func writeWhileLoaned(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	bufs[0][0] = 1 // want `buffer bufs is loaned to the in-flight write`
+	return p.Wait()
+}
+
+func readWhileLoaned(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) (pdm.Word, error) {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return 0, err
+	}
+	x := bufs[0][0] // want `buffer bufs is loaned to the in-flight write`
+	return x, p.Wait()
+}
+
+func resliceWhileLoaned(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	tail := bufs[1:] // want `buffer bufs is loaned to the in-flight write`
+	_ = tail
+	return p.Wait()
+}
+
+func aliasThroughSplit(arr *pdm.DiskArray, reqs []pdm.BlockReq, flat []pdm.Word, b int) error {
+	views := layout.SplitBlocksInto(nil, flat, b)
+	p, err := arr.BeginWriteBlocks(reqs, views)
+	if err != nil {
+		return err
+	}
+	flat[0] = 7 // want `buffer flat is loaned to the in-flight write`
+	return p.Wait()
+}
+
+func passedWhileLoaned(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	consume(bufs) // want `buffer bufs is loaned to the in-flight write`
+	return p.Wait()
+}
+
+func consume(bufs [][]pdm.Word) {}
+
+// ---------------------------------------------------------------------
+// Clean
+// ---------------------------------------------------------------------
+
+func cleanAfterWait(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	if err := p.Wait(); err != nil {
+		return err
+	}
+	bufs[0][0] = 1 // the loan ended at Wait
+	return nil
+}
+
+func cleanAfterSetWait(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	var pend pdm.PendingSet
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	pend.Add(p)
+	if err := pend.Wait(); err != nil {
+		return err
+	}
+	bufs[0][0] = 1
+	return nil
+}
+
+// cleanClosureWait is the pipelined-driver shape: the wait happens
+// through a helper that receives the PendingSet.
+func cleanClosureWait(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	var pend pdm.PendingSet
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	pend.Add(p)
+	if err := waitAll(&pend); err != nil {
+		return err
+	}
+	bufs[0][0] = 1
+	return nil
+}
+
+func waitAll(ps *pdm.PendingSet) error { return ps.Wait() }
+
+// cleanLoanExtension is the FIFO writer's shape: successive BeginWrite
+// calls over disjoint windows of the same buffer slice extend the loan
+// rather than violating it.
+func cleanLoanExtension(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, pend *pdm.PendingSet) error {
+	p1, err := arr.BeginWriteBlocks(reqs[:1], bufs[:1])
+	if err != nil {
+		return err
+	}
+	pend.Add(p1)
+	p2, err := arr.BeginWriteBlocks(reqs[1:], bufs[1:])
+	if err != nil {
+		return err
+	}
+	pend.Add(p2)
+	return nil
+}
+
+func cleanHeaderOnly(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	if len(bufs) == 0 || cap(bufs) == 0 { // header reads are safe
+		return nil
+	}
+	return p.Wait()
+}
+
+// cleanRebind: overwriting the variable severs it from the loaned
+// memory; the fresh value is freely usable.
+func cleanRebind(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs, other [][]pdm.Word) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	bufs = other
+	bufs[0][0] = 1
+	return p.Wait()
+}
+
+// deliberateTouch is the seeded negative for the waiver: an intentional
+// in-flight mutation (what the CheckedIO poison test does on purpose)
+// that the marker exempts.
+func deliberateTouch(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	bufs[0][0] = 99 // emcgm:bufhandoff — fault injection: the test wants the race
+	return p.Wait()
+}

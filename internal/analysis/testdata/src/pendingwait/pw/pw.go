@@ -1,0 +1,216 @@
+// Package pw is the pendingwait testdata: every *pdm.Pending handle from
+// a Begin* call must be waited exactly once on all paths. Escapes
+// (PendingSet.Add, returns, stores, captures) discharge the obligation.
+package pw
+
+import (
+	"repro/internal/pdm"
+)
+
+// ---------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------
+
+func leakOnHappyPath(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs) // want `pending handle from BeginReadBlocks may not be waited on some path`
+	if err != nil {
+		return err
+	}
+	_ = p
+	return nil
+}
+
+func leakOnErrorPath(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, cond bool) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs) // want `pending handle from BeginWriteBlocks may not be waited on some path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // forgot the wait on this early return
+	}
+	return p.Wait()
+}
+
+func doubleWait(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	if err := p.Wait(); err != nil {
+		return err
+	}
+	return p.Wait() // want `handle from BeginReadBlocks may already have been waited \(double Wait\)`
+}
+
+func doubleWaitViaAlias(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	q := p
+	_ = p.Wait()
+	return q.Wait() // want `double Wait`
+}
+
+func discarded(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) {
+	arr.BeginReadBlocks(reqs, bufs) // want `result of BeginReadBlocks is discarded`
+}
+
+func discardedBlank(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	_, err := arr.BeginWriteBlocks(reqs, bufs) // want `result of BeginWriteBlocks is discarded`
+	return err
+}
+
+func loopReBegin(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	var p *pdm.Pending
+	var err error
+	for i := 0; i < 4; i++ {
+		p, err = arr.BeginReadBlocks(reqs, bufs) // want `re-executed while the handle from the previous iteration may still be un-waited`
+		if err != nil {
+			return err
+		}
+	}
+	return p.Wait() // only the last iteration's handle is waited
+}
+
+func crossGoroutineWait(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	go p.Wait() // want `Pending waited in a goroutine other than the one that begun it`
+	return nil
+}
+
+func crossGoroutineLit(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Wait() // want `Pending waited in a goroutine other than the one that begun it`
+	}()
+	return <-done
+}
+
+// ---------------------------------------------------------------------
+// Clean: the real tree's idioms must not be flagged.
+// ---------------------------------------------------------------------
+
+// cleanWait is the doBlocks pattern: begin, error-exit, wait.
+func cleanWait(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	return p.Wait()
+}
+
+// cleanBranchedBegin is the layout.beginFIFO pattern: one handle var
+// bound on either branch, nil-checked through the shared err, handed to
+// the caller's PendingSet.
+func cleanBranchedBegin(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word,
+	read bool, pend *pdm.PendingSet) error {
+	var p *pdm.Pending
+	var err error
+	if read {
+		p, err = arr.BeginReadBlocks(reqs, bufs)
+	} else {
+		p, err = arr.BeginWriteBlocks(reqs, bufs)
+	}
+	if err != nil {
+		return err
+	}
+	pend.Add(p)
+	return nil
+}
+
+// cleanDeferred waits through a defer, which covers every return path.
+func cleanDeferred(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, cond bool) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	defer p.Wait()
+	if cond {
+		return nil
+	}
+	return nil
+}
+
+// cleanReturned hands the handle to the caller: the obligation moves
+// with it.
+func cleanReturned(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) (*pdm.Pending, error) {
+	return arr.BeginReadBlocks(reqs, bufs)
+}
+
+type inflight struct {
+	p *pdm.Pending
+}
+
+// cleanStored escapes the handle into a struct field.
+func cleanStored(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, in *inflight) error {
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	in.p = p
+	return nil
+}
+
+// cleanHelperHandoff passes the handle to a helper that owns the wait.
+func cleanHelperHandoff(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	return waitBoth(p, nil)
+}
+
+func waitBoth(a, b *pdm.Pending) error {
+	var first error
+	for _, p := range []*pdm.Pending{a, b} {
+		if p == nil {
+			continue
+		}
+		if err := p.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// cleanNilCheck guards through the handle itself rather than the error.
+func cleanNilCheck(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, _ := arr.BeginReadBlocks(reqs, bufs)
+	if p == nil {
+		return nil
+	}
+	return p.Wait()
+}
+
+// cleanLoopAdd is the pipelined-driver pattern: every iteration's handle
+// goes straight into a PendingSet, waited by the caller later.
+func cleanLoopAdd(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, pend *pdm.PendingSet) error {
+	for i := 0; i < 4; i++ {
+		p, err := arr.BeginWriteBlocks(reqs, bufs)
+		if err != nil {
+			return err
+		}
+		pend.Add(p)
+	}
+	return pend.Wait()
+}
+
+// deliberateLeak is the seeded negative for the waiver: an intentional
+// leak (exercised by the freelist non-resurrection test) that the
+// analyzer must not flag because of the marker.
+func deliberateLeak(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs) // emcgm:pendingok — leak is the point of the test
+	if err != nil {
+		return err
+	}
+	_ = p
+	return nil
+}

@@ -27,13 +27,26 @@ import (
 //   - ErrCheckStripe: the operation's requests do not form a contiguous
 //     ascending run of global block indices g = Track·D + Disk (requires
 //     Stripe) — the consecutive-format conformance check for striped
-//     context runs.
+//     context runs;
+//   - ErrCheckUseAfterBegin: a write buffer was modified between
+//     BeginWriteBlocks and Wait — the dynamic counterpart of the bufown
+//     lint: in checked mode the workers write from a private snapshot
+//     while the caller's buffers are poison-filled, so any caller-side
+//     store in the loan window destroys the sentinel and is detected at
+//     Wait (the original contents are restored either way, keeping
+//     checked runs bit-identical to unchecked ones).
 var (
-	ErrCheckBounds     = errors.New("pdm: checked: block address out of bounds")
-	ErrCheckOverlap    = errors.New("pdm: checked: overlapping blocks in one parallel op")
-	ErrCheckUninitRead = errors.New("pdm: checked: read of never-written block")
-	ErrCheckStripe     = errors.New("pdm: checked: parallel op violates striping")
+	ErrCheckBounds        = errors.New("pdm: checked: block address out of bounds")
+	ErrCheckOverlap       = errors.New("pdm: checked: overlapping blocks in one parallel op")
+	ErrCheckUninitRead    = errors.New("pdm: checked: read of never-written block")
+	ErrCheckStripe        = errors.New("pdm: checked: parallel op violates striping")
+	ErrCheckUseAfterBegin = errors.New("pdm: checked: write buffer modified between Begin and Wait")
 )
+
+// poisonWord is the in-flight sentinel checked mode pours over loaned
+// buffers. A caller-side store of exactly this value escapes detection —
+// the usual sentinel-pattern caveat.
+const poisonWord Word = 0xDEAD_BEEF_FEED_FACE
 
 // CheckConfig selects what the sanitizer validates. The zero value checks
 // bounds (against D only) and intra-op overlap.
@@ -146,4 +159,72 @@ func (c *checker) commit(reqs []BlockReq, read bool) {
 	for _, r := range reqs {
 		c.written[blockAddr{r.Disk, r.Track}] = struct{}{}
 	}
+}
+
+// pendingPoison is the loan record of one checked-mode split-phase
+// write: saved holds private snapshots of the caller's buffers (what
+// the workers actually write to disk) while the buffers themselves are
+// poison-filled until Wait verifies and restores them.
+type pendingPoison struct {
+	bufs  [][]Word // the loaned buffers (headers copied: only the data is on loan)
+	saved [][]Word // original contents, dispatched to the workers
+}
+
+// loanWrite snapshots each write buffer and poison-fills the original.
+// Called with opMu held, before dispatch, so the workers only ever see
+// the stable snapshots.
+func (c *checker) loanWrite(bufs [][]Word) *pendingPoison {
+	// Copy the slice headers: the loan covers the buffer *data*, not the
+	// caller's outer slice, which drivers legitimately recycle (e.g.
+	// SplitBlocksInto(s.bufs[:0], ...)) while the write is in flight.
+	lent := make([][]Word, len(bufs))
+	copy(lent, bufs)
+	bufs = lent
+	saved := make([][]Word, len(bufs))
+	for i, b := range bufs {
+		cp := make([]Word, len(b))
+		copy(cp, b)
+		saved[i] = cp
+	}
+	// Poison only after every snapshot is taken, so aliased buffers (one
+	// slice backing several requests) snapshot real data, not poison.
+	for _, b := range bufs {
+		for j := range b {
+			b[j] = poisonWord
+		}
+	}
+	return &pendingPoison{bufs: bufs, saved: saved}
+}
+
+// poisonRead poison-fills read destinations at begin time: the worker
+// overwrites them with real data before Wait returns, so a caller that
+// consumes the buffer early reads deterministic garbage instead of
+// whatever the previous superstep left there.
+func (c *checker) poisonRead(bufs [][]Word) {
+	for _, b := range bufs {
+		for j := range b {
+			b[j] = poisonWord
+		}
+	}
+}
+
+// verifyAndRestore checks every loaned word still carries the sentinel,
+// then restores the original contents. Returns ErrCheckUseAfterBegin
+// (first tampered location) when the loan was violated.
+func (pp *pendingPoison) verifyAndRestore() error {
+	var first error
+	for i, b := range pp.bufs {
+		if first == nil {
+			for j, w := range b {
+				if w != poisonWord {
+					// emcgm:coldpath sanitizer violation path
+					first = fmt.Errorf("%w: buffer %d word %d overwritten in flight (got %#x)",
+						ErrCheckUseAfterBegin, i, j, w)
+					break
+				}
+			}
+		}
+		copy(b, pp.saved[i])
+	}
+	return first
 }

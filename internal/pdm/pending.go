@@ -18,11 +18,12 @@ import (
 // allocations per operation in steady state. Waiting a nil Pending is a
 // no-op, so error-path drains can Wait unconditionally.
 type Pending struct {
-	a    *DiskArray
-	n    int     // transfers dispatched
-	errs []error // per-transfer result slots, len = D of the owning array
-	wg   sync.WaitGroup
-	next *Pending // freelist link, guarded by the array's opMu
+	a      *DiskArray
+	n      int     // transfers dispatched
+	errs   []error // per-transfer result slots, len = D of the owning array
+	wg     sync.WaitGroup
+	poison *pendingPoison // checked-mode write loan record, nil otherwise
+	next   *Pending       // freelist link, guarded by the array's opMu
 }
 
 // donePending is the shared handle of an empty operation: no transfers,
@@ -42,9 +43,17 @@ func (p *Pending) Wait() error {
 	}
 	p.wg.Wait()
 	var first error
+	// emcgm:coldpath checked-mode loan audit: verify the poison sentinel
+	// survived the flight, then hand the original contents back
+	if p.poison != nil {
+		first = p.poison.verifyAndRestore()
+		p.poison = nil
+	}
 	for _, err := range p.errs[:p.n] {
 		if err != nil {
-			first = err
+			if first == nil {
+				first = err
+			}
 			break
 		}
 	}
@@ -136,13 +145,28 @@ func (a *DiskArray) begin(reqs []BlockReq, bufs [][]Word, read bool) (*Pending, 
 	}
 	p.a = a
 	p.n = len(reqs)
+	// emcgm:coldpath checked-mode buffer loan: writes dispatch a private
+	// snapshot while the caller's buffers carry the poison sentinel until
+	// Wait; read destinations are poisoned so a premature read sees
+	// deterministic garbage rather than stale superstep data
+	if a.check != nil {
+		if read {
+			a.check.poisonRead(bufs)
+		} else {
+			p.poison = a.check.loanWrite(bufs)
+		}
+	}
 	p.wg.Add(len(reqs))
 	for i, r := range reqs {
 		p.errs[i] = nil
+		buf := bufs[i]
+		if p.poison != nil {
+			buf = p.poison.saved[i]
+		}
 		// emcgm:lockheld opMu serialises operation dispatch by design; the
 		// per-disk work queues are buffered and drained by resident
 		// workers, so this send cannot block on a peer that needs opMu.
-		a.work[r.Disk] <- diskOp{track: r.Track, buf: bufs[i], read: read, err: &p.errs[i], wg: &p.wg}
+		a.work[r.Disk] <- diskOp{track: r.Track, buf: buf, read: read, err: &p.errs[i], wg: &p.wg}
 	}
 	a.account(len(reqs), read)
 	// emcgm:coldpath checked-mode bookkeeping of initialised blocks;

@@ -353,3 +353,65 @@ func TestBeginAfterClose(t *testing.T) {
 		t.Errorf("BeginWriteBlocks after Close = %v, want ErrClosed", err)
 	}
 }
+
+// TestLeakedPendingNeverResurrected pins down the freelist's safety
+// property: only Wait recycles a handle, so a handle the caller leaks
+// (never waits) must never be handed out again by a later Begin — a
+// resurrected un-waited handle would let two operations share one
+// WaitGroup and error slab. Run under -race this also proves the leaked
+// handle's fields are never touched by the array after its transfers
+// complete.
+func TestLeakedPendingNeverResurrected(t *testing.T) {
+	const d, b = 2, 8
+	arr := NewMemArray(d, b)
+	defer arr.Close()
+
+	reqs := []BlockReq{{Disk: 0, Track: 0}, {Disk: 1, Track: 0}}
+	bufs := [][]Word{make([]Word, b), make([]Word, b)}
+
+	// Deliberate leak: begin and never wait. // emcgm:pendingok (the test
+	// exists to observe what happens to an abandoned handle)
+	leaked, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaked.wg.Wait() // transfers done; the handle itself stays un-waited
+
+	// Churn the freelist: every cycle recycles its own handle via Wait,
+	// and none may alias the leaked one.
+	var prev *Pending
+	for i := 0; i < 100; i++ {
+		p, err := arr.BeginWriteBlocks(reqs, bufs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == leaked {
+			t.Fatalf("cycle %d: Begin resurrected a handle that was never waited", i)
+		}
+		if prev != nil && p != prev {
+			// Not a correctness requirement, but the steady state the
+			// freelist exists for: one handle cycling forever.
+			t.Logf("cycle %d: freelist issued a new handle", i)
+		}
+		prev = p
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The leaked handle is still the caller's to wait late; doing so must
+	// be safe and only now may the handle re-enter circulation.
+	if err := leaked.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := arr.BeginWriteBlocks(reqs, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != leaked {
+		t.Errorf("freelist did not reuse the late-waited handle (got %p, want %p)", p, leaked)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
