@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build test race bench bench-smoke bench-filedisk bench-record bench-baseline allocs lint lint-tool lint-selftest fuzz
+.PHONY: verify build test race bench bench-smoke bench-filedisk bench-record bench-baseline allocs lint lint-tool lint-selftest lint-timing fuzz
 
 verify: build test race
 
@@ -93,20 +93,38 @@ lint:
 		echo "golangci-lint not installed; skipped (CI runs it)"; \
 	fi
 
-# Seeded-negative self-test: run each typestate analyzer alone over its
-# own violation fixtures and require findings (exit 1). A refactor that
-# silences an analyzer fails here, not in code review. The waived
-# fixtures in the same packages double as false-positive coverage: any
-# unexpected diagnostic fails the antest suites under `make test`.
+# Seeded-negative self-test: run each analyzer alone over its own
+# violation fixtures and require findings (exit 1). A refactor that
+# silences an analyzer fails here, not in code review. The second loop
+# requires a "via" witness chain in the output of every interprocedural
+# analyzer, so the summary propagation cannot silently degrade to the
+# old intraprocedural behavior. The waived fixtures in the same packages
+# double as false-positive coverage: any unexpected diagnostic fails the
+# antest suites under `make test`.
 lint-selftest:
 	@tool=$$($(MAKE) -s lint-tool); \
-	for f in pendingwait:pw bufown:bo batchasc:ba; do \
+	for f in pendingwait:pw bufown:bo batchasc:ba iopurity:iop hotpathalloc:hp detorder:det ioerrcheck:ioe; do \
 		name=$${f%%:*}; pkg=$${f##*:}; \
 		if $$tool -run $$name ./internal/analysis/testdata/src/$$name/$$pkg >/dev/null; then \
 			echo "lint-selftest: $$name reported nothing on its seeded violations"; exit 1; \
 		fi; \
 		echo "lint-selftest: $$name still fires"; \
+	done; \
+	for f in hotpathalloc:hp detorder:det ioerrcheck:ioe iopurity:iop pendingwait:pw; do \
+		name=$${f%%:*}; pkg=$${f##*:}; \
+		if ! $$tool -run $$name ./internal/analysis/testdata/src/$$name/$$pkg 2>/dev/null | grep -q ' (via \| via '; then \
+			echo "lint-selftest: $$name lost its interprocedural witness chains"; exit 1; \
+		fi; \
+		echo "lint-selftest: $$name prints witness chains"; \
 	done
+
+# Lint wall-time budget: the suite's cost relative to a plain `go vet`
+# of the same tree, gated against the committed baseline ratio. An
+# analyzer change that more than doubles relative lint cost fails here
+# and must either be optimised or deliberately recorded by refreshing
+# scripts/lint_timing.baseline.
+lint-timing:
+	@sh scripts/lint_timing.sh
 
 # Native fuzz smoke: go test -fuzz accepts one target per invocation, so
 # each property gets its own run. FUZZTIME=2m make fuzz for a longer soak.

@@ -35,6 +35,7 @@ import (
 	"repro/internal/analysis/detorder"
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/ioerrcheck"
+	"repro/internal/analysis/iopurity"
 	"repro/internal/analysis/lockscope"
 	"repro/internal/analysis/paramcheck"
 	"repro/internal/analysis/pendingwait"
@@ -46,6 +47,7 @@ var analyzers = []*analysis.Analyzer{
 	recorderguard.Analyzer,
 	ioerrcheck.Analyzer,
 	detorder.Analyzer,
+	iopurity.Analyzer,
 	barrierpair.Analyzer,
 	lockscope.Analyzer,
 	paramcheck.Analyzer,

@@ -35,10 +35,18 @@ import (
 
 // Analyzer is one static check. Name appears in diagnostics; Doc is a
 // one-paragraph description shown by the driver's -help.
+//
+// Summarize, when set, contributes this analyzer's effect facts to the
+// per-function summary record: it inspects one declaration, updates the
+// fields it owns, and reports whether anything changed. Drivers run the
+// hooks to a per-package fixpoint (ComputeSummaries) before any Run, so
+// hooks must be monotone over their effect lattice and must not report
+// diagnostics.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	Summarize func(pass *Pass, fd *ast.FuncDecl, sum *FuncSummary) bool
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -49,15 +57,40 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	// Markers maps a function key (see FuncKey) to the emcgm: marker
-	// directives found in its doc comment, for every function of every
-	// module package in the load — including dependencies of the package
-	// under analysis, so cross-package hot-path calls can be validated
-	// without a fact store.
-	Markers map[string][]string
+	// Summaries maps a function key (see FuncKey) to the function's
+	// summary record — markers plus computed effects — for every
+	// function of every module package in the load, including
+	// dependencies of the package under analysis, so cross-package
+	// contracts can be validated without re-analyzing callees.
+	Summaries Summaries
+
+	// Interprocedural is set by drivers once Summaries carries computed
+	// effects (not just markers). Analyzers fall back to their
+	// intraprocedural behavior when false; the mutation tests exploit
+	// this to prove what the old passes missed.
+	Interprocedural bool
+
+	// UsedWaivers records, across every analyzer of the package, the
+	// positions of waiver comments that suppressed at least one
+	// diagnostic. The driver's unused-waiver check reports the rest.
+	UsedWaivers map[token.Pos]bool
 
 	// report receives diagnostics; set by the driver.
 	report func(Diagnostic)
+}
+
+// UseWaiver marks the waiver comment at pos as having suppressed a
+// diagnostic, exempting it from the unused-waiver check.
+func (p *Pass) UseWaiver(pos token.Pos) {
+	if p.UsedWaivers != nil {
+		p.UsedWaivers[pos] = true
+	}
+}
+
+// SummaryOf resolves a called function to its summary record; nil for
+// unkeyed objects and functions outside the load.
+func (p *Pass) SummaryOf(fn *types.Func) *FuncSummary {
+	return p.Summaries.Of(fn)
 }
 
 // Diagnostic is one finding, anchored at a position.
@@ -79,12 +112,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // HasMarker reports whether the function identified by key carries the
 // given emcgm: directive.
 func (p *Pass) HasMarker(key, marker string) bool {
-	for _, m := range p.Markers[key] {
-		if m == marker {
-			return true
-		}
-	}
-	return false
+	return p.Summaries.HasMarker(key, marker)
 }
 
 // FuncKey builds the marker-registry key of a function: pkgpath.Name for

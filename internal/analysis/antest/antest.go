@@ -33,39 +33,58 @@ type expectation struct {
 
 var wantRE = regexp.MustCompile("`([^`]*)`")
 
-// Run applies the analyzer to the packages matched by patterns and
-// checks every diagnostic against the testdata's want comments.
+// Run applies the analyzer to the root packages matched by patterns and
+// checks every diagnostic against the testdata's want comments. The
+// harness mirrors the production drivers end to end: function summaries
+// are computed bottom-up over the load (so interprocedural fixtures
+// exercise the real propagation), analyzers run with summaries enabled,
+// and the driver-level unused-waiver check contributes its diagnostics
+// — a fixture can therefore `want` an unusedwaiver finding, and a
+// rotten waiver in a fixture fails its test.
 func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
-	pkgs, markers, err := analysis.Load(fset, patterns...)
+	pkgs, err := analysis.Load(fset, patterns...)
 	if err != nil {
 		t.Fatalf("load %v: %v", patterns, err)
 	}
-	if len(pkgs) == 0 {
-		t.Fatalf("load %v: no packages", patterns)
-	}
+	sums := analysis.Summaries{}
+	analysis.ComputeSummaries(fset, pkgs, []*analysis.Analyzer{a}, sums)
+	ran := map[string]bool{a.Name: true}
 
+	roots := 0
 	var expects []*expectation
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
+		if !pkg.Root {
+			continue
+		}
+		roots++
 		for _, terr := range pkg.TypeErrs {
 			t.Errorf("type error in %s: %v", pkg.PkgPath, terr)
 		}
 		expects = append(expects, collectWants(t, fset, pkg.Syntax)...)
 
+		used := map[token.Pos]bool{}
 		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     pkg.Syntax,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			Markers:   markers,
+			Analyzer:        a,
+			Fset:            fset,
+			Files:           pkg.Syntax,
+			Pkg:             pkg.Types,
+			TypesInfo:       pkg.TypesInfo,
+			Summaries:       sums,
+			Interprocedural: true,
+			UsedWaivers:     used,
 		}
 		pass.SetReport(func(d analysis.Diagnostic) { diags = append(diags, d) })
 		if err := a.Run(pass); err != nil {
 			t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
 		}
+		analysis.CheckUnusedWaivers(pkg.Syntax, ran, used,
+			func(d analysis.Diagnostic) { diags = append(diags, d) })
+	}
+	if roots == 0 {
+		t.Fatalf("load %v: no packages", patterns)
 	}
 
 	for _, d := range diags {

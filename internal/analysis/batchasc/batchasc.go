@@ -78,15 +78,20 @@ type state struct {
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
-		waived := analysis.MarkedNodes(pass.Fset, file, waiver)
+		waived := analysis.WaiverNodes(pass.Fset, file, waiver)
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || analysis.FuncMarked(fd, waiver) {
+			if !ok {
 				continue
 			}
+			// A function-level waiver no longer skips the analysis: the
+			// flow still runs, each suppressed finding marks the waiver
+			// used, and a waiver on a clean function is reported by the
+			// driver's unused-waiver check.
+			fnWaiver, _ := analysis.FuncWaiverPos(fd, waiver)
 			for _, body := range analysis.FunctionBodies(fd) {
 				f := &flow{pass: pass, info: pass.TypesInfo, waived: waived,
-					seen: map[string]bool{}}
+					fnWaiver: fnWaiver, seen: map[string]bool{}}
 				g := dataflow.New(body)
 				res := dataflow.Forward[*state](g, f)
 				f.report = true
@@ -98,9 +103,10 @@ func run(pass *analysis.Pass) error {
 }
 
 type flow struct {
-	pass   *analysis.Pass
-	info   *types.Info
-	waived map[ast.Node]bool
+	pass     *analysis.Pass
+	info     *types.Info
+	waived   map[ast.Node]token.Pos
+	fnWaiver token.Pos
 
 	report bool
 	seen   map[string]bool
@@ -494,7 +500,15 @@ func (f *flow) checkBatch(ctx ast.Node, call *ast.CallExpr, tracks ast.Expr, s *
 }
 
 func (f *flow) violation(ctx ast.Node, pos token.Pos, kind, format string, args ...any) {
-	if !f.report || f.waived[ctx] {
+	if !f.report {
+		return
+	}
+	if f.fnWaiver.IsValid() {
+		f.pass.UseWaiver(f.fnWaiver)
+		return
+	}
+	if wpos, ok := f.waived[ctx]; ok {
+		f.pass.UseWaiver(wpos)
 		return
 	}
 	dedup := fmt.Sprintf("%s:%d", kind, pos)

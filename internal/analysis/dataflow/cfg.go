@@ -263,11 +263,36 @@ func (b *builder) stmt(s ast.Stmt) {
 		b.clauses(label, s.Body, s)
 
 	case *ast.SelectStmt:
+		// Every case's channel operand — and every send's value — is
+		// evaluated exactly once, up front, in source order, before the
+		// select commits to (or blocks for) a case. They belong to the
+		// entry block: a handle referenced in any case's send reaches the
+		// analysis on every path, not just the chosen clause's.
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch c := cc.Comm.(type) {
+			case *ast.SendStmt:
+				b.add(c.Chan)
+				b.add(c.Value)
+			case *ast.ExprStmt:
+				if u, ok := c.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					b.add(u.X)
+				}
+			case *ast.AssignStmt:
+				for _, r := range c.Rhs {
+					if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						b.add(u.X)
+					}
+				}
+			}
+		}
 		after := b.newBlock("select.after")
 		b.breakTo = append(b.breakTo, labeledTarget{label, after})
 		entry := b.cur
 		b.cur = b.newBlock("unreachable")
-		hasDefault := false
 		for _, cl := range s.Body.List {
 			cc, ok := cl.(*ast.CommClause)
 			if !ok {
@@ -277,14 +302,17 @@ func (b *builder) stmt(s ast.Stmt) {
 			entry.Succs = append(entry.Succs, Edge{To: blk})
 			b.cur = blk
 			if cc.Comm != nil {
+				// The communication itself — the receive binding, the
+				// committed send — happens on the chosen clause's path.
 				b.stmt(cc.Comm)
-			} else {
-				hasDefault = true
 			}
 			b.stmts(cc.Body)
 			b.jump(after)
 		}
-		_ = hasDefault // a blocking select with no ready case never leaves; edges cover the cases
+		// `select {}` has no cases: the entry gets no successors and the
+		// after block no predecessors — it blocks forever, exactly as the
+		// runtime does. A caseless default-free select with cases blocks
+		// until one is ready; the per-case edges cover that.
 		b.breakTo = b.breakTo[:len(b.breakTo)-1]
 		b.cur = after
 

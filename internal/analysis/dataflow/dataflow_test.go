@@ -159,6 +159,197 @@ done:
 	}
 }
 
+func TestCFGGotoBackwardBuildsLoop(t *testing.T) {
+	g := New(parseBody(t, `
+	x := 0
+again:
+	x++
+	if x < 3 {
+		goto again
+	}
+	_ = x`))
+	if !reach(g)[g.Exit] {
+		t.Fatalf("backward goto: exit unreachable")
+	}
+	// The goto edge must close a cycle through the label block.
+	var labelBlock *Block
+	for _, b := range g.Blocks {
+		if b.kind == "label.again" {
+			labelBlock = b
+		}
+	}
+	if labelBlock == nil {
+		t.Fatalf("no block built for label again")
+	}
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		for _, e := range b.Succs {
+			if e.To == labelBlock {
+				return true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				if walk(e.To) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !walk(labelBlock) {
+		t.Fatalf("backward goto built no cycle through its label block")
+	}
+}
+
+func TestCFGLabeledContinueFromNestedSwitch(t *testing.T) {
+	g := New(parseBody(t, `
+	s := 0
+loop:
+	for i := 0; i < 4; i++ {
+		switch i {
+		case 2:
+			continue loop
+		default:
+			s += i
+		}
+		s++
+	}
+	_ = s`))
+	if !reach(g)[g.Exit] {
+		t.Fatalf("labeled continue from nested switch: exit unreachable")
+	}
+	// The continue must edge back into the loop, closing a cycle.
+	cyclic := false
+	for b := range reach(g) {
+		seen := map[*Block]bool{}
+		var walk func(x *Block) bool
+		walk = func(x *Block) bool {
+			for _, e := range x.Succs {
+				if e.To == b {
+					return true
+				}
+				if !seen[e.To] {
+					seen[e.To] = true
+					if walk(e.To) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if walk(b) {
+			cyclic = true
+			break
+		}
+	}
+	if !cyclic {
+		t.Fatalf("labeled continue built no back edge")
+	}
+}
+
+func TestCFGSelectOperandsEvaluatedOnEveryPath(t *testing.T) {
+	g := New(parseBody(t, `
+	ch1 := make(chan int)
+	ch2 := make(chan int)
+	v := 7
+	select {
+	case ch1 <- v:
+		_ = v
+	case x := <-ch2:
+		_ = x
+	}
+	return`))
+	// The send value `v` and both channel operands must sit in the block
+	// that fans out to the clauses — evaluated before the select commits —
+	// so an analysis sees them regardless of which case wins.
+	var fanout *Block
+	for _, b := range g.Blocks {
+		clauseSuccs := 0
+		for _, e := range b.Succs {
+			if e.To.kind == "select.clause" {
+				clauseSuccs++
+			}
+		}
+		if clauseSuccs == 2 {
+			fanout = b
+		}
+	}
+	if fanout == nil {
+		t.Fatalf("no block fans out to both select clauses")
+	}
+	idents := map[string]bool{}
+	for _, n := range fanout.Nodes {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				idents[id.Name] = true
+			}
+			return true
+		})
+	}
+	for _, want := range []string{"ch1", "ch2", "v"} {
+		if !idents[want] {
+			t.Errorf("select entry block does not evaluate %s; nodes: %v", want, idents)
+		}
+	}
+}
+
+func TestCFGSelectWithDefaultReachesExit(t *testing.T) {
+	g := New(parseBody(t, `
+	ch := make(chan int)
+	select {
+	case <-ch:
+	default:
+	}
+	return`))
+	if !reach(g)[g.Exit] {
+		t.Fatalf("select with default: exit unreachable")
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	g := New(parseBody(t, `
+	x := 1
+	_ = x
+	select {}
+	x = 2`))
+	if reach(g)[g.Exit] {
+		t.Fatalf("select{} blocks forever but exit is reachable")
+	}
+}
+
+func TestCFGBreakInSelect(t *testing.T) {
+	g := New(parseBody(t, `
+	ch := make(chan int)
+	done := false
+	select {
+	case <-ch:
+		break
+	}
+	done = true
+	_ = done
+	return`))
+	if !reach(g)[g.Exit] {
+		t.Fatalf("unlabeled break in select: exit unreachable")
+	}
+}
+
+func TestCFGLabeledBreakFromSelectInLoop(t *testing.T) {
+	g := New(parseBody(t, `
+	ch := make(chan int)
+loop:
+	for {
+		select {
+		case <-ch:
+			break loop
+		}
+	}
+	return`))
+	if !reach(g)[g.Exit] {
+		t.Fatalf("labeled break from select inside loop: exit unreachable")
+	}
+}
+
 func TestCFGPanicDoesNotReachExit(t *testing.T) {
 	g := New(parseBody(t, `panic("boom")`))
 	// The only statement panics: exit must be unreachable.

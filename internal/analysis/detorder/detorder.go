@@ -20,10 +20,20 @@
 //     shared unseeded global source (rand.New(rand.NewSource(seed)) and
 //     methods on an explicit *rand.Rand are fine);
 //   - select statements with two or more communication cases: when
-//     several are ready the runtime picks uniformly at random.
+//     several are ready the runtime picks uniformly at random;
+//   - interprocedurally, calls to module functions whose summary
+//     capability set (FuncSummary.Caps) shows they reach any of the
+//     above on some call path — a time.Now buried two helpers deep no
+//     longer hides behind the call boundary. The diagnostic prints the
+//     witness chain (`f → g → time.Now at x.go:12`). Callees that are
+//     themselves in deterministic scope are trusted: their own package's
+//     lint run enforces the contract.
 //
 // A statement annotated `// emcgm:orderok <reason>` is exempt; the
 // annotation is the reviewed claim that the order cannot be observed.
+// Suppressions are recorded through Pass.UseWaiver, so a waiver that no
+// longer suppresses anything is reported by the driver's unused-waiver
+// check.
 package detorder
 
 import (
@@ -36,12 +46,16 @@ import (
 
 // Analyzer is the detorder analysis.
 var Analyzer = &analysis.Analyzer{
-	Name: "detorder",
-	Doc:  "reports nondeterminism sources inside emcgm:deterministic scope",
-	Run:  run,
+	Name:      "detorder",
+	Doc:       "reports nondeterminism sources inside emcgm:deterministic scope",
+	Run:       run,
+	Summarize: analysis.SummarizeCaps,
 }
 
-const marker = "emcgm:deterministic"
+const (
+	marker  = "emcgm:deterministic"
+	obsPath = "repro/internal/obs"
+)
 
 func run(pass *analysis.Pass) error {
 	pkgMarked := false
@@ -52,7 +66,7 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	for _, file := range pass.Files {
-		waived := analysis.MarkedNodes(pass.Fset, file, "emcgm:orderok")
+		waived := analysis.WaiverNodes(pass.Fset, file, "emcgm:orderok")
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -67,18 +81,28 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, waived map[ast.Node]bool) {
+// reportOrWaive emits the diagnostic unless a node on the ancestor stack
+// carries an emcgm:orderok waiver, in which case the waiver is marked
+// used instead.
+func reportOrWaive(pass *analysis.Pass, waived map[ast.Node]token.Pos, stack []ast.Node, pos token.Pos, format string, args ...any) {
+	for _, n := range stack {
+		if wpos, ok := waived[n]; ok {
+			pass.UseWaiver(wpos)
+			return
+		}
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, waived map[ast.Node]token.Pos) {
 	info := pass.TypesInfo
 	analysis.WalkStack(fd.Body, func(stack []ast.Node) bool {
 		n := stack[len(stack)-1]
-		if waived[n] {
-			return false
-		}
 		switch n := n.(type) {
 		case *ast.RangeStmt:
 			if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); ok {
-				if !orderInsensitiveBody(info, n) {
-					pass.Reportf(n.Pos(), "map iteration order escapes in deterministic scope; iterate sorted keys or mark // emcgm:orderok with a reason")
+				if !analysis.OrderInsensitiveMapRange(info, n) {
+					reportOrWaive(pass, waived, stack, n.Pos(), "map iteration order escapes in deterministic scope; iterate sorted keys or mark // emcgm:orderok with a reason")
 				}
 			}
 		case *ast.SelectStmt:
@@ -89,94 +113,67 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, waived map[ast.Node]bool) 
 				}
 			}
 			if comm >= 2 {
-				pass.Reportf(n.Pos(), "select with %d communication cases is scheduled nondeterministically in deterministic scope", comm)
+				reportOrWaive(pass, waived, stack, n.Pos(), "select with %d communication cases is scheduled nondeterministically in deterministic scope", comm)
 			}
 		case *ast.CallExpr:
-			checkCall(pass, stack, n)
+			checkCall(pass, waived, stack, n)
 		}
 		return true
 	})
 }
 
-// checkCall reports wall-clock reads outside observability guards and
-// draws from the global math/rand source.
-func checkCall(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) {
+// capDesc names each determinism-relevant capability in diagnostics.
+var capDesc = map[string]string{
+	analysis.CapTime:     "a wall-clock read",
+	analysis.CapRand:     "the global math/rand source",
+	analysis.CapMapOrder: "order-escaping map iteration",
+	analysis.CapSelect:   "nondeterministic select scheduling",
+}
+
+// detCaps are the capabilities that break determinism, in report order.
+var detCaps = []string{analysis.CapTime, analysis.CapRand, analysis.CapMapOrder, analysis.CapSelect}
+
+// checkCall reports wall-clock reads outside observability guards, draws
+// from the global math/rand source, and — through function summaries —
+// calls whose transitive capability set reaches either.
+func checkCall(pass *analysis.Pass, waived map[ast.Node]token.Pos, stack []ast.Node, call *ast.CallExpr) {
 	info := pass.TypesInfo
 	fn := analysis.Callee(info, call.Fun)
 	if fn == nil || fn.Pkg() == nil {
 		return
 	}
-	switch fn.Pkg().Path() {
+	switch path := fn.Pkg().Path(); path {
 	case "time":
 		switch fn.Name() {
 		case "Now", "Since", "Until":
 			if !analysis.RecorderGuarded(info, stack) {
-				pass.Reportf(call.Pos(), "time.%s outside an observability guard in deterministic scope; wall-clock values must not steer the simulation", fn.Name())
+				reportOrWaive(pass, waived, stack, call.Pos(), "time.%s outside an observability guard in deterministic scope; wall-clock values must not steer the simulation", fn.Name())
 			}
 		}
 	case "math/rand", "math/rand/v2":
-		sig, ok := fn.Type().(*types.Signature)
-		if !ok || sig.Recv() != nil {
-			return // methods on an explicit *rand.Rand carry their own seed
+		if analysis.GlobalRandDraw(fn) {
+			reportOrWaive(pass, waived, stack, call.Pos(), "%s.%s draws from the unseeded global source in deterministic scope; use rand.New(rand.NewSource(seed))", fn.Pkg().Name(), fn.Name())
 		}
-		switch fn.Name() {
-		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
-			return // constructors of seeded generators
+	default:
+		if !pass.Interprocedural || !analysis.InModule(path) || path == obsPath {
+			return
 		}
-		pass.Reportf(call.Pos(), "%s.%s draws from the unseeded global source in deterministic scope; use rand.New(rand.NewSource(seed))", fn.Pkg().Name(), fn.Name())
-	}
-}
-
-// orderInsensitiveBody reports whether every statement of the range body
-// is a commutative accumulation on integers or a write to a distinct
-// element indexed by the range key — forms whose result is independent of
-// visit order. Floating-point accumulation is not exempt: FP addition is
-// not associative, so reordering changes the rounded sum.
-func orderInsensitiveBody(info *types.Info, rs *ast.RangeStmt) bool {
-	key, _ := rs.Key.(*ast.Ident)
-	for _, st := range rs.Body.List {
-		switch s := st.(type) {
-		case *ast.IncDecStmt:
-			if !isInteger(info.TypeOf(s.X)) {
-				return false
+		sum := pass.SummaryOf(fn)
+		if sum == nil || sum.HasMarker(marker) {
+			// Callees in deterministic scope are checked by their own
+			// package's run; re-reporting here would double every intra-
+			// package call.
+			return
+		}
+		if analysis.RecorderGuarded(info, stack) {
+			return
+		}
+		for _, cap := range detCaps {
+			if sum.HasCap(cap) {
+				chain := analysis.Chain(analysis.ChainEntry(fn), sum.CapChain[cap])
+				reportOrWaive(pass, waived, stack, call.Pos(), "call to %s reaches %s in deterministic scope (via %s)", analysis.ChainEntry(fn), capDesc[cap], analysis.FormatChain(chain))
+				return
 			}
-		case *ast.AssignStmt:
-			switch s.Tok {
-			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
-				token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
-				for _, lhs := range s.Lhs {
-					if !isInteger(info.TypeOf(lhs)) {
-						return false
-					}
-				}
-			case token.ASSIGN:
-				if key == nil || key.Name == "_" {
-					return false
-				}
-				for _, lhs := range s.Lhs {
-					ix, ok := lhs.(*ast.IndexExpr)
-					if !ok {
-						return false
-					}
-					id, ok := ix.Index.(*ast.Ident)
-					if !ok || id.Name != key.Name {
-						return false
-					}
-				}
-			default:
-				return false
-			}
-		default:
-			return false
 		}
 	}
-	return true
-}
-
-func isInteger(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	b, ok := t.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsInteger != 0
 }

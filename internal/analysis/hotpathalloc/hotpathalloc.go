@@ -49,9 +49,10 @@ import (
 
 // Analyzer is the hotpathalloc analysis.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotpathalloc",
-	Doc:  "reports heap allocations inside functions marked // emcgm:hotpath",
-	Run:  run,
+	Name:      "hotpathalloc",
+	Doc:       "reports heap allocations inside functions marked // emcgm:hotpath",
+	Run:       run,
+	Summarize: summarizeAlloc,
 }
 
 // stdlibAllowed are standard-library packages whose calls are
@@ -253,10 +254,7 @@ func checkCall(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
 	case pkg.Path() == "repro/internal/obs":
 		// nil-safe observability surface; recorderguard owns its rules.
 	case strings.HasPrefix(pkg.Path(), "repro/"):
-		key := analysis.FuncObjKey(fn)
-		if key != "" && !pass.HasMarker(key, "emcgm:hotpath") {
-			pass.Reportf(call.Pos(), "call to %s.%s, which is not marked emcgm:hotpath — the allocation-free contract must be closed under calls", pkg.Path(), fn.Name())
-		}
+		checkModuleCall(pass, call, fn)
 	default:
 		if !stdlibAllowed[pkg.Path()] {
 			pass.Reportf(call.Pos(), "call into %s may allocate on the hot path", pkg.Path())
@@ -264,6 +262,36 @@ func checkCall(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
 	}
 	checkBoxing(pass, info, call, fn)
 	return true
+}
+
+// checkModuleCall applies the closed-under-calls rule to a call into the
+// module. With summaries available the callee's computed allocation
+// effect decides: a proven allocation-free (or observability-conditional)
+// callee is accepted whether or not it carries the marker, and an
+// allocating callee is reported with its witness chain — including
+// marked callees whose marker its own package's run will also flag.
+// Without a usable summary (bodyless functions, intraprocedural mode)
+// the marker remains the contract.
+func checkModuleCall(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) {
+	key := analysis.FuncObjKey(fn)
+	marked := key != "" && pass.HasMarker(key, "emcgm:hotpath")
+	if pass.Interprocedural {
+		if sum := pass.SummaryOf(fn); sum != nil && sum.Alloc != "" {
+			switch sum.Alloc {
+			case analysis.AllocYes:
+				chain := analysis.Chain(analysis.ChainEntry(fn), sum.AllocChain)
+				if marked {
+					pass.Reportf(call.Pos(), "call to %s allocates on the hot path despite its emcgm:hotpath marker (via %s)", analysis.ChainEntry(fn), analysis.FormatChain(chain))
+				} else {
+					pass.Reportf(call.Pos(), "call to %s allocates on the hot path (via %s)", analysis.ChainEntry(fn), analysis.FormatChain(chain))
+				}
+			}
+			return // AllocFree / AllocObs: proven safe, marker optional
+		}
+	}
+	if !marked {
+		pass.Reportf(call.Pos(), "call to %s.%s, which is not marked emcgm:hotpath — the allocation-free contract must be closed under calls", fn.Pkg().Path(), fn.Name())
+	}
 }
 
 // checkBoxing reports concrete arguments passed to interface-typed

@@ -1,0 +1,249 @@
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// summarizeAlloc is the Summarize hook computing FuncSummary.Alloc for
+// every function (marked or not), so callers can verify the
+// allocation-free contract through wrappers the author never marked.
+// The classification mirrors checkFunc's taxonomy:
+//
+//   - AllocYes: some steady-state path allocates (cold-path statements
+//     and error exits stay exempt, as in the direct check);
+//   - AllocObs: every allocation is behind an enabled-observability
+//     guard or inside the obs surface — free while not recording;
+//   - AllocFree: no allocation anywhere on the steady state.
+//
+// Module callees contribute their own Alloc effect (the bottom-up
+// propagation); a same-package callee not yet summarized is assumed
+// free, which the driver's fixpoint then corrects upward — the optimism
+// is what lets mutual recursion converge to the least fixpoint. A
+// cross-package callee with no effect record (a bodyless assembly stub,
+// or facts from a rejected stale vetx) counts as allocating unless its
+// hotpath marker vouches for it.
+func summarizeAlloc(pass *analysis.Pass, fd *ast.FuncDecl, sum *analysis.FuncSummary) bool {
+	info := pass.TypesInfo
+	file := fileOf(pass, fd)
+	if file == nil {
+		return false
+	}
+	cold := coldStmts(pass.Fset, file)
+
+	var hardChain, obsChain []string
+	hard := func(pos token.Pos, leaf string, chain []string, stack []ast.Node) {
+		if chain == nil {
+			chain = []string{analysis.PosEntry(pass.Fset, leaf, pos)}
+		}
+		// Allocations behind an enabled-recording guard only cost while
+		// observing: downgrade to the conditional-on-obs effect.
+		if analysis.RecorderGuarded(info, stack) {
+			if obsChain == nil {
+				obsChain = chain
+			}
+			return
+		}
+		if hardChain == nil {
+			hardChain = chain
+		}
+	}
+	obs := func(pos token.Pos, leaf string, chain []string) {
+		if chain == nil {
+			chain = []string{analysis.PosEntry(pass.Fset, leaf, pos)}
+		}
+		if obsChain == nil {
+			obsChain = chain
+		}
+	}
+
+	analysis.WalkStack(fd.Body, func(stack []ast.Node) bool {
+		n := stack[len(stack)-1]
+		if cold[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			// Error exits are cold by construction, in both effect levels.
+			if len(stack) >= 2 {
+				if ifs, ok := stack[len(stack)-2].(*ast.IfStmt); ok && n == ifs.Body && errorExit(info, n) {
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			hard(n.Pos(), "closure", nil, stack)
+			return false
+		case *ast.GoStmt:
+			hard(n.Pos(), "go statement", nil, stack)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					hard(n.Pos(), "&composite literal", nil, stack)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Chan:
+				hard(n.Pos(), typeKindName(info.TypeOf(n))+" literal", nil, stack)
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) && !parentIsStringConcat(info, stack) {
+				hard(n.Pos(), "string concatenation", nil, stack)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !isCallFun(stack, n) {
+				hard(n.Pos(), "method value", nil, stack)
+			}
+		case *ast.CallExpr:
+			return summarizeCall(pass, stack, n, hard, obs)
+		}
+		return true
+	})
+
+	effect := analysis.AllocFree
+	var chain []string
+	switch {
+	case hardChain != nil:
+		effect, chain = analysis.AllocYes, hardChain
+	case obsChain != nil:
+		effect, chain = analysis.AllocObs, obsChain
+	}
+	if effect == sum.Alloc {
+		return false
+	}
+	sum.Alloc = effect
+	sum.AllocChain = chain
+	return true
+}
+
+// summarizeCall classifies one call's allocation contribution; the
+// return value prunes the subtree exactly where checkCall does.
+func summarizeCall(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr,
+	hard func(token.Pos, string, []string, []ast.Node), obs func(token.Pos, string, []string)) bool {
+	info := pass.TypesInfo
+
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		dst := tv.Type
+		if allocatingConversion(info, dst, call.Args[0]) {
+			hard(call.Pos(), "conversion to "+dst.String(), nil, stack)
+		}
+		if isInterface(dst) && !isInterface(info.TypeOf(call.Args[0])) {
+			hard(call.Pos(), "boxing into "+dst.String(), nil, stack)
+		}
+		return true
+	}
+	if b := builtinObj(info, call.Fun); b != nil {
+		switch b.Name() {
+		case "make", "new":
+			hard(call.Pos(), b.Name(), nil, stack)
+		case "append":
+			if !isSelfAppend(stack, call) {
+				hard(call.Pos(), "append", nil, stack)
+			}
+		case "panic":
+			return false
+		}
+		return true
+	}
+	fn := calleeFunc(info, call.Fun)
+	if fn == nil {
+		hard(call.Pos(), "call through function value", nil, stack)
+		return true
+	}
+	if dynamicDispatch(info, call.Fun, fn) {
+		summarizeBoxing(pass, stack, call, fn, hard)
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return true
+	}
+	switch {
+	case pkg.Path() == "repro/internal/obs":
+		// The obs surface allocates only while recording: conditional.
+		obs(call.Pos(), "call into obs", nil)
+	case strings.HasPrefix(pkg.Path(), "repro/"):
+		csum := pass.SummaryOf(fn)
+		eff := ""
+		var ceff []string
+		if csum != nil {
+			eff = csum.Alloc
+			ceff = csum.AllocChain
+		}
+		if eff == "" {
+			switch {
+			case pkg.Path() == pass.Pkg.Path():
+				eff = analysis.AllocFree // fixpoint optimism; corrected upward
+			case csum.HasMarker("emcgm:hotpath"):
+				eff = analysis.AllocFree // bodyless but vouched for
+			default:
+				eff = analysis.AllocYes
+			}
+		}
+		switch eff {
+		case analysis.AllocYes:
+			hard(call.Pos(), "", analysis.Chain(analysis.ChainEntry(fn), ceff), stack)
+		case analysis.AllocObs:
+			obs(call.Pos(), "", analysis.Chain(analysis.ChainEntry(fn), ceff))
+		}
+	default:
+		if !stdlibAllowed[pkg.Path()] {
+			hard(call.Pos(), "call into "+pkg.Path(), nil, stack)
+		}
+	}
+	summarizeBoxing(pass, stack, call, fn, hard)
+	return true
+}
+
+// summarizeBoxing mirrors checkBoxing for the summary walk.
+func summarizeBoxing(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr, fn *types.Func,
+	hard func(token.Pos, string, []string, []ast.Node)) {
+	info := pass.TypesInfo
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if params.Len() == 0 {
+				continue
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isUntypedNil(info, arg) {
+			continue
+		}
+		if isInterface(pt) && !isTypeParam(pt) && !isInterface(at) {
+			hard(arg.Pos(), "boxing into "+pt.String(), nil, stack)
+		}
+	}
+}
+
+// fileOf locates the file containing the declaration.
+func fileOf(pass *analysis.Pass, fd *ast.FuncDecl) *ast.File {
+	for _, f := range pass.Files {
+		if f.Pos() <= fd.Pos() && fd.Pos() < f.End() {
+			return f
+		}
+	}
+	return nil
+}

@@ -14,6 +14,15 @@
 // accepted, as are `defer` statements (the deferred-Close idiom); the
 // point is to make discarding an error a visible decision, not an
 // accident.
+//
+// Interprocedurally, the same rule fires through wrappers: a function
+// whose summary I/O-error effect is IOErrReturns — it makes I/O calls
+// somewhere below and surfaces their errors through its own last error
+// result — must itself be error-checked, and the diagnostic prints the
+// witness chain down to the I/O call. Functions classified IOErrHandles
+// dispose of the error internally, so dropping their (unrelated) error
+// result is the caller's business, and IOErrNone functions make no I/O
+// at all.
 package ioerrcheck
 
 import (
@@ -25,9 +34,10 @@ import (
 
 // Analyzer is the ioerrcheck analysis.
 var Analyzer = &analysis.Analyzer{
-	Name: "ioerrcheck",
-	Doc:  "reports dropped errors from pdm/layout/core/rec/obs/trace calls",
-	Run:  run,
+	Name:      "ioerrcheck",
+	Doc:       "reports dropped errors from pdm/layout/core/rec/obs/trace calls",
+	Run:       run,
+	Summarize: summarizeIOErr,
 }
 
 // ioPackages are the repository surfaces whose errors must be handled.
@@ -57,22 +67,21 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			pkg := fn.Pkg()
-			if pkg == nil || (!ioPkg(pkg.Path()) && !isOSFileMethod(fn)) {
+			if pkg == nil || !returnsError(fn) {
 				return true
 			}
-			sig, ok := fn.Type().(*types.Signature)
-			if !ok {
-				return true
+			switch {
+			case ioPkg(pkg.Path()) || isOSFileMethod(fn):
+				pass.Reportf(call.Pos(), "%s.%s returns an error that is dropped; handle it or assign to _ explicitly", pkg.Name(), fn.Name())
+			case pass.Interprocedural && analysis.InModule(pkg.Path()):
+				// A wrapper that surfaces I/O errors through its own error
+				// result is held to the same standard as the I/O call.
+				if sum := pass.SummaryOf(fn); sum != nil && sum.IOErr == analysis.IOErrReturns {
+					chain := analysis.Chain(analysis.ChainEntry(fn), sum.IOErrChain)
+					pass.Reportf(call.Pos(), "%s.%s surfaces an I/O error that is dropped (via %s); handle it or assign to _ explicitly",
+						pkg.Name(), fn.Name(), analysis.FormatChain(chain))
+				}
 			}
-			res := sig.Results()
-			if res.Len() == 0 {
-				return true
-			}
-			last := res.At(res.Len() - 1).Type()
-			if !isErrorType(last) {
-				return true
-			}
-			pass.Reportf(call.Pos(), "%s.%s returns an error that is dropped; handle it or assign to _ explicitly", pkg.Name(), fn.Name())
 			return true
 		})
 	}
@@ -81,6 +90,66 @@ func run(pass *analysis.Pass) error {
 
 func ioPkg(path string) bool {
 	return ioPackages[path]
+}
+
+// returnsError reports whether fn's last result is an error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	return res.Len() > 0 && isErrorType(res.At(res.Len()-1).Type())
+}
+
+// summarizeIOErr is the Summarize hook computing FuncSummary.IOErr: does
+// the function reach the I/O surface (directly or through callees), and
+// if so, does it surface those errors through its own error result or
+// dispose of them internally?
+func summarizeIOErr(pass *analysis.Pass, fd *ast.FuncDecl, sum *analysis.FuncSummary) bool {
+	info := pass.TypesInfo
+	var chain []string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if chain != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg()
+		switch {
+		case ioPkg(pkg.Path()) || isOSFileMethod(fn):
+			if returnsError(fn) {
+				chain = []string{analysis.PosEntry(pass.Fset, analysis.ChainEntry(fn), call.Pos())}
+			}
+		case analysis.InModule(pkg.Path()):
+			if csum := pass.SummaryOf(fn); csum != nil && csum.IOErr != "" && csum.IOErr != analysis.IOErrNone {
+				chain = analysis.Chain(analysis.ChainEntry(fn), csum.IOErrChain)
+			}
+		}
+		return true
+	})
+
+	eff := analysis.IOErrNone
+	if chain != nil {
+		obj, _ := info.Defs[fd.Name].(*types.Func)
+		if obj != nil && returnsError(obj) {
+			eff = analysis.IOErrReturns
+		} else {
+			eff = analysis.IOErrHandles
+		}
+	}
+	if eff == sum.IOErr {
+		return false
+	}
+	sum.IOErr = eff
+	sum.IOErrChain = chain
+	return true
 }
 
 // isOSFileMethod reports whether fn is a method of os.File (or *os.File)

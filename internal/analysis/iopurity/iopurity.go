@@ -1,0 +1,145 @@
+// Package iopurity is the I/O-purity capability analyzer: code inside
+// `// emcgm:deterministic` scope may touch the outside world only
+// through the sanctioned disk-model surface — pdm.DiskArray and the
+// layout package. The paper's I/O accounting depends on it: every block
+// transfer must flow through the PDM cost model, so an os.ReadFile or a
+// socket buried in a deterministic kernel is unaccounted I/O that
+// silently invalidates the measured complexity.
+//
+// Inside the deterministic scope the analyzer reports:
+//
+//   - direct calls into os, os/exec, syscall (including *os.File
+//     methods) and the net packages;
+//   - interprocedurally, calls to module functions whose summary
+//     capability set (FuncSummary.Caps, computed by SummarizeCaps and
+//     propagated through vetx) reaches CapOS or CapNet on some call
+//     path. The diagnostic prints the witness chain.
+//
+// The pdm and layout packages themselves are exempt — they are the
+// boundary: their own os calls are what the capability model sanctions.
+// So are callees in deterministic scope (their own package's run
+// enforces this contract) and the nil-safe obs surface. Observability
+// guards do not exempt a site: the outside world stays outside even
+// while recording.
+//
+// A statement annotated `// emcgm:iopureok <reason>` is exempt; the
+// suppression is recorded through Pass.UseWaiver so stale waivers are
+// reported by the driver's unused-waiver check.
+package iopurity
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the iopurity analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:      "iopurity",
+	Doc:       "restricts deterministic scope to pdm/layout as its only I/O boundary",
+	Run:       run,
+	Summarize: analysis.SummarizeCaps,
+}
+
+const (
+	marker = "emcgm:deterministic"
+	waiver = "emcgm:iopureok"
+
+	pdmPath    = analysis.ModulePath + "/internal/pdm"
+	layoutPath = analysis.ModulePath + "/internal/layout"
+	obsPath    = analysis.ModulePath + "/internal/obs"
+)
+
+func run(pass *analysis.Pass) error {
+	if p := pass.Pkg.Path(); p == pdmPath || p == layoutPath {
+		return nil // the sanctioned boundary itself
+	}
+	pkgMarked := false
+	for _, file := range pass.Files {
+		if analysis.FileMarked(file, marker) {
+			pkgMarked = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		waived := analysis.WaiverNodes(pass.Fset, file, waiver)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pkgMarked && !analysis.FuncMarked(fd, marker) {
+				continue
+			}
+			checkFunc(pass, fd, waived)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, waived map[ast.Node]token.Pos) {
+	analysis.WalkStack(fd.Body, func(stack []ast.Node) bool {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok {
+			checkCall(pass, waived, stack, call)
+		}
+		return true
+	})
+}
+
+// ioCapDesc names the two outside-world capabilities in diagnostics.
+var ioCapDesc = map[string]string{
+	analysis.CapOS:  "the operating system",
+	analysis.CapNet: "the network",
+}
+
+func checkCall(pass *analysis.Pass, waived map[ast.Node]token.Pos, stack []ast.Node, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "os" || path == "os/exec" || path == "syscall":
+		reportOrWaive(pass, waived, stack, call.Pos(),
+			"%s.%s touches the operating system in deterministic scope; route I/O through pdm.DiskArray or layout",
+			fn.Pkg().Name(), fn.Name())
+	case path == "net" || strings.HasPrefix(path, "net/"):
+		reportOrWaive(pass, waived, stack, call.Pos(),
+			"%s.%s touches the network in deterministic scope; deterministic code has no network surface",
+			fn.Pkg().Name(), fn.Name())
+	case analysis.InModule(path):
+		if !pass.Interprocedural || path == pdmPath || path == layoutPath || path == obsPath {
+			return
+		}
+		sum := pass.SummaryOf(fn)
+		if sum == nil || sum.HasMarker(marker) {
+			// Deterministic-scope callees are checked by their own
+			// package's run against this same contract.
+			return
+		}
+		for _, c := range []string{analysis.CapOS, analysis.CapNet} {
+			if sum.HasCap(c) {
+				chain := analysis.Chain(analysis.ChainEntry(fn), sum.CapChain[c])
+				reportOrWaive(pass, waived, stack, call.Pos(),
+					"call to %s reaches %s in deterministic scope (via %s); only pdm/layout may touch the outside world",
+					analysis.ChainEntry(fn), ioCapDesc[c], analysis.FormatChain(chain))
+				return
+			}
+		}
+	}
+}
+
+// reportOrWaive emits the diagnostic unless a node on the ancestor stack
+// carries an emcgm:iopureok waiver, in which case the waiver is marked
+// used instead.
+func reportOrWaive(pass *analysis.Pass, waived map[ast.Node]token.Pos, stack []ast.Node, pos token.Pos, format string, args ...any) {
+	for _, n := range stack {
+		if wpos, ok := waived[n]; ok {
+			pass.UseWaiver(wpos)
+			return
+		}
+	}
+	pass.Reportf(pos, format, args...)
+}

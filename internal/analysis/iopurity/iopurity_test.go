@@ -1,0 +1,23 @@
+package iopurity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/iopurity"
+)
+
+// TestAnalyzer runs iopurity over the deterministic-scope testdata:
+// direct os/net calls, a summary-carried transitive escape, a trusted
+// det-marked callee, the sanctioned pdm boundary, and both a working
+// and a stale waiver.
+func TestAnalyzer(t *testing.T) {
+	antest.Run(t, iopurity.Analyzer, "../testdata/src/iopurity/iop")
+}
+
+// TestBoundaryTrusted checks that a det-marked dependency enforces the
+// contract in its own run: the waived probe stays quiet and the waiver
+// counts as used.
+func TestBoundaryTrusted(t *testing.T) {
+	antest.Run(t, iopurity.Analyzer, "../testdata/src/iopurity/iotrusted")
+}

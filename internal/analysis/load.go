@@ -16,10 +16,13 @@ import (
 	"strings"
 )
 
-// Package is one loaded, type-checked root package.
+// Package is one loaded, type-checked package. Root marks packages that
+// matched the load patterns directly; the rest are module dependencies,
+// loaded so their function summaries can be computed bottom-up.
 type Package struct {
 	PkgPath   string
 	Dir       string
+	Root      bool
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
@@ -27,39 +30,33 @@ type Package struct {
 }
 
 // Load resolves patterns (`./...`, explicit directories) with the go
-// tool, type-checks every matched package from source, and returns them
-// together with the module-wide marker registry. Dependencies — standard
-// library and module packages alike — are imported from compiler export
+// tool and type-checks every matched package and every module dependency
+// from source, returning them in dependency order (callees before
+// callers, the order ComputeSummaries requires). Imports — standard
+// library and module packages alike — are resolved from compiler export
 // data produced by `go list -export`, so loading works fully offline.
 //
 // Test files are not loaded: the lint suite governs production code; the
 // tier-1 test suite governs the tests.
-func Load(fset *token.FileSet, patterns ...string) ([]*Package, map[string][]string, error) {
+func Load(fset *token.FileSet, patterns ...string) ([]*Package, error) {
 	metas, err := goList(patterns)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	exports := map[string]string{} // import path -> export data file
-	var roots, moduleDeps []*listPkg
 	for _, m := range metas {
 		if m.Export != "" {
 			exports[m.ImportPath] = m.Export
 		}
-		switch {
-		case !m.DepOnly:
-			roots = append(roots, m)
-		case !m.Standard:
-			moduleDeps = append(moduleDeps, m)
-		}
 	}
 
-	// One shared gc importer serves every import of every root from the
-	// build-cache export data the go tool just produced. Sharing a single
-	// instance is load-bearing: its internal package cache guarantees that
-	// repro/internal/pdm (say) is one *types.Package whether reached
-	// directly or through another dependency's export data, so type
-	// identity holds across packages.
+	// One shared gc importer serves every import of every package from
+	// the build-cache export data the go tool just produced. Sharing a
+	// single instance is load-bearing: its internal package cache
+	// guarantees that repro/internal/pdm (say) is one *types.Package
+	// whether reached directly or through another dependency's export
+	// data, so type identity holds across packages.
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
@@ -68,18 +65,18 @@ func Load(fset *token.FileSet, patterns ...string) ([]*Package, map[string][]str
 		return os.Open(file)
 	})
 
+	// `go list -deps` emits packages in depth-first post-order —
+	// dependencies before dependents — which is exactly the bottom-up
+	// order summary computation needs, so the meta order is preserved.
 	var pkgs []*Package
-	markers := map[string][]string{}
-	for _, m := range roots {
-		if len(m.GoFiles) == 0 {
+	for _, m := range metas {
+		if m.Standard || len(m.GoFiles) == 0 {
 			continue
 		}
 		files, err := parseFiles(fset, m.Dir, m.GoFiles)
 		if err != nil {
-			return nil, nil, fmt.Errorf("parse %s: %w", m.ImportPath, err)
+			return nil, fmt.Errorf("parse %s: %w", m.ImportPath, err)
 		}
-		collectMarkers(m.ImportPath, files, markers)
-
 		info := newTypesInfo()
 		var terrs []error
 		conf := types.Config{
@@ -90,25 +87,14 @@ func Load(fset *token.FileSet, patterns ...string) ([]*Package, map[string][]str
 		pkgs = append(pkgs, &Package{
 			PkgPath:   m.ImportPath,
 			Dir:       m.Dir,
+			Root:      !m.DepOnly,
 			Syntax:    files,
 			Types:     tpkg,
 			TypesInfo: info,
 			TypeErrs:  terrs,
 		})
 	}
-
-	// Module dependencies of the roots contribute markers only: their
-	// sources are parsed (comments included) but never type-checked, so
-	// cross-package hot-path calls resolve against the same registry the
-	// callee's own lint run uses.
-	for _, m := range moduleDeps {
-		files, err := parseFiles(fset, m.Dir, m.GoFiles)
-		if err != nil {
-			return nil, nil, fmt.Errorf("parse %s: %w", m.ImportPath, err)
-		}
-		collectMarkers(m.ImportPath, files, markers)
-	}
-	return pkgs, markers, nil
+	return pkgs, nil
 }
 
 // newTypesInfo allocates the full set of type-checker result maps the
@@ -171,25 +157,41 @@ func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, e
 }
 
 // collectMarkers records every `emcgm:` directive in function doc
-// comments into the registry.
-func collectMarkers(pkgPath string, files []*ast.File, markers map[string][]string) {
+// comments into the summary registry. A package whose package doc
+// carries `emcgm:deterministic` stamps that marker onto every one of its
+// functions, so deterministic scope — a package-granularity contract —
+// survives the per-function vetx encoding and is visible to callers in
+// other packages.
+func collectMarkers(pkgPath string, files []*ast.File, sums Summaries) {
+	detPkg := false
+	for _, f := range files {
+		if FileMarked(f, "emcgm:deterministic") {
+			detPkg = true
+			break
+		}
+	}
 	for _, f := range files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
+			if !ok {
 				continue
 			}
 			var ms []string
-			for _, c := range fd.Doc.List {
-				for _, m := range commentMarkers(c.Text) {
-					ms = append(ms, m)
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					ms = append(ms, commentMarkers(c.Text)...)
 				}
+			}
+			if detPkg {
+				ms = append(ms, "emcgm:deterministic")
 			}
 			if len(ms) == 0 {
 				continue
 			}
-			key := FuncKey(pkgPath, recvName(fd), fd.Name.Name)
-			markers[key] = append(markers[key], ms...)
+			sum := sums.Ensure(FuncKey(pkgPath, recvName(fd), fd.Name.Name))
+			for _, m := range ms {
+				sum.AddMarker(m)
+			}
 		}
 	}
 }

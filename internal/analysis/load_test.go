@@ -13,7 +13,7 @@ import (
 // must not leak into the registry.
 func TestLoadHonorsBuildTags(t *testing.T) {
 	fset := token.NewFileSet()
-	pkgs, markers, err := Load(fset, "./testdata/src/loader/tagged")
+	pkgs, err := Load(fset, "./testdata/src/loader/tagged")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -21,15 +21,20 @@ func TestLoadHonorsBuildTags(t *testing.T) {
 		t.Fatalf("got %d packages, want 1", len(pkgs))
 	}
 	pkg := pkgs[0]
+	if !pkg.Root {
+		t.Errorf("pattern-matched package not marked Root")
+	}
 	if len(pkg.Syntax) != 1 {
 		t.Errorf("got %d files, want 1: the //go:build never file was parsed", len(pkg.Syntax))
 	}
 	if len(pkg.TypeErrs) != 0 {
 		t.Errorf("type errors from an excluded file: %v", pkg.TypeErrs)
 	}
-	for key := range markers {
+	sums := Summaries{}
+	ComputeSummaries(fset, pkgs, nil, sums)
+	for key := range sums {
 		if strings.Contains(key, "NeverBuilt") {
-			t.Errorf("marker registry leaked the excluded file's function: %s", key)
+			t.Errorf("summary registry leaked the excluded file's function: %s", key)
 		}
 	}
 	if key := FuncKey(pkg.PkgPath, "", "Built"); pkg.Types.Scope().Lookup("Built") == nil {
@@ -43,7 +48,7 @@ func TestLoadHonorsBuildTags(t *testing.T) {
 // return a package with no files.
 func TestLoadSkipsTestOnlyPackages(t *testing.T) {
 	fset := token.NewFileSet()
-	pkgs, _, err := Load(fset, "./testdata/src/loader/testonly")
+	pkgs, err := Load(fset, "./testdata/src/loader/testonly")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}

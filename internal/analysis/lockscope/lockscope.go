@@ -61,7 +61,7 @@ const obsPath = "repro/internal/obs"
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
-		waived := analysis.MarkedNodes(pass.Fset, file, "emcgm:lockheld")
+		waived := analysis.WaiverNodes(pass.Fset, file, "emcgm:lockheld")
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -100,7 +100,24 @@ func functionBodies(fd *ast.FuncDecl) []*ast.BlockStmt {
 
 type lockChecker struct {
 	pass   *analysis.Pass
-	waived map[ast.Node]bool
+	waived map[ast.Node]token.Pos
+
+	// waiveCtx is the position of the innermost enclosing emcgm:lockheld
+	// comment, token.NoPos outside any waived statement. Waived
+	// statements are still traversed — their lock operations must update
+	// the held set — but their reports are suppressed and the waiver is
+	// marked used, feeding the driver's unused-waiver check.
+	waiveCtx token.Pos
+}
+
+// reportf emits the diagnostic unless a waiver covers the site, in
+// which case the waiver is recorded as used instead.
+func (c *lockChecker) reportf(pos token.Pos, format string, args ...any) {
+	if c.waiveCtx.IsValid() {
+		c.pass.UseWaiver(c.waiveCtx)
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
 }
 
 func (c *lockChecker) block(b *ast.BlockStmt, held map[string]bool) {
@@ -110,8 +127,10 @@ func (c *lockChecker) block(b *ast.BlockStmt, held map[string]bool) {
 }
 
 func (c *lockChecker) stmt(st ast.Stmt, held map[string]bool) {
-	if c.waived[st] {
-		return
+	if pos, ok := c.waived[st]; ok {
+		prev := c.waiveCtx
+		c.waiveCtx = pos
+		defer func() { c.waiveCtx = prev }()
 	}
 	switch s := st.(type) {
 	case *ast.ExprStmt:
@@ -126,7 +145,7 @@ func (c *lockChecker) stmt(st ast.Stmt, held map[string]bool) {
 		c.exprs(held, s.X)
 	case *ast.SendStmt:
 		if len(held) > 0 {
-			c.pass.Reportf(s.Arrow, "channel send while holding %s; a blocked receiver stalls every lock waiter (annotate // emcgm:lockheld with a reason if the send cannot block)", heldNames(held))
+			c.reportf(s.Arrow, "channel send while holding %s; a blocked receiver stalls every lock waiter (annotate // emcgm:lockheld with a reason if the send cannot block)", heldNames(held))
 		}
 		c.exprs(held, s.Chan, s.Value)
 	case *ast.DeferStmt:
@@ -247,7 +266,7 @@ func (c *lockChecker) exprs(held map[string]bool, es ...ast.Expr) {
 			}
 			key := analysis.FuncObjKey(fn)
 			if key != "" && c.pass.HasMarker(key, "emcgm:blocking") {
-				c.pass.Reportf(call.Pos(), "call to %s.%s (emcgm:blocking) while holding %s; blocking I/O under a lock stalls every lock waiter (annotate // emcgm:lockheld with a reason if safe)", fn.Pkg().Name(), fn.Name(), heldNames(held))
+				c.reportf(call.Pos(), "call to %s.%s (emcgm:blocking) while holding %s; blocking I/O under a lock stalls every lock waiter (annotate // emcgm:lockheld with a reason if safe)", fn.Pkg().Name(), fn.Name(), heldNames(held))
 			}
 			return true
 		})

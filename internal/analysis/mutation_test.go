@@ -55,27 +55,50 @@ var mutations = []struct {
 		"[]int{1, 2, 9}, bufs) // MUT:desort", "[]int{1, 9, 2}, bufs)"},
 }
 
-// runOn loads a single-file package from dir and returns the analyzer's
-// diagnostics.
+// runOn loads a package from dir and returns the analyzer's diagnostics
+// with interprocedural summaries enabled — the production configuration.
 func runOn(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	return runMode(t, a, dir, true)
+}
+
+// runMode runs the analyzer with (interproc=true) or without
+// (interproc=false) computed effect summaries. The false mode replays
+// the old intraprocedural behavior — summaries reduced to marker facts,
+// Pass.Interprocedural unset — so a test can prove a finding is one the
+// pre-summary analyzer missed.
+func runMode(t *testing.T, a *analysis.Analyzer, dir string, interproc bool) []analysis.Diagnostic {
 	t.Helper()
 	fset := token.NewFileSet()
-	pkgs, markers, err := analysis.Load(fset, dir)
+	pkgs, err := analysis.Load(fset, dir)
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
+	sums := analysis.Summaries{}
+	analysis.ComputeSummaries(fset, pkgs, []*analysis.Analyzer{a}, sums)
+	if !interproc {
+		stripped := analysis.Summaries{}
+		for k, s := range sums {
+			stripped[k] = &analysis.FuncSummary{Markers: s.Markers}
+		}
+		sums = stripped
+	}
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
+		if !pkg.Root {
+			continue
+		}
 		for _, terr := range pkg.TypeErrs {
 			t.Fatalf("type error in mutated source: %v", terr)
 		}
 		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     pkg.Syntax,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			Markers:   markers,
+			Analyzer:        a,
+			Fset:            fset,
+			Files:           pkg.Syntax,
+			Pkg:             pkg.Types,
+			TypesInfo:       pkg.TypesInfo,
+			Summaries:       sums,
+			Interprocedural: interproc,
+			UsedWaivers:     map[token.Pos]bool{},
 		}
 		pass.SetReport(func(d analysis.Diagnostic) { diags = append(diags, d) })
 		if err := a.Run(pass); err != nil {

@@ -39,6 +39,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/dataflow"
@@ -57,7 +58,8 @@ var Analyzer = &analysis.Analyzer{
 		"A begun handle that is never waited leaks its freelist slot and its\n" +
 		"error results; a double Wait recycles the handle twice. Waive with\n" +
 		"// emcgm:pendingok on the begin statement.",
-	Run: run,
+	Run:       run,
+	Summarize: summarizePending,
 }
 
 // Handle state bits (a may-set: joins union the bits).
@@ -78,16 +80,19 @@ type state struct {
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
-		waived := analysis.MarkedNodes(pass.Fset, file, waiver)
+		waived := analysis.WaiverNodes(pass.Fset, file, waiver)
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || analysis.FuncMarked(fd, waiver) {
+			if !ok {
 				continue
 			}
+			fnWaiver, _ := analysis.FuncWaiverPos(fd, waiver)
 			for _, body := range analysis.FunctionBodies(fd) {
 				f := &flow{pass: pass, info: pass.TypesInfo, body: body,
-					waived: waived, sites: map[token.Pos]*ast.CallExpr{},
-					waivedH: map[token.Pos]bool{}, seen: map[string]bool{}}
+					waived: waived, fnWaiver: fnWaiver,
+					sites:   map[token.Pos]*ast.CallExpr{},
+					waivedH: map[token.Pos]token.Pos{},
+					dropVia: map[token.Pos]string{}, seen: map[string]bool{}}
 				g := dataflow.New(body)
 				res := dataflow.Forward[*state](g, f)
 				f.report = true
@@ -103,21 +108,31 @@ func run(pass *analysis.Pass) error {
 
 // flow implements dataflow.Analysis[*state].
 type flow struct {
-	pass   *analysis.Pass
-	info   *types.Info
-	body   *ast.BlockStmt
-	waived map[ast.Node]bool
+	pass     *analysis.Pass
+	info     *types.Info
+	body     *ast.BlockStmt
+	waived   map[ast.Node]token.Pos
+	fnWaiver token.Pos
 
 	sites   map[token.Pos]*ast.CallExpr // begin site -> call, for messages
-	waivedH map[token.Pos]bool          // handles begun under a waived stmt
+	waivedH map[token.Pos]token.Pos     // handle -> waiver pos on its begin stmt
+	dropVia map[token.Pos]string        // handle -> callee that left it un-waited
+
+	seed []*types.Var // Pending params seeded live (summary mode)
 
 	report bool            // true during Replay: diagnostics enabled
 	seen   map[string]bool // report dedup across replay and exit check
 }
 
 func (f *flow) Entry() *state {
-	return &state{handles: map[token.Pos]uint8{},
+	s := &state{handles: map[token.Pos]uint8{},
 		pts: map[*types.Var]map[token.Pos]bool{}, errOf: map[token.Pos]*types.Var{}}
+	for _, v := range f.seed {
+		h := v.Pos()
+		s.handles[h] = live
+		s.pts[v] = map[token.Pos]bool{h: true}
+	}
+	return s
 }
 
 func (f *flow) Copy(s *state) *state {
@@ -279,11 +294,11 @@ func (f *flow) assign(as *ast.AssignStmt, s *state) {
 			}
 			h := call.Pos()
 			f.sites[h] = call
-			if f.waived[as] {
-				f.waivedH[h] = true
+			if wpos, ok := f.waived[as]; ok {
+				f.waivedH[h] = wpos
 			}
 			if s.handles[h]&live != 0 {
-				f.reportOnce(as.Pos(), "loop", int(h),
+				f.reportOnce(as.Pos(), "loop", int(h), f.waivedH[h],
 					"%s re-executed while the handle from the previous iteration may still be un-waited",
 					f.callName(call))
 			}
@@ -292,7 +307,7 @@ func (f *flow) assign(as *ast.AssignStmt, s *state) {
 			switch l := unparen(as.Lhs[0]).(type) {
 			case *ast.Ident:
 				if l.Name == "_" {
-					f.reportOnce(as.Pos(), "drop", int(h),
+					f.reportOnce(as.Pos(), "drop", int(h), f.waivedH[h],
 						"result of %s is discarded: the returned *pdm.Pending must be waited", f.callName(call))
 					s.handles[h] = escaped
 				} else if v := f.varObj(l); v != nil {
@@ -378,7 +393,7 @@ func (f *flow) killErrCorrelation(s *state, v *types.Var) {
 // reported contract violation; everything referenced escapes.
 func (f *flow) goStmt(g *ast.GoStmt, s *state) {
 	if v := f.waitReceiver(g.Call); v != nil {
-		f.reportOnce(g.Pos(), "goro", int(g.Pos()),
+		f.reportOnce(g.Pos(), "goro", int(g.Pos()), token.NoPos,
 			"Pending waited in a goroutine other than the one that begun it")
 		f.escape(s, s.pts[v])
 		return
@@ -405,7 +420,7 @@ func (f *flow) checkGoroutineLit(lit *ast.FuncLit) {
 			return true
 		}
 		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
-			f.reportOnce(call.Pos(), "goro", int(call.Pos()),
+			f.reportOnce(call.Pos(), "goro", int(call.Pos()), token.NoPos,
 				"Pending waited in a goroutine other than the one that begun it")
 		}
 		return true
@@ -425,6 +440,19 @@ func (f *flow) scan(ctx ast.Node, root ast.Node, s *state) {
 		case *ast.FuncLit:
 			f.escapeCaptured(n, s)
 			return false
+		case *ast.CompositeLit:
+			// Handles packed into a slice/map/struct literal are beyond
+			// this per-variable tracking: ownership moves to the aggregate.
+			for _, el := range n.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if v := f.pendingIdentVar(e); v != nil {
+					f.escape(s, s.pts[v])
+				}
+			}
+			return true
 		case *ast.CallExpr:
 			if v := f.waitReceiver(n); v != nil {
 				f.applyWait(ctx, v, s)
@@ -438,19 +466,18 @@ func (f *flow) scan(ctx ast.Node, root ast.Node, s *state) {
 				// nothing can ever wait it.
 				h := n.Pos()
 				f.sites[h] = n
-				if !f.waived[ctx] {
-					f.reportOnce(n.Pos(), "drop", int(h),
-						"result of %s is discarded: the returned *pdm.Pending must be waited", f.callName(n))
-				}
+				f.reportOnce(n.Pos(), "drop", int(h), f.waived[ctx],
+					"result of %s is discarded: the returned *pdm.Pending must be waited", f.callName(n))
 				for _, a := range n.Args {
 					f.scan(ctx, a, s)
 				}
 				return false
 			}
-			// Any other call: handle-typed arguments (p, &p) escape.
-			for _, a := range n.Args {
+			// Any other call: a handle-typed argument's fate comes from the
+			// callee's summary when one is available, else it escapes.
+			for i, a := range n.Args {
 				if v := f.pendingIdentVar(a); v != nil {
-					f.escape(s, s.pts[v])
+					f.applyCalleeArg(ctx, n, i, v, s)
 				}
 			}
 			// A non-Wait method on a tracked handle also escapes it.
@@ -468,13 +495,59 @@ func (f *flow) scan(ctx ast.Node, root ast.Node, s *state) {
 // applyWait folds `v.Wait()` through the state: double-wait check, then
 // live→waited on every handle v may hold.
 func (f *flow) applyWait(ctx ast.Node, v *types.Var, s *state) {
+	f.applyWaitVia(ctx, v, s, "")
+}
+
+// applyWaitVia is applyWait with an optional interprocedural witness: via
+// names the callee that performs the Wait on the handle's behalf.
+func (f *flow) applyWaitVia(ctx ast.Node, v *types.Var, s *state, via string) {
 	for h := range s.pts[v] {
-		if s.handles[h]&waited != 0 && !f.waived[ctx] && !f.waivedH[h] {
-			f.reportOnce(ctx.Pos(), "dbl", int(h),
-				"handle from %s may already have been waited (double Wait)", f.callName(f.sites[h]))
+		if s.handles[h]&waited != 0 {
+			wpos := f.waived[ctx]
+			if !wpos.IsValid() {
+				wpos = f.waivedH[h]
+			}
+			if via != "" {
+				f.reportOnce(ctx.Pos(), "dbl", int(h), wpos,
+					"handle from %s may already have been waited (double Wait via %s, which waits it)",
+					f.callName(f.sites[h]), via)
+			} else {
+				f.reportOnce(ctx.Pos(), "dbl", int(h), wpos,
+					"handle from %s may already have been waited (double Wait)", f.callName(f.sites[h]))
+			}
 		}
 		s.handles[h] = s.handles[h]&^live | waited
 	}
+}
+
+// applyCalleeArg folds passing handle variable v as argument i of call
+// through the state. Intraprocedurally every such hand-off escapes the
+// obligation; with summaries the callee's PendingParams effect decides:
+// a callee that waits the handle discharges it here (and a later Wait is
+// a double Wait, reported with the call chain), a callee that provably
+// leaves it un-waited keeps the obligation live in this function, and
+// everything else — true escapes, unknown callees, variadic slots —
+// transfers responsibility as before.
+func (f *flow) applyCalleeArg(ctx ast.Node, call *ast.CallExpr, i int, v *types.Var, s *state) {
+	if f.pass.Interprocedural {
+		if fn := analysis.Callee(f.info, call.Fun); fn != nil && fn.Pkg() != nil && analysis.InModule(fn.Pkg().Path()) {
+			if sig, ok := fn.Type().(*types.Signature); ok && !(sig.Variadic() && i >= sig.Params().Len()-1) {
+				if sum := f.pass.SummaryOf(fn); sum != nil {
+					switch sum.PendingParams[strconv.Itoa(i)] {
+					case analysis.PendingWaits:
+						f.applyWaitVia(ctx, v, s, analysis.ChainEntry(fn))
+						return
+					case analysis.PendingDrops:
+						for h := range s.pts[v] {
+							f.dropVia[h] = analysis.ChainEntry(fn)
+						}
+						return
+					}
+				}
+			}
+		}
+	}
+	f.escape(s, s.pts[v])
 }
 
 // escape discharges the obligation of every handle in hs.
@@ -589,18 +662,31 @@ func isErrType(t types.Type) bool {
 // leaks reports every handle that may still be live at function exit.
 func (f *flow) leaks(exit *state) {
 	for h, bits := range exit.handles {
-		if bits&live == 0 || f.waivedH[h] {
+		if bits&live == 0 {
 			continue
 		}
 		call := f.sites[h]
-		f.reportOnce(call.Pos(), "leak", int(h),
+		if call == nil {
+			continue // summary-seeded param handle, not a begin site
+		}
+		if via, ok := f.dropVia[h]; ok {
+			f.reportOnce(call.Pos(), "leak", int(h), f.waivedH[h],
+				"pending handle from %s may not be waited on some path to return (leak via %s, which leaves it un-waited)",
+				f.callName(call), via)
+			continue
+		}
+		f.reportOnce(call.Pos(), "leak", int(h), f.waivedH[h],
 			"pending handle from %s may not be waited on some path to return (leak)", f.callName(call))
 	}
 }
 
 // reportOnce emits a diagnostic at most once per (kind, key), and only
-// when reporting is enabled (during Replay / the exit check).
-func (f *flow) reportOnce(pos token.Pos, kind string, key int, format string, args ...any) {
+// when reporting is enabled (during Replay / the exit check). A valid
+// waiver position — the function-level waiver first, then the
+// statement/handle waiver the caller resolved — suppresses the report
+// and is recorded as used so the driver's unused-waiver check stays
+// accurate.
+func (f *flow) reportOnce(pos token.Pos, kind string, key int, wpos token.Pos, format string, args ...any) {
 	if !f.report {
 		return
 	}
@@ -609,6 +695,14 @@ func (f *flow) reportOnce(pos token.Pos, kind string, key int, format string, ar
 		return
 	}
 	f.seen[dedup] = true
+	if f.fnWaiver.IsValid() {
+		f.pass.UseWaiver(f.fnWaiver)
+		return
+	}
+	if wpos.IsValid() {
+		f.pass.UseWaiver(wpos)
+		return
+	}
 	f.pass.Reportf(pos, format, args...)
 }
 
@@ -617,7 +711,9 @@ func (f *flow) reportOnce(pos token.Pos, kind string, key int, format string, ar
 // ---------------------------------------------------------------------
 
 // isBegin reports whether the call's (first) result is a *pdm.Pending —
-// the defining property of a begin site.
+// the defining property of a begin site. A module callee whose summary
+// proves every Pending-typed return is nil (PendingReturn == none) is
+// exempt: its result carries no obligation.
 func (f *flow) isBegin(call *ast.CallExpr) bool {
 	tv, ok := f.info.Types[call]
 	if !ok {
@@ -625,10 +721,22 @@ func (f *flow) isBegin(call *ast.CallExpr) bool {
 	}
 	switch t := tv.Type.(type) {
 	case *types.Tuple:
-		return t.Len() > 0 && f.isPendingPtr(t.At(0).Type())
+		if t.Len() == 0 || !f.isPendingPtr(t.At(0).Type()) {
+			return false
+		}
 	default:
-		return f.isPendingPtr(tv.Type)
+		if !f.isPendingPtr(tv.Type) {
+			return false
+		}
 	}
+	if f.pass.Interprocedural {
+		if fn := analysis.Callee(f.info, call.Fun); fn != nil && fn.Pkg() != nil && analysis.InModule(fn.Pkg().Path()) {
+			if sum := f.pass.SummaryOf(fn); sum != nil && sum.PendingReturn == analysis.PendingNone {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (f *flow) isPendingPtr(t types.Type) bool {
@@ -704,4 +812,132 @@ func unparen(e ast.Expr) ast.Expr {
 		}
 		e = p.X
 	}
+}
+
+// ---------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------
+
+// summarizePending is the Summarize hook computing FuncSummary's pending
+// effects. Each *pdm.Pending parameter is seeded as a live handle and the
+// same dataflow that powers the intraprocedural check classifies its exit
+// state: may-live → PendingDrops (the callee leaves the obligation with
+// its caller), else may-escaped → PendingEscapes, else PendingWaits.
+// PendingReturn records whether any return path can yield a non-nil
+// Pending the caller must treat as a begin site.
+func summarizePending(pass *analysis.Pass, fd *ast.FuncDecl, sum *analysis.FuncSummary) bool {
+	info := pass.TypesInfo
+	obj, _ := info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+
+	changed := false
+	if ret := pendingReturnEffect(info, fd, sig); ret != sum.PendingReturn {
+		sum.PendingReturn = ret
+		changed = true
+	}
+
+	var seed []*types.Var
+	idxOf := map[*types.Var]string{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if _, isPtr := p.Type().(*types.Pointer); isPtr && analysis.IsNamedType(p.Type(), pdmPath, "Pending") {
+			seed = append(seed, p)
+			idxOf[p] = strconv.Itoa(i)
+		}
+	}
+	if len(seed) == 0 {
+		return changed
+	}
+
+	f := &flow{pass: pass, info: info, body: fd.Body,
+		waived: map[ast.Node]token.Pos{}, sites: map[token.Pos]*ast.CallExpr{},
+		waivedH: map[token.Pos]token.Pos{}, dropVia: map[token.Pos]string{},
+		seen: map[string]bool{}, seed: seed}
+	g := dataflow.New(fd.Body)
+	res := dataflow.Forward[*state](g, f)
+	exit, hasExit := res.ExitState(f)
+
+	for _, p := range seed {
+		eff := analysis.PendingEscapes // no normal exit: never returns live
+		if hasExit {
+			switch bits := exit.handles[p.Pos()]; {
+			case bits&live != 0:
+				eff = analysis.PendingDrops
+			case bits&escaped != 0:
+				eff = analysis.PendingEscapes
+			case bits&waited != 0:
+				eff = analysis.PendingWaits
+			default:
+				eff = analysis.PendingDrops
+			}
+		}
+		idx := idxOf[p]
+		if sum.PendingParams[idx] != eff {
+			if sum.PendingParams == nil {
+				sum.PendingParams = map[string]string{}
+			}
+			sum.PendingParams[idx] = eff
+			changed = true
+		}
+		if eff == analysis.PendingDrops {
+			if via, ok := f.dropVia[p.Pos()]; ok && len(sum.PendingVia[idx]) == 0 {
+				if sum.PendingVia == nil {
+					sum.PendingVia = map[string][]string{}
+				}
+				sum.PendingVia[idx] = []string{via}
+			}
+		}
+	}
+	return changed
+}
+
+// pendingReturnEffect classifies the function's Pending-typed results:
+// "" when it has none, PendingNone when every return statement fills each
+// Pending slot with a literal nil, PendingLive otherwise (conservative
+// for named-result bare returns and tuple-forwarding returns).
+func pendingReturnEffect(info *types.Info, fd *ast.FuncDecl, sig *types.Signature) string {
+	var pendingSlots []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if _, isPtr := t.(*types.Pointer); isPtr && analysis.IsNamedType(t, pdmPath, "Pending") {
+			pendingSlots = append(pendingSlots, i)
+		}
+	}
+	if len(pendingSlots) == 0 {
+		return ""
+	}
+	if fd.Body == nil {
+		return analysis.PendingLive
+	}
+	allNil := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if !allNil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(n.Results) != sig.Results().Len() {
+				allNil = false // bare return or tuple forward: can't prove nil
+				return true
+			}
+			for _, i := range pendingSlots {
+				if !isNilIdent(unparen(n.Results[i])) {
+					allNil = false
+				}
+			}
+		}
+		return true
+	})
+	if allNil {
+		return analysis.PendingNone
+	}
+	return analysis.PendingLive
 }

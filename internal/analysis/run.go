@@ -14,13 +14,15 @@ type PositionedDiagnostic struct {
 	Message  string
 }
 
-// Run loads the packages matched by patterns, applies every analyzer to
-// every package, and returns the diagnostics sorted by position. Packages
-// that fail to type-check abort the run: analyzers assume complete type
-// information.
+// Run loads the packages matched by patterns, computes function
+// summaries bottom-up over the whole module slice, applies every
+// analyzer to every root package, and returns the diagnostics sorted by
+// position — including the driver-level unused-waiver findings.
+// Packages that fail to type-check abort the run: analyzers assume
+// complete type information.
 func Run(analyzers []*Analyzer, patterns ...string) ([]PositionedDiagnostic, error) {
 	fset := token.NewFileSet()
-	pkgs, markers, err := Load(fset, patterns...)
+	pkgs, err := Load(fset, patterns...)
 	if err != nil {
 		return nil, err
 	}
@@ -29,29 +31,44 @@ func Run(analyzers []*Analyzer, patterns ...string) ([]PositionedDiagnostic, err
 			return nil, fmt.Errorf("type-checking %s: %v", pkg.PkgPath, pkg.TypeErrs[0])
 		}
 	}
+	sums := Summaries{}
+	ComputeSummaries(fset, pkgs, analyzers, sums)
+
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 
 	var out []PositionedDiagnostic
+	report := func(d Diagnostic) {
+		out = append(out, PositionedDiagnostic{
+			Position: fset.Position(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
 	for _, pkg := range pkgs {
+		if !pkg.Root {
+			continue
+		}
+		used := map[token.Pos]bool{}
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer:  a,
-				Fset:      fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				Markers:   markers,
+				Analyzer:        a,
+				Fset:            fset,
+				Files:           pkg.Syntax,
+				Pkg:             pkg.Types,
+				TypesInfo:       pkg.TypesInfo,
+				Summaries:       sums,
+				Interprocedural: true,
+				UsedWaivers:     used,
 			}
-			pass.report = func(d Diagnostic) {
-				out = append(out, PositionedDiagnostic{
-					Position: fset.Position(d.Pos),
-					Analyzer: d.Analyzer,
-					Message:  d.Message,
-				})
-			}
+			pass.report = report
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
+		CheckUnusedWaivers(pkg.Syntax, ran, used, report)
 	}
 	return sortAndDedup(out), nil
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/analysis/testdata/src/detorder/detdep"
 	"repro/internal/obs"
 )
 
@@ -86,6 +87,17 @@ func globalRand(n int) int {
 func seededRand(n int, seed int64) int {
 	rng := rand.New(rand.NewSource(seed)) // constructors: clean
 	return rng.Intn(n)                    // method on explicit *rand.Rand: clean
+}
+
+func interClock() int64 {
+	return detdep.Stamp() // want `call to detdep.Stamp reaches a wall-clock read in deterministic scope \(via detdep.Stamp → detdep.now → time.Now at detdep.go:\d+\)`
+}
+
+func interClockGuarded(rec *obs.Recorder) int64 {
+	if rec != nil {
+		return detdep.Stamp() // observability-guarded transitive clock: clean
+	}
+	return 0
 }
 
 func multiSelect(a, b chan int) int {

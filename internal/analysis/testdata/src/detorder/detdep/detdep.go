@@ -1,0 +1,12 @@
+// Package detdep is an unmarked dependency of the detorder testdata:
+// its functions reach the wall clock only transitively, so nothing here
+// is flagged directly — the capability must travel through the summary
+// to convict a deterministic caller.
+package detdep
+
+import "time"
+
+// Stamp reaches time.Now through one more unmarked hop.
+func Stamp() int64 { return now() }
+
+func now() int64 { return time.Now().UnixNano() }

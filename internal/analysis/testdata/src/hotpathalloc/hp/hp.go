@@ -48,10 +48,13 @@ func appends(s *scratch, other []int) {
 // emcgm:hotpath
 func calls(s *scratch, n int) {
 	_ = hpdep.Fast(n)         // marked callee: clean
-	_ = hpdep.Slow(n)         // want `not marked emcgm:hotpath`
+	_ = hpdep.Slow(n)         // want `call to hpdep.Slow allocates on the hot path \(via hpdep.Slow → make at hpdep.go:\d+\)`
 	_ = fmt.Sprintf("x%d", n) // want `call into fmt` `boxes into interface`
 	_ = helperMarked(n)       // clean
-	_ = helperUnmarked(n)     // want `not marked emcgm:hotpath`
+	_ = helperUnmarked(n)     // unmarked but proven allocation-free: clean
+	_ = helperAllocates(n)    // want `call to hp.helperAllocates allocates on the hot path \(via hp.helperAllocates → make at hp.go:\d+\)`
+	_ = hpdep.Wrap(n)         // want `call to hpdep.Wrap allocates on the hot path \(via hpdep.Wrap → hpdep.Slow → make at hpdep.go:\d+\)`
+	_ = hpdep.Lying(n)        // want `call to hpdep.Lying allocates on the hot path despite its emcgm:hotpath marker \(via hpdep.Lying → make at hpdep.go:\d+\)`
 }
 
 // helperMarked is a marked in-package callee.
@@ -60,6 +63,10 @@ func calls(s *scratch, n int) {
 func helperMarked(x int) int { return x * 2 }
 
 func helperUnmarked(x int) int { return x * 3 }
+
+// helperAllocates is unmarked and allocates: any hot-path caller is
+// reported with the witness chain, marker or no marker.
+func helperAllocates(x int) []int { return make([]int, x) }
 
 // boxing checks interface conversions at call boundaries.
 //

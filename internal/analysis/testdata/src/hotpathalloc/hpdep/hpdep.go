@@ -10,3 +10,14 @@ func Fast(x int) int { return x + 1 }
 
 // Slow is unmarked: calling it from a hot path must be flagged.
 func Slow(x int) []int { return make([]int, x) }
+
+// Wrap hides Slow's allocation behind one more unmarked call: the
+// summary must carry the effect through so the caller's diagnostic
+// spells out the whole chain.
+func Wrap(x int) []int { return Slow(x) }
+
+// Lying carries the marker but allocates anyway: the summary outranks
+// the author's claim at every call site.
+//
+// emcgm:hotpath
+func Lying(x int) []int { return make([]int, x) }

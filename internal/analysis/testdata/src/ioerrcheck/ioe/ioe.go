@@ -63,3 +63,32 @@ func osFileHandled(f *os.File, tracks int64) error {
 func osPackageLevel(path string) {
 	os.Remove(path) // package-level os function, not a File method: clean
 }
+
+// ---------------------------------------------------------------------
+// Interprocedural: wrappers that surface I/O errors are held to the
+// same standard as the I/O calls they wrap.
+// ---------------------------------------------------------------------
+
+// flushAll surfaces the WriteBlocks error through its own result: its
+// summary is IOErrReturns with the witness chain.
+func flushAll(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	return arr.WriteBlocks(reqs, bufs)
+}
+
+// validate returns an error but makes no I/O call anywhere below:
+// IOErrNone, so dropping its result is out of this analyzer's scope.
+func validate(reqs []pdm.BlockReq) error {
+	if len(reqs) == 0 {
+		return fmt.Errorf("empty batch")
+	}
+	return nil
+}
+
+func interDropped(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) {
+	flushAll(arr, reqs, bufs) // want `ioe.flushAll surfaces an I/O error that is dropped \(via ioe.flushAll → pdm.DiskArray.WriteBlocks at ioe.go:\d+\); handle it or assign to _ explicitly`
+	validate(reqs)            // error result, but no I/O beneath: clean
+}
+
+func interAcknowledged(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) {
+	_ = flushAll(arr, reqs, bufs) // explicit acknowledgement: clean
+}

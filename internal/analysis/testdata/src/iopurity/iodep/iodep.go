@@ -1,0 +1,18 @@
+// Package iodep is an unmarked dependency of the iopurity testdata: it
+// reaches the operating system only transitively, so nothing here is
+// flagged directly — the CapOS capability must travel through the
+// summary to convict a deterministic caller.
+package iodep
+
+import "os"
+
+// Size reaches os.Stat through one more unmarked hop.
+func Size(path string) int64 { return stat(path) }
+
+func stat(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

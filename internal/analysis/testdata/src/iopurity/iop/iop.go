@@ -1,0 +1,47 @@
+// Package iop is the iopurity testdata: the package documentation opts
+// every function into deterministic scope, where the outside world is
+// reachable only through pdm and layout.
+//
+// emcgm:deterministic
+package iop
+
+import (
+	"net"
+	"os"
+
+	"repro/internal/analysis/testdata/src/iopurity/iodep"
+	"repro/internal/analysis/testdata/src/iopurity/iotrusted"
+	"repro/internal/pdm"
+)
+
+func direct(path string) []byte {
+	b, _ := os.ReadFile(path) // want `os.ReadFile touches the operating system in deterministic scope; route I/O through pdm.DiskArray or layout`
+	return b
+}
+
+func network(host string) {
+	net.LookupHost(host) // want `net.LookupHost touches the network in deterministic scope; deterministic code has no network surface`
+}
+
+func transitive(path string) int64 {
+	return iodep.Size(path) // want `call to iodep.Size reaches the operating system in deterministic scope \(via iodep.Size → iodep.stat → os.Stat at iodep.go:\d+\); only pdm/layout may touch the outside world`
+}
+
+func trusted(path string) int64 {
+	return iotrusted.Size(path) // det-marked callee: its own run enforces the contract
+}
+
+func sanctioned(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	return arr.WriteBlocks(reqs, bufs) // the boundary itself: clean
+}
+
+func waived(path string) bool {
+	// emcgm:iopureok existence probe audited in the harness setup
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func staleWaiver(n int) int {
+	n++ /* emcgm:iopureok stale claim */ // want `emcgm:iopureok waiver suppresses no iopurity diagnostic; remove it`
+	return n
+}

@@ -1,0 +1,21 @@
+// Package iotrusted is deterministic-scope code: its own run enforces
+// the purity contract (the os.Stat below is audited and waived), so
+// callers in other deterministic packages trust it without re-checking
+// its capability set.
+//
+// emcgm:deterministic
+package iotrusted
+
+import "os"
+
+// Size carries CapOS in its summary, but the det marker means callers
+// leave enforcement to this package's own run — where the waiver below
+// sanctions the probe.
+func Size(path string) int64 {
+	// emcgm:iopureok metadata-only probe, audited in the harness setup
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

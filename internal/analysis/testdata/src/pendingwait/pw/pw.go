@@ -203,6 +203,80 @@ func cleanLoopAdd(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, pe
 	return pend.Wait()
 }
 
+// ---------------------------------------------------------------------
+// Interprocedural: helper summaries decide the fate of handed-off
+// handles instead of the blanket escape rule.
+// ---------------------------------------------------------------------
+
+// helperWaits discharges its argument's obligation: the summary records
+// the waits effect for parameter 0.
+func helperWaits(p *pdm.Pending) error { return p.Wait() }
+
+// helperIgnores inspects the handle without waiting or escaping it: the
+// summary records the drops effect, so the obligation stays with the
+// caller.
+func helperIgnores(p *pdm.Pending) bool { return p != nil }
+
+// nilPending provably returns a nil handle on every path: its result is
+// not a begin site and callers owe nothing for it.
+func nilPending(err error) (*pdm.Pending, error) { return nil, err }
+
+// interHelperWait hands the handle to a helper that provably waits it:
+// a genuine discharge, same as escaping, and clean either way.
+func interHelperWait(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	return helperWaits(p)
+}
+
+// interDoubleWait waits directly after the helper already waited: only
+// the summary knows the helper consumed the handle.
+func interDoubleWait(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	if err := helperWaits(p); err != nil {
+		return err
+	}
+	return p.Wait() // want `handle from BeginReadBlocks may already have been waited \(double Wait\)`
+}
+
+// interDoubleWaitVia waits through the helper after a direct Wait: the
+// diagnostic names the callee that performs the second Wait.
+func interDoubleWaitVia(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs)
+	if err != nil {
+		return err
+	}
+	if err := p.Wait(); err != nil {
+		return err
+	}
+	return helperWaits(p) // want `handle from BeginReadBlocks may already have been waited \(double Wait via pw.helperWaits, which waits it\)`
+}
+
+// interLeak hands the handle to a helper the summary proves leaves it
+// un-waited: intraprocedurally this hand-off would discharge the
+// obligation and hide the leak.
+func interLeak(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	p, err := arr.BeginReadBlocks(reqs, bufs) // want `pending handle from BeginReadBlocks may not be waited on some path to return \(leak via pw.helperIgnores, which leaves it un-waited\)`
+	if err != nil {
+		return err
+	}
+	_ = helperIgnores(p)
+	return nil
+}
+
+// interNilReturn calls a module function whose summary proves every
+// Pending result is nil: no obligation is created.
+func interNilReturn(arr *pdm.DiskArray, err0 error) error {
+	p, err := nilPending(err0)
+	_ = p
+	return err
+}
+
 // deliberateLeak is the seeded negative for the waiver: an intentional
 // leak (exercised by the freelist non-resurrection test) that the
 // analyzer must not flag because of the marker.

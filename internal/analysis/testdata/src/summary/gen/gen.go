@@ -1,0 +1,20 @@
+// Package gen is summary testdata for generic functions: effects must
+// attach to the generic origin, so every instantiation shares one
+// summary record.
+package gen
+
+import "time"
+
+// Stamp is generic and reaches the clock through now: the CapTime
+// capability belongs to the origin Stamp, not to Stamp[int] or
+// Stamp[string].
+func Stamp[T any](v T) (T, int64) { return v, now() }
+
+func now() int64 { return time.Now().UnixNano() }
+
+// UseInt instantiates Stamp at int; it must inherit the capability
+// through the shared origin summary.
+func UseInt() int64 { _, n := Stamp(1); return n }
+
+// UseString instantiates Stamp at string, same contract as UseInt.
+func UseString() int64 { _, n := Stamp("x"); return n }

@@ -35,11 +35,15 @@ type VetConfig struct {
 
 // VetUnit runs the analyzers over the single compilation unit described
 // by the vet config at cfgPath, following the `go vet -vettool`
-// protocol: the marker registry is reconstructed from the dependencies'
-// vetx files, this unit's own markers are added, and their union is
-// written to VetxOutput so markers propagate transitively through the
-// build graph. The vetx file is written even when the unit is skipped —
-// go vet caches it and fails if it is missing.
+// protocol: the summary registry is reconstructed from the
+// dependencies' vetx files, this unit's own function summaries are
+// computed bottom-up (markers, then every analyzer's Summarize hook to
+// a fixpoint), and the union is written to VetxOutput so facts
+// propagate transitively through the build graph. The vetx file is
+// written even when the unit is skipped — go vet caches it and fails if
+// it is missing. Unlike the marker-only protocol this replaces,
+// VetxOnly units are still parsed and type-checked: effect summaries
+// need type information, and downstream units need the summaries.
 //
 // Test variants are reduced to their production sources: _test.go files
 // are filtered out (the lint suite governs production code; the tier-1
@@ -55,9 +59,9 @@ func VetUnit(analyzers []*Analyzer, cfgPath string) ([]PositionedDiagnostic, err
 		return nil, fmt.Errorf("parse %s: %w", cfgPath, err)
 	}
 
-	markers := map[string][]string{}
+	sums := Summaries{}
 	for _, path := range cfg.PackageVetx {
-		if err := readVetx(path, markers); err != nil {
+		if err := readVetx(path, sums); err != nil {
 			return nil, err
 		}
 	}
@@ -82,7 +86,7 @@ func VetUnit(analyzers []*Analyzer, cfgPath string) ([]PositionedDiagnostic, err
 		}
 	}
 	if len(gofiles) == 0 {
-		return nil, writeVetx(cfg.VetxOutput, markers)
+		return nil, writeVetx(cfg.VetxOutput, sums)
 	}
 
 	fset := token.NewFileSet()
@@ -91,18 +95,11 @@ func VetUnit(analyzers []*Analyzer, cfgPath string) ([]PositionedDiagnostic, err
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, writeVetx(cfg.VetxOutput, markers)
+				return nil, writeVetx(cfg.VetxOutput, sums)
 			}
 			return nil, err
 		}
 		files = append(files, f)
-	}
-	collectMarkers(pkgPath, files, markers)
-	if err := writeVetx(cfg.VetxOutput, markers); err != nil {
-		return nil, err
-	}
-	if cfg.VetxOnly {
-		return nil, nil
 	}
 
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -126,72 +123,64 @@ func VetUnit(analyzers []*Analyzer, cfgPath string) ([]PositionedDiagnostic, err
 	}
 	tpkg, _ := conf.Check(pkgPath, fset, files, info)
 	if len(terrs) > 0 {
+		// Effect summaries need types; degrade to marker-only facts so
+		// downstream units still see the directives.
+		collectMarkers(pkgPath, files, sums)
+		if err := writeVetx(cfg.VetxOutput, sums); err != nil {
+			return nil, err
+		}
 		if cfg.SucceedOnTypecheckFailure {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, terrs[0])
 	}
 
+	pkg := &Package{
+		PkgPath:   pkgPath,
+		Dir:       cfg.Dir,
+		Root:      true,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	ComputeSummaries(fset, []*Package{pkg}, analyzers, sums)
+	if err := writeVetx(cfg.VetxOutput, sums); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	used := map[token.Pos]bool{}
+
 	var out []PositionedDiagnostic
+	report := func(d Diagnostic) {
+		out = append(out, PositionedDiagnostic{
+			Position: fset.Position(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       tpkg,
-			TypesInfo: info,
-			Markers:   markers,
+			Analyzer:        a,
+			Fset:            fset,
+			Files:           files,
+			Pkg:             tpkg,
+			TypesInfo:       info,
+			Summaries:       sums,
+			Interprocedural: true,
+			UsedWaivers:     used,
 		}
-		pass.report = func(d Diagnostic) {
-			out = append(out, PositionedDiagnostic{
-				Position: fset.Position(d.Pos),
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
-		}
+		pass.report = report
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkgPath, err)
 		}
 	}
+	CheckUnusedWaivers(files, ran, used, report)
 	return sortAndDedup(out), nil
-}
-
-// readVetx merges one dependency's marker facts into the registry. The
-// same package can be reachable through several dependency edges, so
-// entries are merged set-wise.
-func readVetx(path string, markers map[string][]string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	if len(data) == 0 {
-		return nil
-	}
-	m := map[string][]string{}
-	if err := json.Unmarshal(data, &m); err != nil {
-		return fmt.Errorf("vetx %s: %w", path, err)
-	}
-	for key, ms := range m {
-	next:
-		for _, marker := range ms {
-			for _, have := range markers[key] {
-				if have == marker {
-					continue next
-				}
-			}
-			markers[key] = append(markers[key], marker)
-		}
-	}
-	return nil
-}
-
-// writeVetx serialises the marker registry as this unit's facts.
-// encoding/json sorts map keys, so equal registries produce identical
-// bytes and the go build cache can reuse downstream vet results.
-func writeVetx(path string, markers map[string][]string) error {
-	data, err := json.Marshal(markers)
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, data, 0o666)
 }

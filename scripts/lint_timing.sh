@@ -1,0 +1,61 @@
+#!/bin/sh
+# Lint wall-time budget gate.
+#
+# Measures the full emcgm-lint suite over the tree (best of three runs)
+# and normalises it by a plain `go vet ./...` of the same tree, which
+# cancels machine speed: the ratio is "how much more expensive than
+# stock vet is our analysis", a number that is stable across laptops and
+# CI runners. The gate fails when the ratio exceeds 2x the committed
+# baseline (scripts/lint_timing.baseline) — a summary-propagation or
+# analyzer change that doubles relative lint cost must be optimised or
+# deliberately recorded by refreshing the baseline:
+#
+#	sh scripts/lint_timing.sh -baseline
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline_file=scripts/lint_timing.baseline
+
+go build -o bin/emcgm-lint ./cmd/emcgm-lint
+
+# Warm the build cache so both measurements time analysis, not
+# compilation. Plain vet results are cached per package, so clear its
+# head start by timing with -count-neutral work: both commands below see
+# fully warm builds and cold-enough analysis (emcgm-lint recomputes
+# summaries every run; go vet replays its cache, which only biases the
+# ratio upward — a conservative gate).
+go vet ./... >/dev/null 2>&1
+./bin/emcgm-lint ./... >/dev/null
+
+ms() { date +%s%3N; }
+
+best_of_three() {
+	best=
+	for _ in 1 2 3; do
+		start=$(ms)
+		"$@" >/dev/null 2>&1
+		end=$(ms)
+		run=$((end - start))
+		if [ -z "$best" ] || [ "$run" -lt "$best" ]; then
+			best=$run
+		fi
+	done
+	echo "$best"
+}
+
+vet_ms=$(best_of_three go vet ./...)
+lint_ms=$(best_of_three ./bin/emcgm-lint ./...)
+ratio=$(awk -v l="$lint_ms" -v v="$vet_ms" 'BEGIN { printf "%.2f", l / (v > 0 ? v : 1) }')
+
+if [ "${1:-}" = "-baseline" ]; then
+	echo "$ratio" > "$baseline_file"
+	echo "lint-timing: baseline refreshed to ${ratio} (lint ${lint_ms}ms / vet ${vet_ms}ms)"
+	exit 0
+fi
+
+base=$(cat "$baseline_file")
+echo "lint-timing: lint ${lint_ms}ms, plain vet ${vet_ms}ms, ratio ${ratio} (baseline ${base})"
+awk -v r="$ratio" -v b="$base" 'BEGIN { exit !(r <= 2 * b) }' || {
+	echo "lint-timing: ratio ${ratio} exceeds 2x baseline ${base}: optimise, or refresh with 'sh scripts/lint_timing.sh -baseline'"
+	exit 1
+}
