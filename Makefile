@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build test race bench bench-smoke bench-filedisk bench-record bench-baseline allocs lint lint-tool lint-selftest lint-timing fuzz
+.PHONY: verify build test race bench bench-smoke bench-filedisk bench-record bench-baseline bench-depth allocs lint lint-tool lint-selftest lint-timing fuzz
 
 verify: build test race
 
@@ -56,6 +56,17 @@ bench-record:
 
 bench-baseline:
 	$(GO) run ./cmd/emcgm-bench -fig pipeline $(BENCH_SCALE) -bench BENCH_smoke.json > /dev/null
+
+# Two-point depth-sweep smoke: run the pipeline figure at a fixed k=2
+# window and under the auto policy, then diff the recordings. The exact
+# metrics (PDM parallel I/Os, rounds) must be bit-identical across
+# depths — the window only reorders begins — and the wide -tol keeps the
+# noisy wall/stall_frac comparison from flaking on shared runners while
+# still printing the stall_frac movement for inspection.
+bench-depth:
+	$(GO) run ./cmd/emcgm-bench -fig pipeline $(BENCH_SCALE) -depth 2 -bench bench-depth2.json > /dev/null
+	$(GO) run ./cmd/emcgm-bench -fig pipeline $(BENCH_SCALE) -depth 0 -bench bench-depthauto.json > /dev/null
+	$(GO) run ./cmd/emcgm-benchdiff -tol 1.0 bench-depth2.json bench-depthauto.json
 
 # Allocation profile of the hot path: the dispatch benchmark must report
 # 0 allocs/op and the end-to-end sort should stay well under the seed's

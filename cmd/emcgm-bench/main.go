@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, balance, cache, sweep, pipeline, filedisk, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, 8, balance, cache, sweep, pipeline, filedisk, depth, all")
 	n := flag.Int("n", 0, "base problem size in items (0 = default 65536)")
 	v := flag.Int("v", 0, "virtual processors (0 = default 8)")
 	p := flag.Int("p", 0, "real processors (0 = default 4)")
@@ -42,6 +42,7 @@ func main() {
 	ledgerOut := flag.String("ledger", "", "collect a predicted-vs-measured cost-model ledger over the Figure 5 workloads, print its summary, calibrate its time model from the session's own disk latencies, and write the JSON export to this file; exits 1 if any prediction misses (use with -fig 5 or -fig all)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	pipeline := flag.Bool("pipeline", true, "use the split-phase pipelined superstep schedule (PDM counts are identical either way)")
+	depth := flag.Int("depth", 0, "pipeline window depth k for every pipelined run (0 = auto from the calibrated time model, adapting online under a recorder)")
 	disks := flag.String("disks", "", "directory for the filedisk figure's disk files (empty = temporary directory)")
 	directio := flag.Bool("directio", true, "include O_DIRECT rows in the filedisk figure where the filesystem supports them")
 	flag.Parse()
@@ -76,6 +77,11 @@ func main() {
 	if !*pipeline {
 		s.Pipeline = core.PipelineOff
 	}
+	if *depth < 0 {
+		fmt.Fprintf(os.Stderr, "emcgm-bench: -depth must be >= 0 (0 = auto), got %d\n", *depth)
+		os.Exit(2)
+	}
+	s.Depth = *depth
 	s.DiskDir = *disks
 	s.DirectIO = *directio
 	// The experiments derive every machine from this scale; validate it
@@ -133,9 +139,10 @@ func main() {
 		"sweep":    func() { emit(experiments.Sweep(s)) },
 		"pipeline": func() { emit(experiments.Pipeline(s)) },
 		"filedisk": func() { emit(experiments.FileDiskFig(s)) },
+		"depth":    func() { emit(experiments.DepthSweep(s)) },
 	}
 	if *fig == "all" {
-		for _, k := range []string{"3", "4", "5", "6", "7", "8", "balance", "cache", "sweep", "pipeline", "filedisk"} {
+		for _, k := range []string{"3", "4", "5", "6", "7", "8", "balance", "cache", "sweep", "pipeline", "filedisk", "depth"} {
 			run[k]()
 		}
 	} else {

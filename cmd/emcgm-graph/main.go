@@ -34,6 +34,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace of all pipeline phases to this file (load in Perfetto)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	pipeline := flag.Bool("pipeline", true, "use the split-phase pipelined superstep schedule (PDM counts are identical either way)")
+	depth := flag.Int("depth", 0, "pipeline window depth k for every phase (0 = auto from the calibrated time model)")
 	flag.Parse()
 
 	for _, f := range []struct {
@@ -51,7 +52,11 @@ func main() {
 	}
 	// Every pipeline stage below runs on this machine shape; fail fast
 	// with the violated paper precondition (e.g. p must divide v).
-	mcfg := core.Config{V: *v, P: *p, D: *d, B: *b, DiskDir: *disks, DirectIO: *directio}
+	if *depth < 0 {
+		fmt.Fprintf(os.Stderr, "emcgm-graph: -depth must be >= 0 (0 = auto), got %d\n", *depth)
+		os.Exit(2)
+	}
+	mcfg := core.Config{V: *v, P: *p, D: *d, B: *b, PipelineDepth: *depth, DiskDir: *disks, DirectIO: *directio}
 	if err := mcfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "emcgm-graph: %v\n", err)
 		os.Exit(2)
@@ -95,6 +100,7 @@ func main() {
 	e1 := rec.NewEM(*v, *p, *d, *b)
 	e1.Recorder = recorder
 	e1.DiskDir, e1.DirectIO = *disks, *directio
+	e1.Depth = *depth
 	if !*pipeline {
 		e1.Pipeline = core.PipelineOff
 	}
@@ -115,6 +121,7 @@ func main() {
 	e2 := rec.NewEM(*v, *p, *d, *b)
 	e2.Recorder = recorder
 	e2.DiskDir, e2.DirectIO = *disks, *directio
+	e2.Depth = *depth
 	if !*pipeline {
 		e2.Pipeline = core.PipelineOff
 	}
@@ -139,6 +146,7 @@ func main() {
 	e3 := rec.NewEM(*v, *p, *d, *b)
 	e3.Recorder = recorder
 	e3.DiskDir, e3.DirectIO = *disks, *directio
+	e3.Depth = *depth
 	if !*pipeline {
 		e3.Pipeline = core.PipelineOff
 	}

@@ -38,6 +38,7 @@ func main() {
 	steps := flag.Bool("steps", false, "print the per-superstep I/O table")
 	msgs := flag.Bool("msgs", false, "print BalancedRouting message sizes vs the Theorem 1 bound (needs -balanced)")
 	pipeline := flag.Bool("pipeline", true, "use the split-phase pipelined superstep schedule (PDM counts are identical either way)")
+	depth := flag.Int("depth", 0, "pipeline window depth k (0 = auto from the calibrated time model)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace.json, /steps and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -55,7 +56,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := core.Config{V: *v, P: *p, D: *d, B: *b, Balanced: *balanced, DiskDir: *disks, DirectIO: *directio}
+	if *depth < 0 {
+		fmt.Fprintf(os.Stderr, "emcgm-sort: -depth must be >= 0 (0 = auto), got %d\n", *depth)
+		os.Exit(2)
+	}
+	cfg := core.Config{V: *v, P: *p, D: *d, B: *b, Balanced: *balanced, PipelineDepth: *depth, DiskDir: *disks, DirectIO: *directio}
 	if !*pipeline {
 		cfg.Pipeline = core.PipelineOff
 	}

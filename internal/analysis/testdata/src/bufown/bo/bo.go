@@ -149,6 +149,36 @@ func cleanRebind(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs, other [][]pdm.Wo
 	return p.Wait()
 }
 
+// cleanRingReuse is the depth-k sliding-window driver's shape: a ring of
+// per-slot buffers, each loaned to its slot's in-flight write and touched
+// again only after the slot's set is drained on reuse.
+func cleanRingReuse(arr *pdm.DiskArray, reqs []pdm.BlockReq) error {
+	const k = 4
+	ring := make([][][]pdm.Word, k)
+	pend := make([]pdm.PendingSet, k)
+	for i := range ring {
+		ring[i] = [][]pdm.Word{make([]pdm.Word, 8)}
+	}
+	for j := 0; j < 16; j++ {
+		sl := j % k
+		if err := pend[sl].Wait(); err != nil { // loan on this slot's buffers ends here
+			return err
+		}
+		ring[sl][0][0] = pdm.Word(j) // safe: slot drained
+		p, err := arr.BeginWriteBlocks(reqs, ring[sl])
+		if err != nil {
+			return err
+		}
+		pend[sl].Add(p)
+	}
+	for i := range pend {
+		if err := pend[i].Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // deliberateTouch is the seeded negative for the waiver: an intentional
 // in-flight mutation (what the CheckedIO poison test does on purpose)
 // that the marker exempts.

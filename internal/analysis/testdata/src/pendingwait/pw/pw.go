@@ -203,6 +203,66 @@ func cleanLoopAdd(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word, pe
 	return pend.Wait()
 }
 
+// cleanRingSlots is the depth-k sliding-window driver's shape: every
+// begin's handle escapes into the in-flight set of its superstep's ring
+// slot (j % K), the slot is drained before reuse, and the epilogue waits
+// every slot — handles escape into the ring, discharged on slot reuse.
+func cleanRingSlots(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	const k = 4
+	ring := make([]pdm.PendingSet, k)
+	for j := 0; j < 16; j++ {
+		sl := &ring[j%k]
+		if err := sl.Wait(); err != nil { // drain the slot before reuse
+			return err
+		}
+		p, err := arr.BeginReadBlocks(reqs, bufs)
+		if err != nil {
+			return err
+		}
+		sl.Add(p)
+	}
+	for i := range ring {
+		if err := ring[i].Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cleanRingPrefetch is the same ring with a prefetch distance: the slide
+// begins the window-ahead superstep's reads into a different slot than
+// the one just waited — both handles still land in ring slots.
+func cleanRingPrefetch(arr *pdm.DiskArray, reqs []pdm.BlockReq, bufs [][]pdm.Word) error {
+	const k, v = 4, 16
+	ring := make([]pdm.PendingSet, k)
+	pf := k / 2
+	for m := 0; m < pf && m < v; m++ { // prologue burst
+		p, err := arr.BeginReadBlocks(reqs, bufs)
+		if err != nil {
+			return err
+		}
+		ring[m%k].Add(p)
+	}
+	for j := 0; j < v; j++ {
+		if err := ring[j%k].Wait(); err != nil {
+			return err
+		}
+		if m := j + pf; m < v {
+			p, err := arr.BeginReadBlocks(reqs, bufs)
+			if err != nil {
+				return err
+			}
+			ring[m%k].Add(p)
+		}
+	}
+	for i := range ring {
+		if err := ring[i].Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------
 // Interprocedural: helper summaries decide the fate of handed-off
 // handles instead of the blanket escape rule.

@@ -66,6 +66,10 @@ type Params struct {
 	D        int  `json:"d"`
 	B        int  `json:"b"`
 	Pipeline bool `json:"pipeline"`
+	// Depth is the configured pipeline window depth (0 = auto).
+	// Additive and omitempty, so recordings from older schemas compare
+	// cleanly.
+	Depth int `json:"depth,omitempty"`
 }
 
 // File is one recording session.

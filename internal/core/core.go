@@ -87,12 +87,13 @@ type PipelineMode int
 
 const (
 	// PipelineOn software-pipelines the superstep loop with split-phase
-	// I/O and a second superstepScratch in ping-pong: while virtual
-	// processor j computes, VP j+1's context and inbox are already being
-	// read and VP j−1's writes drain as write-behind. The operation
-	// multiset, addresses, and PDM counts are bit-identical to the
-	// synchronous schedule (accounting is charged at begin time); only
-	// wall-clock overlap changes.
+	// I/O over a ring of k superstepScratch slots (k = PipelineDepth,
+	// auto-sized when 0): while virtual processor j computes, the
+	// contexts and inboxes of VPs j+1 … j+⌊k/2⌋ are already being read
+	// and the writes of VPs back to j−⌈k/2⌉ drain as write-behind. The
+	// operation multiset, addresses, and PDM counts are bit-identical to
+	// the synchronous schedule (accounting is charged at begin time);
+	// only wall-clock overlap changes.
 	PipelineOn PipelineMode = iota
 	// PipelineOff runs every parallel I/O to completion before the next
 	// phase — the reference schedule, kept as a debugging off-switch and
@@ -155,9 +156,23 @@ type Config struct {
 	CheckedIO bool
 	// Pipeline selects the superstep I/O schedule: PipelineOn (the zero
 	// value) overlaps disk transfers with compute via split-phase I/O and
-	// double-buffered scratch, PipelineOff is the synchronous reference
+	// a ring of scratch slots, PipelineOff is the synchronous reference
 	// schedule. Both produce bit-identical outputs and PDM accounting.
 	Pipeline PipelineMode
+	// PipelineDepth is the sliding-window depth k of the pipelined
+	// schedule: the number of superstep scratch slots in each real
+	// processor's ring. Depth 1 degenerates to the synchronous order with
+	// split-phase overhead, depth 2 is the PR 5 ping-pong, deeper windows
+	// prefetch further ahead and expose more conflict-free transfers to
+	// the batch-coalescing disk workers. 0 (the default) picks a depth
+	// from the cost model (see costmodel.AutoDepth) and, when a Recorder
+	// is attached, adapts it upward between rounds while the measured
+	// stall fraction stays high. Any fixed depth keeps the begin order a
+	// deterministic function of the configuration; every depth keeps the
+	// operation multiset and PDM counts bit-identical to PipelineOff.
+	// The memory bound is enforced against M: k in-flight working sets
+	// (context + message scratch) must fit, Lemma 1–2 style.
+	PipelineDepth int
 	// CacheContexts keeps virtual-processor contexts resident in the real
 	// processor's memory when P = V (one context per processor, M = Θ(μ)),
 	// eliminating the context-swap I/O entirely — the machine then pays
@@ -211,6 +226,12 @@ func (c Config) Validate() error {
 	if c.Pipeline != PipelineOn && c.Pipeline != PipelineOff {
 		return fmt.Errorf("core: Pipeline = %d, want PipelineOn or PipelineOff", c.Pipeline)
 	}
+	if c.PipelineDepth < 0 {
+		return fmt.Errorf("core: PipelineDepth = %d, want ≥ 0 (0 = auto)", c.PipelineDepth)
+	}
+	if c.PipelineDepth > 0 && c.Pipeline == PipelineOff {
+		return fmt.Errorf("core: PipelineDepth = %d set with Pipeline: PipelineOff (the synchronous schedule has no window)", c.PipelineDepth)
+	}
 	if c.DirectIO && c.DiskDir == "" && c.NewDisk == nil {
 		return fmt.Errorf("core: DirectIO requires file-backed disks (set DiskDir, or supply NewDisk); in-memory disks have no page cache to bypass")
 	}
@@ -246,25 +267,43 @@ func (c Config) ValidateFor(n int) error {
 			return fmt.Errorf("core: N = %d items violates the Lemma 1–2 precondition N ≥ v²B + v²(v−1)/2 = %d for v = %d, B = %d; BalancedRouting cannot guarantee minimum message size B (grow N, or shrink v or B)", n, min, c.V, c.B)
 		}
 	}
+	// Memory bound on the pipeline window, checkable before the program's
+	// codec is known only when the item bounds are explicit: with one word
+	// per item as the lower bound, k windows of (context run + v message
+	// slots) must fit in M. The drivers re-check with the real item width;
+	// this catches a hopeless fixed k before any disk is allocated.
+	if c.M > 0 && c.Pipeline == PipelineOn && c.PipelineDepth > 0 &&
+		c.MaxCtxItems > 0 && c.MaxMsgItems > 0 {
+		cb := pdm.BlocksFor(ctxWords(c.MaxCtxItems, 1), c.B)
+		bpm := pdm.BlocksFor(slotWords(c.MaxMsgItems, 1), c.B)
+		if need := c.PipelineDepth * (cb + c.V*bpm) * c.B; need > c.M {
+			return fmt.Errorf("core: PipelineDepth = %d needs ≥ %d words of internal memory (k windows of one context run + %d message slots at ≥ 1 word/item), but M = %d; lower the depth or raise M",
+				c.PipelineDepth, need, c.V, c.M)
+		}
+	}
 	return nil
 }
 
-// newArray builds the disk array of real processor proc.
-func (c Config) newArray(proc int) (*pdm.DiskArray, error) {
+// newArray builds the disk array of real processor proc. queueHint sizes
+// the per-disk worker queues for the caller's maximum in-flight window
+// (0 = the pdm default): the pipelined drivers pass their depth-k burst
+// so a deep window never blocks at begin time and silently serializes.
+func (c Config) newArray(proc, queueHint int) (*pdm.DiskArray, error) {
 	var arr *pdm.DiskArray
+	opts := pdm.ArrayOptions{QueueDepth: queueHint}
 	newDisk := c.NewDisk
 	if newDisk == nil && c.DiskDir != "" {
 		newDisk = fileDiskFactory(c.DiskDir, c.B, c.DirectIO)
 	}
 	if newDisk == nil {
-		arr = pdm.NewMemArray(c.D, c.B)
+		arr = pdm.NewMemArrayOpts(c.D, c.B, opts)
 	} else {
 		disks := make([]pdm.Disk, c.D)
 		for i := range disks {
 			disks[i] = newDisk(proc, i)
 		}
 		var err error
-		arr, err = pdm.NewDiskArray(disks)
+		arr, err = pdm.NewDiskArrayOpts(disks, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -358,6 +397,13 @@ type Result[T any] struct {
 	// reads otherwise); zero for the synchronous schedule and for
 	// unrecorded runs.
 	Stall time.Duration
+	// Depth is the pipeline ring depth the run finished with: the
+	// resolved PipelineDepth (after auto-sizing and memory clamping),
+	// grown by the online adaptation if it triggered. 0 for the
+	// synchronous schedule. Not part of the output/accounting
+	// equivalence contract — it describes the overlap schedule, which is
+	// exactly what the contract allows to vary.
+	Depth int
 }
 
 // Output concatenates the per-VP outputs in VP order.
@@ -506,6 +552,7 @@ func ledgerAdd[T any](cfg Config, par bool, cb, bpm int, cacheCtx bool, base int
 		costmodel.Machine{
 			Par: par, V: cfg.V, P: cfg.P, D: cfg.D, B: cfg.B,
 			CB: cb, BPM: bpm, Rounds: res.Rounds, CacheCtx: cacheCtx,
+			Depth: res.Depth,
 		},
 		cfg.Recorder.StepsSince(base),
 		costmodel.RunTotals{
@@ -566,5 +613,6 @@ func runBalanced[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Confi
 		Supersteps:     wres.Supersteps,
 		Syscalls:       wres.Syscalls,
 		Stall:          wres.Stall,
+		Depth:          wres.Depth,
 	}, nil
 }

@@ -82,7 +82,7 @@ func runPar[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	matrices := make([][2]layout.Rect, p)
 	scrs := make([]*procScratch[T], p)
 	for i := 0; i < p; i++ {
-		a, err := cfg.newArray(i)
+		a, err := cfg.newArray(i, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cgm"
@@ -13,32 +14,34 @@ import (
 )
 
 // pipeProcScratch is one real processor's working storage under the
-// pipelined schedule: two superstepScratch images in ping-pong (VP l
-// computes out of img[l mod 2] while img[(l+1) mod 2] is being prefetched
-// or drained) plus the cross-processor batch containers shared with the
-// synchronous schedule.
+// pipelined schedule: a ring of K superstepScratch images (local VP l
+// computes out of img[l mod K] while the slots ahead of it prefetch and
+// the slots behind it drain) plus the cross-processor batch containers
+// shared with the synchronous schedule. The route phase reuses the same
+// ring, cycling landed batches through all K slots.
 type pipeProcScratch[T any] struct {
-	img  [2]*superstepScratch
+	img  []*superstepScratch
 	send [][][]T
 }
 
 // runParPipelined is runPar under the PipelineOn schedule: each real
 // processor software-pipelines its local superstep loop exactly as
-// runSeqPipelined does — prefetch of the next local VP's context and
-// inbox under the current VP's compute, context write-behind — and
-// double-buffers the route phase, encoding the next batch while the
-// previous one's blocks are still being written. Channel sends (the real
+// runSeqPipelined does — a depth-K ring with prefetch distance ⌊K/2⌋,
+// opened by a per-round burst of the window's reads, context
+// write-behind drained lazily on slot reuse — and pipelines the route
+// phase over the same K slots, encoding up to K landed batches while
+// earlier ones' blocks are still being written. Channel sends (the real
 // "network") stay synchronous, so the barrier protocol and its
 // compensating-send contract are unchanged from runPar.
 //
 // As in the sequential machine, only the begin order of operations
-// changes, never their multiset or addresses: within a round, the hoisted
-// reads of VP l+1 (context run l+1 and inbox region l+1) are address-
-// disjoint from the writes of VPs ≤ l (context runs ≤ l), route writes
-// target the opposite-parity matrix from the round's reads, and each
-// processor drains its write-behind before returning from the round, so
-// nothing crosses the barrier. PDM counts are bit-identical to
-// PipelineOff.
+// changes, never their multiset or addresses: within a round, the
+// hoisted reads of VPs l+1 … l+⌊K/2⌋ (context runs and inbox regions)
+// are address-disjoint from the writes of VPs ≤ l (context runs ≤ l),
+// route writes target the opposite-parity matrix from the round's
+// reads, and each processor drains its write-behind before returning
+// from the round, so nothing crosses the barrier. PDM counts are
+// bit-identical to PipelineOff at every depth.
 func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
 	v, p := cfg.V, cfg.P
 	if len(inputs) != v {
@@ -57,12 +60,13 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 	bpm := pdm.BlocksFor(sw, cfg.B)
 	ctxTracks := (localV*cb+cfg.D-1)/cfg.D + 1
 
-	if cfg.M > 0 {
-		// The pipeline holds two superstep working sets at once.
-		need := 2 * (cb*cfg.B + v*bpm*cfg.B)
-		if need > cfg.M {
-			return nil, fmt.Errorf("core: pipelined working set %d words exceeds M = %d; set Pipeline: PipelineOff to halve it", need, cfg.M)
-		}
+	// Ring depth per processor: capped at v (the route phase cycles up
+	// to v batches through the ring even when localV is small), bounded
+	// by M against k working sets.
+	slotBlocks := cb + v*bpm
+	k, maxK, err := pipeDepth(cfg, v, slotBlocks*cfg.B)
+	if err != nil {
+		return nil, err
 	}
 
 	// Per-processor state.
@@ -70,7 +74,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 	matrices := make([][2]layout.Rect, p)
 	scrs := make([]*pipeProcScratch[T], p)
 	for i := 0; i < p; i++ {
-		a, err := cfg.newArray(i)
+		a, err := cfg.newArray(i, queueHint(maxK, slotBlocks, cfg.D))
 		if err != nil {
 			return nil, err
 		}
@@ -84,10 +88,10 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			return nil, err
 		}
 		matrices[i] = [2]layout.Rect{m0, m1}
-		s := &pipeProcScratch[T]{img: [2]*superstepScratch{
-			newSuperstepScratch(cb, v*bpm, cfg.B),
-			newSuperstepScratch(cb, v*bpm, cfg.B),
-		}}
+		s := &pipeProcScratch[T]{img: make([]*superstepScratch, 0, maxK)}
+		for len(s.img) < k {
+			s.img = append(s.img, newSuperstepScratch(cb, v*bpm, cfg.B))
+		}
 		s.send = make([][][]T, localV*p)
 		for k := range s.send {
 			s.send[k] = make([][]T, localV)
@@ -103,6 +107,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 	rec := cfg.Recorder
 	var mtrack obs.TrackID
 	var tracks []obs.TrackID
+	var depthGauge atomic.Int64
 	if rec != nil {
 		mtrack = rec.Track("machine")
 		tracks = make([]obs.TrackID, p)
@@ -110,6 +115,8 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			tracks[i] = rec.Track(fmt.Sprintf("proc %d", i))
 			arrays[i].SetRecorder(rec, i)
 		}
+		depthGauge.Store(int64(k))
+		rec.Gauge("core_pipeline_depth", depthGauge.Load)
 	}
 
 	owner := func(vp int) int { return vp / localV }
@@ -196,10 +203,14 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 	}
 
 	// Per-proc split-phase state, owned by processor i's goroutine for the
-	// round's duration; rounds are sequenced by the barrier, so reuse
-	// across rounds is race-free.
-	pends := make([][2]vpInflight, p)
-	routePends := make([][2]pdm.PendingSet, p)
+	// round's duration; rounds are sequenced by the barrier, so reuse —
+	// and the between-round ring growth below — is race-free.
+	pends := make([][]vpInflight, p)
+	routePends := make([][]pdm.PendingSet, p)
+	for i := 0; i < p; i++ {
+		pends[i] = make([]vpInflight, k, maxK)
+		routePends[i] = make([]pdm.PendingSet, k, maxK)
+	}
 
 	// emcgm:barrier(send=chans,rounds=v)
 	runProc := func(i, round int) (out procOut) {
@@ -228,18 +239,25 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		}()
 		arr := arrays[i]
 		scr := scrs[i]
-		pend := &pends[i]
-		routePend := &routePends[i]
+		pend := pends[i]
+		routePend := routePends[i]
+		K := len(scr.img)
+		pf := K / 2
 		readM := matrices[i][round%2]
 		writeParity := (round + 1) % 2
+		stallName := "stall"
+		if rec != nil {
+			stallName = fmt.Sprintf("stall k=%d", K)
+		}
 
 		drain := func() {
 			for k := range pend {
 				_ = pend[k].reads.Wait() // error path; the reported error wins
 				_ = pend[k].writes.Wait()
 			}
-			_ = routePend[0].Wait()
-			_ = routePend[1].Wait()
+			for k := range routePend {
+				_ = routePend[k].Wait()
+			}
 		}
 
 		wait := func(ps *pdm.PendingSet) error {
@@ -252,7 +270,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			t0 := time.Now()
 			err := ps.Wait()
 			out.stallNS += time.Since(t0).Nanoseconds()
-			rec.SpanSince(track, "stall", "wait", t0)
+			rec.SpanSince(track, stallName, "wait", t0)
 			return err
 		}
 
@@ -269,8 +287,8 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		}
 
 		beginReads := func(l int) error {
-			sl := &pend[l&1]
-			s := scr.img[l&1]
+			sl := &pend[l%K]
+			s := scr.img[l%K]
 			pf := rec.Begin(track, "prefetch", "prefetch")
 			if !cacheCtx {
 				if err := layout.BeginReadStripedScratch(arr, 0, l*cb, s.ctxImg, &s.lay, &sl.reads); err != nil {
@@ -292,20 +310,39 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			return nil
 		}
 
-		// Round prologue: VP 0's reads go in flight before the loop.
-		if err := beginReads(0); err != nil {
-			drain()
-			out.err = err
-			return out
+		// Round prologue: burst the window's first pf prefetches so the
+		// per-disk workers can coalesce the whole read-ahead.
+		for m := 0; m < pf && m < localV; m++ {
+			if err := beginReads(m); err != nil {
+				drain()
+				out.err = err
+				return out
+			}
 		}
 
 		doneLocal := false
 		for l := 0; l < localV; l++ {
 			j := i*localV + l
-			cur := l & 1
+			cur := l % K
 			sl := &pend[cur]
 			s := scr.img[cur]
 			ss := rec.Begin(track, "superstep", "superstep")
+
+			if pf == 0 {
+				// K = 1: the slot's write-behind lands before its reload.
+				if err := wait(&sl.writes); err != nil {
+					ss.End()
+					drain()
+					out.err = fmt.Errorf("core: round %d vp %d: write back: %w", round, j, err)
+					return out
+				}
+				if err := beginReads(l); err != nil {
+					ss.End()
+					drain()
+					out.err = err
+					return out
+				}
+			}
 
 			// (a)+(b) Context and inbox were prefetched; wait for them.
 			if err := wait(&sl.reads); err != nil {
@@ -342,15 +379,16 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 				}
 			}
 
-			// VP l−1's write-behind still references the other scratch.
-			if err := wait(&pend[1-cur].writes); err != nil {
-				ss.End()
-				drain()
-				out.err = fmt.Errorf("core: round %d vp %d: write back: %w", round, j-1, err)
-				return out
-			}
-			if l+1 < localV {
-				if err := beginReads(l + 1); err != nil {
+			// Slide the window: the slot VP l+pf prefetches into still
+			// backs VP l+pf−K's write-behind.
+			if m := l + pf; pf > 0 && m < localV {
+				if err := wait(&pend[m%K].writes); err != nil {
+					ss.End()
+					drain()
+					out.err = fmt.Errorf("core: round %d vp %d: write back: %w", round, i*localV+m-K, err)
+					return out
+				}
+				if err := beginReads(m); err != nil {
 					ss.End()
 					drain()
 					out.err = err
@@ -358,7 +396,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 				}
 			}
 
-			// (c) Compute, with VP l+1's reads in flight underneath.
+			// (c) Compute, with the window's reads in flight underneath.
 			cp := rec.Begin(track, "compute", "phase")
 			vp := &cgm.VP[T]{ID: j, V: v, State: state}
 			outbox, done := prog.Round(vp, round, inbox)
@@ -449,7 +487,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			sl.reset()
 		}
 
-		// The route phase reuses both scratch images; the VP loop's
+		// The route phase reuses the scratch ring; the VP loop's
 		// write-behind must land first.
 		for k := range pend {
 			if err := wait(&pend[k].writes); err != nil {
@@ -461,7 +499,9 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 
 		// Receive exactly v batches (one per virtual processor in the
 		// machine) and lay their messages out for the next superstep,
-		// double-buffered: encode batch n+1 while batch n's blocks write.
+		// pipelined over the ring: encode batch n while up to K−1 earlier
+		// batches' blocks are still being written — the same burst the VP
+		// loop gives the coalescing workers, now on the write side.
 		rt := rec.Begin(track, "route batches", "route")
 		writeM := matrices[i][writeParity]
 		var rtOps, rtBlocks int64
@@ -471,8 +511,8 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			if b.final {
 				continue
 			}
-			s := scr.img[nb&1]
-			if err := wait(&routePend[nb&1]); err != nil {
+			s := scr.img[nb%K]
+			if err := wait(&routePend[nb%K]); err != nil {
 				rt.End()
 				drain()
 				out.err = fmt.Errorf("core: round %d proc %d: write batch: %w", round, i, err)
@@ -489,7 +529,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 				s.reqs = writeM.AppendSlotReqs(s.reqs, dl, b.srcVP)
 			}
 			s.bufs = layout.SplitBlocksInto(s.bufs[:0], s.flat[:localV*bpm*cfg.B], cfg.B)
-			if _, err := layout.BeginWriteFIFOScratch(arr, s.reqs, s.bufs, &s.lay, &routePend[nb&1]); err != nil {
+			if _, err := layout.BeginWriteFIFOScratch(arr, s.reqs, s.bufs, &s.lay, &routePend[nb%K]); err != nil {
 				rt.End()
 				drain()
 				out.err = fmt.Errorf("core: round %d proc %d: write batch from vp %d: %w", round, i, b.srcVP, err)
@@ -530,6 +570,11 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		if round >= maxRounds {
 			return nil, fmt.Errorf("core: program exceeded %d rounds", maxRounds)
 		}
+		K := len(scrs[0].img)
+		var roundStart time.Time
+		if rec != nil {
+			roundStart = time.Now()
+		}
 		rd := rec.Begin(mtrack, "round", "round")
 		outs := make([]procOut, p)
 		var wg sync.WaitGroup
@@ -558,6 +603,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			}
 		}
 		done := outs[0].done
+		var roundStall int64
 		for i := range outs {
 			if outs[i].done != done {
 				return nil, fmt.Errorf("core: real processor %d disagreed on termination at round %d", i, round)
@@ -566,6 +612,7 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			res.MsgOps += outs[i].msgOps
 			res.CommItems += outs[i].comm
 			stallNS += outs[i].stallNS
+			roundStall += outs[i].stallNS
 			if outs[i].maxMsg > res.MaxMsgObserved {
 				res.MaxMsgObserved = outs[i].maxMsg
 			}
@@ -587,12 +634,38 @@ func runParPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		if done {
 			break
 		}
+
+		// Online adaptation (auto depth, recorded runs only): rounds are
+		// barrier-sequenced, so growing every processor's ring here is
+		// race-free — everything is drained. As in the sequential driver,
+		// growth changes only how far ahead the window prefetches, never
+		// the operation multiset.
+		if rec != nil {
+			if cfg.PipelineDepth == 0 && K < maxK {
+				roundWall := time.Since(roundStart).Nanoseconds()
+				if roundStall*adaptGrowDen > int64(p)*roundWall*adaptGrowNum {
+					newK := 2 * K
+					if newK > maxK {
+						newK = maxK
+					}
+					for i := 0; i < p; i++ {
+						scrs[i].img, pends[i] = growRing(scrs[i].img, pends[i], newK, cb, v*bpm, cfg.B)
+						for len(routePends[i]) < newK {
+							routePends[i] = append(routePends[i], pdm.PendingSet{})
+						}
+					}
+					depthGauge.Store(int64(newK))
+					rec.Event(mtrack, fmt.Sprintf("pipeline depth → %d", newK), "adapt")
+				}
+			}
+		}
 	}
 
 	if rec != nil {
 		rec.Counter("core_stall_ns").Add(stallNS)
 	}
 	res.Stall = time.Duration(stallNS)
+	res.Depth = len(scrs[0].img)
 	res.IOPerProc = make([]pdm.IOStats, p)
 	for i, a := range arrays {
 		res.IOPerProc[i] = a.Stats()

@@ -58,7 +58,7 @@ func runSeq[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, in
 	if err != nil {
 		return nil, err
 	}
-	arr, err := cfg.newArray(0)
+	arr, err := cfg.newArray(0, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cgm"
@@ -29,22 +30,32 @@ func (sl *vpInflight) reset() {
 }
 
 // runSeqPipelined is runSeq under the PipelineOn schedule: the same
-// Algorithm 2 superstep loop software-pipelined over two superstepScratch
-// images in ping-pong. While virtual processor j computes out of scratch
-// j mod 2, VP j+1's context and inbox are already being read into the
-// other scratch, and VP j's own writes drain as write-behind that the
-// driver only waits for when the scratch is needed again (one VP later,
-// or at the round boundary).
+// Algorithm 2 superstep loop software-pipelined over a ring of K
+// superstepScratch slots (VP j owns slot j mod K). The window slides with
+// a prefetch distance of pf = ⌊K/2⌋: while VP j computes out of its slot,
+// the contexts and inboxes of VPs j+1 … j+pf are already being read, and
+// the writes of VPs back to j−(K−pf) drain as write-behind that the
+// driver only waits for when their slot is about to be reused. At K = 2
+// this is exactly the PR 5 ping-pong; deeper rings hide more latency and
+// keep ≥ K conflict-free transfers queued per disk for the batching
+// workers to coalesce.
+//
+// Each round opens with a burst: the window's first pf prefetches are
+// issued back to back, in synchronous order, before any superstep runs —
+// that burst is what lets the per-disk workers fuse the window's
+// ascending-track transfers into large vectored calls instead of seeing
+// them trickle in one VP at a time.
 //
 // The schedule preserves the synchronous schedule's operation multiset,
 // addresses, and cycle packing exactly — only the begin order changes:
-// the reads of VP j+1 are hoisted above the writes of VP j. That hoist is
-// address-disjoint within a round (Observation 2: VP j's outbox writes
-// land in the slots its own inbox freed, and context runs are per-VP), no
-// prefetch crosses a round boundary, and the per-disk work queues are
-// FIFO, so every write→read dependency still executes in begin order.
-// With accounting charged at begin time the PDM counts are therefore
-// bit-identical to PipelineOff, which the equivalence tests pin.
+// the reads of VPs j+1 … j+pf are hoisted above the writes of VP j. That
+// hoist is address-disjoint within a round (Observation 2: VP j's outbox
+// writes land in the slots its own inbox freed, and context runs are
+// per-VP), no prefetch crosses a round boundary, and the per-disk work
+// queues are FIFO, so every write→read dependency still executes in
+// begin order. With accounting charged at begin time the PDM counts are
+// therefore bit-identical to PipelineOff at every depth, which the
+// equivalence tests pin.
 func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg Config, inputs [][]T) (*Result[T], error) {
 	v := cfg.V
 	if len(inputs) != v {
@@ -62,20 +73,19 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 	bpm := pdm.BlocksFor(sw, cfg.B) // blocks per message slot (b′)
 	ctxTracks := (v*cb+cfg.D-1)/cfg.D + 1
 
-	if cfg.M > 0 {
-		// The pipeline holds two superstep working sets at once.
-		need := 2 * (cb*cfg.B + v*bpm*cfg.B)
-		if need > cfg.M {
-			return nil, fmt.Errorf("core: pipelined working set %d words exceeds M = %d (two supersteps of μ=%d items, slot=%d items × V=%d); set Pipeline: PipelineOff to halve it",
-				need, cfg.M, maxCtx, maxMsg, v)
-		}
+	// The pipeline holds k superstep working sets at once; resolve the
+	// ring depth against the memory bound and the cost model.
+	slotBlocks := cb + v*bpm
+	k, maxK, err := pipeDepth(cfg, v, slotBlocks*cfg.B)
+	if err != nil {
+		return nil, err
 	}
 
 	matrix, err := layout.NewMatrix(v, bpm, cfg.D, ctxTracks)
 	if err != nil {
 		return nil, err
 	}
-	arr, err := cfg.newArray(0)
+	arr, err := cfg.newArray(0, queueHint(maxK, slotBlocks, cfg.D))
 	if err != nil {
 		return nil, err
 	}
@@ -83,26 +93,29 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 
 	rec := cfg.Recorder
 	var track obs.TrackID
+	var depthGauge atomic.Int64
+	stallName := "stall"
 	if rec != nil {
 		track = rec.Track("proc 0")
 		arr.SetRecorder(rec, 0)
+		depthGauge.Store(int64(k))
+		rec.Gauge("core_p0_pipeline_depth", depthGauge.Load)
+		stallName = fmt.Sprintf("stall k=%d", k)
 	}
 
 	res := &Result[T]{Outputs: make([][]T, v)}
-	scr := [2]*superstepScratch{
-		newSuperstepScratch(cb, v*bpm, cfg.B),
-		newSuperstepScratch(cb, v*bpm, cfg.B),
-	}
-	var pend [2]vpInflight
+	scr := make([]*superstepScratch, 0, maxK)
+	pend := make([]vpInflight, 0, maxK)
+	scr, pend = growRing(scr, pend, k, cb, v*bpm, cfg.B)
 
 	// drain waits out every in-flight operation before an error return:
 	// no handle leaks, no worker left holding a buffer reference. The
 	// drained errors are deliberately dropped — the caller's error is the
 	// one being reported.
 	drain := func() {
-		for k := range pend {
-			_ = pend[k].reads.Wait()
-			_ = pend[k].writes.Wait()
+		for i := range pend {
+			_ = pend[i].reads.Wait()
+			_ = pend[i].writes.Wait()
 		}
 	}
 
@@ -149,10 +162,10 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 	}
 
 	// beginReads prefetches VP j's context and (after round 0) inbox into
-	// scratch j mod 2, charging the begun ops to that slot's row.
+	// scratch j mod K, charging the begun ops to that slot's row.
 	beginReads := func(j, round int) error {
-		sl := &pend[j&1]
-		s := scr[j&1]
+		sl := &pend[j%len(scr)]
+		s := scr[j%len(scr)]
 		pf := rec.Begin(track, "prefetch", "prefetch")
 		if err := layout.BeginReadStripedScratch(arr, 0, j*cb, s.ctxImg, &s.lay, &sl.reads); err != nil {
 			pf.End()
@@ -174,7 +187,8 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 
 	// wait drains a pending set, charging the blocked time to the stall
 	// account when recording (the determinism contract forbids wall-clock
-	// reads otherwise).
+	// reads otherwise). The span name carries the current ring depth, so
+	// a trace shows which depth each residual stall was measured under.
 	var stallNS int64
 	wait := func(ps *pdm.PendingSet) error {
 		if rec == nil {
@@ -186,7 +200,7 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		t0 := time.Now()
 		err := ps.Wait()
 		stallNS += time.Since(t0).Nanoseconds()
-		rec.SpanSince(track, "stall", "wait", t0)
+		rec.SpanSince(track, stallName, "wait", t0)
 		return err
 	}
 
@@ -202,18 +216,44 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		for j := 0; j < v; j++ {
 			recvItems[j], sentItems[j] = 0, 0
 		}
+		K := len(scr)
+		pf := K / 2
+		var roundStart time.Time
+		roundStallBase := stallNS
+		if rec != nil {
+			roundStart = time.Now()
+		}
 
-		// Round prologue: the pipeline starts with VP 0's reads in flight.
-		if err := beginReads(0, round); err != nil {
-			drain()
-			return nil, err
+		// Round prologue: burst the window's first pf prefetches in
+		// synchronous order, so the per-disk workers see the whole
+		// read-ahead at once and can coalesce it.
+		for m := 0; m < pf && m < v; m++ {
+			if err := beginReads(m, round); err != nil {
+				drain()
+				return nil, err
+			}
 		}
 
 		for j := 0; j < v; j++ {
-			cur := j & 1
+			cur := j % K
 			sl := &pend[cur]
 			s := scr[cur]
 			ss := rec.Begin(track, "superstep", "superstep")
+
+			if pf == 0 {
+				// K = 1: no read-ahead — the slot's own write-behind must
+				// land before its image is reloaded.
+				if err := wait(&sl.writes); err != nil {
+					ss.End()
+					drain()
+					return nil, fmt.Errorf("core: round %d vp %d: write back: %w", round, j, err)
+				}
+				if err := beginReads(j, round); err != nil {
+					ss.End()
+					drain()
+					return nil, err
+				}
+			}
 
 			// (a)+(b) Context and inbox were prefetched; wait for them.
 			if err := wait(&sl.reads); err != nil {
@@ -241,15 +281,16 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 				}
 			}
 
-			// The other scratch still backs VP j−1's write-behind; it must
-			// land before VP j+1's reads can reuse the image.
-			if err := wait(&pend[1-cur].writes); err != nil {
-				ss.End()
-				drain()
-				return nil, fmt.Errorf("core: round %d vp %d: write back: %w", round, j-1, err)
-			}
-			if j+1 < v {
-				if err := beginReads(j+1, round); err != nil {
+			// Slide the window: the slot VP j+pf is about to prefetch into
+			// still backs VP j+pf−K's write-behind; it must land before the
+			// image is reused.
+			if m := j + pf; pf > 0 && m < v {
+				if err := wait(&pend[m%K].writes); err != nil {
+					ss.End()
+					drain()
+					return nil, fmt.Errorf("core: round %d vp %d: write back: %w", round, m-K, err)
+				}
+				if err := beginReads(m, round); err != nil {
 					ss.End()
 					drain()
 					return nil, err
@@ -257,7 +298,7 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			}
 
 			// (c) Simulate the local computation — the prefetched reads of
-			// VP j+1 are now in flight underneath it.
+			// VPs j+1 … j+pf are now in flight underneath it.
 			cp := rec.Begin(track, "compute", "phase")
 			vp := &cgm.VP[T]{ID: j, V: v, State: state}
 			outbox, done := prog.Round(vp, round, inbox)
@@ -339,11 +380,11 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 			sl.reset()
 		}
 
-		// Round epilogue: both parities' write-behind must land before the
+		// Round epilogue: every slot's write-behind must land before the
 		// scratches are reused — and round r+1's inbox reads depend on this
 		// round's outbox writes, so no prefetch crosses the boundary.
-		for k := range pend {
-			if err := wait(&pend[k].writes); err != nil {
+		for i := range pend {
+			if err := wait(&pend[i].writes); err != nil {
 				drain()
 				return nil, fmt.Errorf("core: round %d: write back: %w", round, err)
 			}
@@ -361,12 +402,34 @@ func runSeqPipelined[T any](prog cgm.Program[T], codec wordcodec.Codec[T], cfg C
 		if doneAll {
 			break
 		}
+
+		// Online adaptation (auto depth, recorded runs only): while the
+		// round's measured stall stays above the threshold and a deeper
+		// window is allowed, double the ring. Growth happens between
+		// rounds with everything drained, changes only how far ahead the
+		// window prefetches, and never the operation multiset.
+		if rec != nil {
+			if cfg.PipelineDepth == 0 && K < maxK {
+				roundWall := time.Since(roundStart).Nanoseconds()
+				if rs := stallNS - roundStallBase; rs*adaptGrowDen > roundWall*adaptGrowNum {
+					newK := 2 * K
+					if newK > maxK {
+						newK = maxK
+					}
+					scr, pend = growRing(scr, pend, newK, cb, v*bpm, cfg.B)
+					depthGauge.Store(int64(newK))
+					stallName = fmt.Sprintf("stall k=%d", newK)
+					rec.Event(track, fmt.Sprintf("pipeline depth → %d", newK), "adapt")
+				}
+			}
+		}
 	}
 
 	if rec != nil {
 		rec.Counter("core_p0_stall_ns").Add(stallNS)
 	}
 	res.Stall = time.Duration(stallNS)
+	res.Depth = len(scr)
 	res.IOPerProc = []pdm.IOStats{arr.Stats()}
 	res.IO = arr.Stats()
 	res.Syscalls = pdm.SyscallsOf(arr)

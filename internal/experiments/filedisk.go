@@ -60,6 +60,9 @@ func FileDiskFig(s Scale) (*trace.Table, error) {
 			}
 			cfg := core.Config{V: s.V, P: s.P, D: 2, B: s.B, Recorder: rec,
 				Pipeline: mode, DiskDir: dir, DirectIO: direct}
+			if mode != core.PipelineOff {
+				cfg.PipelineDepth = s.Depth // the sync arm has no window
+			}
 			if err := cfg.ValidateFor(s.N); err != nil {
 				return 0, 0, nil, err
 			}
@@ -106,7 +109,7 @@ func FileDiskFig(s Scale) (*trace.Table, error) {
 			pipeRes.IO.ParallelOps, pipeRes.Syscalls, sysPerOp(pipeRes),
 			trace.FormatFloat(stallFrac(pipeRes.Stall, pipeWall, s.P)),
 			trace.FormatFloat(float64(syncWall)/float64(pipeWall)))
-		benchPair(s.Bench, "filedisk/"+label, reps, syncWall, syncWorst, syncRes, pipeWall, pipeWorst, pipeRes)
+		benchPair(s.Bench, "filedisk/"+label, reps, s.P, syncWall, syncWorst, syncRes, pipeWall, pipeWorst, pipeRes)
 		return nil
 	}
 

@@ -60,6 +60,9 @@ func Pipeline(s Scale) (*trace.Table, error) {
 			}
 			cfg := core.Config{V: s.V, P: s.P, D: 2, B: s.B, Recorder: rec,
 				Pipeline: mode, NewDisk: newDisk}
+			if mode != core.PipelineOff {
+				cfg.PipelineDepth = s.Depth // the sync arm has no window
+			}
 			if err := cfg.ValidateFor(s.N); err != nil {
 				return 0, 0, nil, err
 			}
@@ -99,7 +102,7 @@ func Pipeline(s Scale) (*trace.Table, error) {
 			pipeRes.IO.ParallelOps, pipeRes.Stall.Round(time.Microsecond).String(),
 			trace.FormatFloat(stallFrac(pipeRes.Stall, pipeWall, s.P)),
 			trace.FormatFloat(float64(syncWall)/float64(pipeWall)))
-		benchPair(s.Bench, "pipeline/"+label, reps, syncWall, syncWorst, syncRes, pipeWall, pipeWorst, pipeRes)
+		benchPair(s.Bench, "pipeline/"+label, reps, s.P, syncWall, syncWorst, syncRes, pipeWall, pipeWorst, pipeRes)
 		return nil
 	}
 
@@ -164,9 +167,11 @@ func stallFrac(stall, wall time.Duration, p int) float64 {
 
 // benchPair emits the sync/pipelined pair of a wall-clock figure into
 // the scale's benchfmt file (a nil file ignores the call): wall with
-// best/worst dispersion, stall, the exact PDM op count, and — when the
-// backend issues real syscalls — the syscall count.
-func benchPair[T any](f *benchfmt.File, name string, reps int,
+// best/worst dispersion, stall and the stall fraction (stall over
+// p × best wall — the overlap quantity emcgm-benchdiff gates), the
+// exact PDM op count, and — when the backend issues real syscalls —
+// the syscall count.
+func benchPair[T any](f *benchfmt.File, name string, reps, p int,
 	syncBest, syncWorst time.Duration, syncRes *core.Result[T],
 	pipeBest, pipeWorst time.Duration, pipeRes *core.Result[T]) {
 	if f == nil {
@@ -178,6 +183,8 @@ func benchPair[T any](f *benchfmt.File, name string, reps int,
 			benchfmt.ExactMetric("parallel_ios", "ops", res.IO.ParallelOps),
 			benchfmt.ExactMetric("rounds", "rounds", int64(res.Rounds)),
 			{Name: "stall", Unit: "ns", Better: benchfmt.Lower, Value: float64(res.Stall)},
+			{Name: "stall_frac", Unit: "frac", Better: benchfmt.Lower,
+				Value: stallFrac(res.Stall, best, p)},
 		}
 		if res.Syscalls > 0 {
 			ms = append(ms, benchfmt.Metric{Name: "syscalls", Unit: "calls",

@@ -317,9 +317,25 @@ type ioCounters struct {
 	fullOps     atomic.Int64
 }
 
+// ArrayOptions tunes a DiskArray beyond its disks.
+type ArrayOptions struct {
+	// QueueDepth is the caller's bound on transfers concurrently in
+	// flight per disk — a depth-k pipelined driver passes its window's
+	// burst size here. The per-disk work queues are sized to
+	// max(QueueDepth, the built-in default), so a window deeper than the
+	// default capacity still begins without blocking instead of silently
+	// serializing against the workers. 0 keeps the default.
+	QueueDepth int
+}
+
 // NewDiskArray builds an array over the given disks, which must all share
 // the same block size, and starts one worker goroutine per disk.
 func NewDiskArray(disks []Disk) (*DiskArray, error) {
+	return NewDiskArrayOpts(disks, ArrayOptions{})
+}
+
+// NewDiskArrayOpts is NewDiskArray with explicit options.
+func NewDiskArrayOpts(disks []Disk, opts ArrayOptions) (*DiskArray, error) {
 	if len(disks) == 0 {
 		return nil, fmt.Errorf("pdm: disk array needs at least one disk")
 	}
@@ -328,6 +344,10 @@ func NewDiskArray(disks []Disk) (*DiskArray, error) {
 		if d.BlockSize() != b {
 			return nil, fmt.Errorf("pdm: disk %d has block size %d, want %d", i, d.BlockSize(), b)
 		}
+	}
+	depth := diskQueueDepth
+	if opts.QueueDepth > depth {
+		depth = opts.QueueDepth
 	}
 	a := &DiskArray{
 		disks:   disks,
@@ -338,7 +358,7 @@ func NewDiskArray(disks []Disk) (*DiskArray, error) {
 		diskObs: make([]*diskObs, len(disks)),
 	}
 	for i, d := range disks {
-		ch := make(chan diskOp, diskQueueDepth)
+		ch := make(chan diskOp, depth)
 		a.work[i] = ch
 		a.diskObs[i] = &diskObs{}
 		// Batch-capable disks get coalescing workers; their scratch is
@@ -362,11 +382,16 @@ func NewDiskArray(disks []Disk) (*DiskArray, error) {
 // NewMemArray is a convenience constructor: D in-memory disks of block
 // size b.
 func NewMemArray(d, b int) *DiskArray {
+	return NewMemArrayOpts(d, b, ArrayOptions{})
+}
+
+// NewMemArrayOpts is NewMemArray with explicit options.
+func NewMemArrayOpts(d, b int, opts ArrayOptions) *DiskArray {
 	disks := make([]Disk, d)
 	for i := range disks {
 		disks[i] = NewMemDisk(b)
 	}
-	a, err := NewDiskArray(disks)
+	a, err := NewDiskArrayOpts(disks, opts)
 	if err != nil {
 		panic(err) // unreachable: homogeneous by construction
 	}
@@ -495,13 +520,14 @@ func (a *DiskArray) WriteBlocks(reqs []BlockReq, bufs [][]Word) error {
 	return a.doBlocks(reqs, bufs, false)
 }
 
-// diskQueueDepth is the capacity of each per-disk work channel. Split-
-// phase callers keep several operations in flight (two supersteps' worth
-// of reads and writes under the pipelined drivers), so the queues must
-// absorb a multi-cycle transfer without blocking the driver at begin
-// time; a driver that outruns this depth degrades gracefully — begin
-// blocks until a worker drains a slot, it never deadlocks, because the
-// workers themselves never take opMu.
+// diskQueueDepth is the default capacity of each per-disk work channel.
+// Split-phase callers keep several operations in flight (a depth-k
+// window's worth of reads and writes under the pipelined drivers), so
+// the queues must absorb a multi-cycle transfer without blocking the
+// driver at begin time; callers with deeper windows raise the capacity
+// via ArrayOptions.QueueDepth. A driver that outruns the capacity
+// degrades gracefully — begin blocks until a worker drains a slot, it
+// never deadlocks, because the workers themselves never take opMu.
 const diskQueueDepth = 128
 
 // doBlocks is the synchronous path: one split-phase begin immediately

@@ -1,0 +1,130 @@
+package pdm
+
+import (
+	"testing"
+	"time"
+)
+
+// gateDisk wraps a MemDisk and blocks every transfer until the gate is
+// opened — a disk that is "busy" for as long as the test wants, so the
+// per-disk work queue fills at its real capacity. Deliberately not
+// embedded: promotion would leak the MemDisk's ungated BatchDisk
+// methods, and the coalescing worker path would bypass the gate.
+type gateDisk struct {
+	inner *MemDisk
+	gate  chan struct{}
+}
+
+func (d *gateDisk) ReadTrack(t int, dst []Word) error {
+	<-d.gate
+	return d.inner.ReadTrack(t, dst)
+}
+
+func (d *gateDisk) WriteTrack(t int, src []Word) error {
+	<-d.gate
+	return d.inner.WriteTrack(t, src)
+}
+
+func (d *gateDisk) BlockSize() int { return d.inner.BlockSize() }
+func (d *gateDisk) Tracks() int    { return d.inner.Tracks() }
+func (d *gateDisk) Close() error   { return d.inner.Close() }
+
+// TestQueueDepthHint is the regression test for deep pipelined windows:
+// a driver that begins a burst of operations deeper than the built-in
+// per-disk queue capacity must not block in Begin* (that would silently
+// serialize the window against the workers — or wedge a driver that
+// begins its whole burst before waiting anything). ArrayOptions.QueueDepth
+// is the contract: with the hint, every begin of the burst returns while
+// the disk is still busy with the first transfer.
+func TestQueueDepthHint(t *testing.T) {
+	const b = 4
+	burst := diskQueueDepth + 64 // deeper than the default queue
+
+	gate := make(chan struct{})
+	disk := &gateDisk{inner: NewMemDisk(b), gate: gate}
+	arr, err := NewDiskArrayOpts([]Disk{disk}, ArrayOptions{QueueDepth: burst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Close()
+
+	buf := [][]Word{make([]Word, b)}
+	var ps PendingSet
+	begun := make(chan error, 1)
+	go func() {
+		for i := 0; i < burst; i++ {
+			p, err := arr.BeginWriteBlocks([]BlockReq{{Disk: 0, Track: i}}, buf)
+			if err != nil {
+				begun <- err
+				return
+			}
+			ps.Add(p)
+		}
+		begun <- nil
+	}()
+
+	select {
+	case err := <-begun:
+		if err != nil {
+			t.Fatalf("begin burst: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("burst of begins blocked on a full work queue despite the QueueDepth hint")
+	}
+
+	close(gate) // release the disk; the workers drain the queue
+	if err := ps.Wait(); err != nil {
+		t.Fatalf("wait after release: %v", err)
+	}
+	if got := arr.Stats().ParallelOps; got != int64(burst) {
+		t.Fatalf("ParallelOps = %d, want %d", got, burst)
+	}
+}
+
+// TestQueueDepthDefaultDrains pins the other side of the contract: with
+// no hint, a burst deeper than the default queue capacity makes the
+// begins block until the workers free slots — but nothing deadlocks, and
+// once the disk is released the whole burst still completes.
+func TestQueueDepthDefaultDrains(t *testing.T) {
+	const b = 4
+	burst := diskQueueDepth + 64
+
+	gate := make(chan struct{})
+	disk := &gateDisk{inner: NewMemDisk(b), gate: gate}
+	arr, err := NewDiskArray([]Disk{disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Close()
+
+	buf := [][]Word{make([]Word, b)}
+	var ps PendingSet
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < burst; i++ {
+			p, err := arr.BeginWriteBlocks([]BlockReq{{Disk: 0, Track: i}}, buf)
+			if err != nil {
+				done <- err
+				return
+			}
+			ps.Add(p)
+		}
+		done <- ps.Wait()
+	}()
+
+	// Let the begins fill the queue, then open the gate: the stalled
+	// begins must resume as the workers drain.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("burst: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("burst never completed after the disk was released")
+	}
+	if got := arr.Stats().ParallelOps; got != int64(burst) {
+		t.Fatalf("ParallelOps = %d, want %d", got, burst)
+	}
+}

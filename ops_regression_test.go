@@ -131,4 +131,30 @@ func TestIOOpsMatchSeed(t *testing.T) {
 				res.IO.ParallelOps, res.CtxOps, res.MsgOps, res.MaxTracks)
 		}
 	})
+
+	// The depth-k sliding window only reorders operation begins — the
+	// operation multiset, and with it every seed count above, is pinned
+	// at every window depth, sequential and parallel drivers alike.
+	t.Run("depth-invariance", func(t *testing.T) {
+		// The sort-seq and sort-par seed counts above, per driver.
+		seeds := map[int]want{
+			1: {1368, 792, 576, 4, 297},
+			4: {1368, 792, 576, 4, 75},
+		}
+		keys := workload.Int64s(7, 1<<12)
+		for _, k := range []int{1, 2, 4, 8} {
+			for p, seed := range seeds {
+				cfg := core.Config{V: 8, P: p, D: 2, B: 64,
+					Pipeline: core.PipelineOn, PipelineDepth: k}
+				_, res, err := sortalg.EMSort(keys, wordcodec.I64{}, cfg)
+				if err != nil {
+					t.Fatalf("k=%d p=%d: %v", k, p, err)
+				}
+				got := want{res.IO.ParallelOps, res.CtxOps, res.MsgOps, res.Rounds, res.MaxTracks}
+				if got != seed {
+					t.Errorf("k=%d p=%d: ops = %+v, seed counted %+v", k, p, got, seed)
+				}
+			}
+		}
+	})
 }
